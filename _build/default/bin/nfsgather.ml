@@ -1,0 +1,74 @@
+(* nfsgather: regenerate any table or figure of Juszczak (USENIX 1994)
+   from the simulated NFS stack. *)
+
+open Cmdliner
+module E = Nfsg_experiments.Experiments
+
+let print_report r = print_string (Nfsg_stats.Report.to_string r)
+
+let quick_arg =
+  let doc = "Run with a smaller file / shorter measurement (fast smoke mode)." in
+  Arg.(value & flag & info [ "q"; "quick" ] ~doc)
+
+let run_experiment quick = function
+  | "table1" -> print_report (E.table1 ~quick ())
+  | "table2" -> print_report (E.table2 ~quick ())
+  | "table3" -> print_report (E.table3 ~quick ())
+  | "table4" -> print_report (E.table4 ~quick ())
+  | "table5" -> print_report (E.table5 ~quick ())
+  | "table6" -> print_report (E.table6 ~quick ())
+  | "figure1" -> print_string (E.figure1 ())
+  | "figure2" ->
+      print_string
+        (E.render_laddis ~title:"Figure 2. SPEC SFS 1.0-style baseline (FDDI)" (E.figure2 ~quick ()))
+  | "figure3" ->
+      print_string
+        (E.render_laddis ~title:"Figure 3. SPEC SFS 1.0-style baseline (FDDI, Prestoserve)"
+           (E.figure3 ~quick ()))
+  | "ablations" ->
+      print_report (E.ablation_procrastination ~quick ());
+      print_newline ();
+      print_report (E.ablation_reply_order ~quick ());
+      print_newline ();
+      print_report (E.ablation_latency_device ~quick ());
+      print_newline ();
+      print_report (E.ablation_mbuf_hunter ~quick ());
+      print_newline ();
+      print_report (E.ablation_dumb_pc ~quick ());
+      print_newline ();
+      print_report (E.ablation_disk_scheduler ~quick ())
+  | "extensions" ->
+      print_report (E.extension_learned_clients ~quick ());
+      print_newline ();
+      print_report (E.extension_v3 ~quick ());
+      print_newline ();
+      print_report (E.extension_write_modes ~quick ())
+  | other -> Printf.eprintf "unknown experiment %S\n" other
+
+let names =
+  [
+    "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure1"; "figure2"; "figure3";
+    "ablations"; "extensions";
+  ]
+
+let run quick targets =
+  let targets = if targets = [] || List.mem "all" targets then names else targets in
+  List.iteri
+    (fun i name ->
+      if i > 0 then print_newline ();
+      run_experiment quick name)
+    targets
+
+let targets_arg =
+  let doc =
+    "Experiments to run: table1..table6, figure1..figure3, ablations, extensions, or all \
+     (default)."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let cmd =
+  let doc = "reproduce 'Improving the Write Performance of an NFS Server' (USENIX 1994)" in
+  let info = Cmd.info "nfsgather" ~version:"1.0.0" ~doc in
+  Cmd.v info Term.(const run $ quick_arg $ targets_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Bytes Char Engine List Nfsg_core Nfsg_disk Nfsg_net Nfsg_nfs Nfsg_rpc Nfsg_sim Nfsg_ufs Printf Time

@@ -1,0 +1,1 @@
+examples/file_copy.ml: Array Calib Filecopy List Nfsg_experiments Nfsg_stats Printf String Sys

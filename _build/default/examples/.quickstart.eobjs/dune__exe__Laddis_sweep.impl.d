@@ -1,0 +1,1 @@
+examples/laddis_sweep.ml: Array Experiments Nfsg_experiments Printf Sys

@@ -1,0 +1,1 @@
+examples/laddis_sweep.mli:

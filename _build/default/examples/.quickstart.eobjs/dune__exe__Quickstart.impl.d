@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Char Engine Nfsg_core Nfsg_disk Nfsg_net Nfsg_nfs Nfsg_rpc Nfsg_sim Printf Time

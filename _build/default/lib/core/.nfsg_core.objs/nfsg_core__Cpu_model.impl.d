@@ -1,0 +1,1 @@
+lib/core/cpu_model.ml: Nfsg_sim Time

@@ -1,0 +1,1 @@
+lib/core/cpu_model.mli: Nfsg_sim

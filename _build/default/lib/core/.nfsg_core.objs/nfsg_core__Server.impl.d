@@ -1,0 +1,1 @@
+lib/core/server.ml: Bytes Cpu_model Engine Hashtbl Nfsg_disk Nfsg_net Nfsg_nfs Nfsg_rpc Nfsg_sim Nfsg_stats Nfsg_ufs Option Resource Write_layer

@@ -1,0 +1,1 @@
+lib/core/server.mli: Cpu_model Nfsg_disk Nfsg_net Nfsg_nfs Nfsg_sim Nfsg_stats Nfsg_ufs Write_layer

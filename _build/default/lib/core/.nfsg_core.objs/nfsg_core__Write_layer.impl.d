@@ -1,0 +1,1 @@
+lib/core/write_layer.ml: Bytes Cpu_model Engine Hashtbl List Nfsg_net Nfsg_nfs Nfsg_rpc Nfsg_sim Nfsg_stats Nfsg_ufs Printf Resource Stdlib Time

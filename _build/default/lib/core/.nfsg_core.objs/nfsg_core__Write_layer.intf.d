@@ -1,0 +1,1 @@
+lib/core/write_layer.mli: Bytes Cpu_model Nfsg_net Nfsg_nfs Nfsg_rpc Nfsg_sim Nfsg_stats Nfsg_ufs

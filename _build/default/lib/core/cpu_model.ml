@@ -1,0 +1,31 @@
+open Nfsg_sim
+
+type t = {
+  rx_fragment : Time.t;
+  rpc_decode : Time.t;
+  rpc_encode : Time.t;
+  op_base : Time.t;
+  ufs_trip : Time.t;
+  driver_transaction : Time.t;
+}
+
+let default =
+  {
+    rx_fragment = Time.of_us_f 70.0;
+    rpc_decode = Time.of_us_f 250.0;
+    rpc_encode = Time.of_us_f 220.0;
+    op_base = Time.of_us_f 180.0;
+    ufs_trip = Time.of_us_f 260.0;
+    driver_transaction = Time.of_us_f 420.0;
+  }
+
+let scale t k =
+  let s v = int_of_float (float_of_int v *. k) in
+  {
+    rx_fragment = s t.rx_fragment;
+    rpc_decode = s t.rpc_decode;
+    rpc_encode = s t.rpc_encode;
+    op_base = s t.op_base;
+    ufs_trip = s t.ufs_trip;
+    driver_transaction = s t.driver_transaction;
+  }

@@ -1,0 +1,26 @@
+(** Server CPU cost model.
+
+    The paper's CPU story — "it takes a lot of CPU cycles to run the
+    disk driver and field device interrupts and/or copy data to NVRAM"
+    — is expressed as per-event costs charged against a CPU
+    {!Nfsg_sim.Resource}. Request-path costs ({!rpc_decode},
+    {!op_base}, {!ufs_trip}, {!rpc_encode}) occupy the CPU; interrupt-
+    style costs ({!rx_fragment}, {!driver_transaction}) are charged as
+    busy-time accounting. Absolute values are calibrated to a DEC
+    3400-class server (see DESIGN.md); their ratios, not their
+    absolute values, carry the paper's conclusions. *)
+
+type t = {
+  rx_fragment : Nfsg_sim.Time.t;
+      (** packet reassembly, per incoming transport unit *)
+  rpc_decode : Nfsg_sim.Time.t;  (** RPC + XDR decode per request *)
+  rpc_encode : Nfsg_sim.Time.t;  (** reply encode + transmit path *)
+  op_base : Nfsg_sim.Time.t;  (** NFS action-routine overhead *)
+  ufs_trip : Nfsg_sim.Time.t;  (** per VOP call into the filesystem *)
+  driver_transaction : Nfsg_sim.Time.t;
+      (** disk driver work + interrupt service, per spindle transaction *)
+}
+
+val default : t
+val scale : t -> float -> t
+(** Uniformly faster/slower CPU. *)

@@ -1,0 +1,326 @@
+open Nfsg_sim
+module Fs = Nfsg_ufs.Fs
+module Vfs = Nfsg_ufs.Vfs
+module Layout = Nfsg_ufs.Layout
+module Proto = Nfsg_nfs.Proto
+module Rpc = Nfsg_rpc.Rpc
+module Svc = Nfsg_rpc.Svc
+module Dupcache = Nfsg_rpc.Dupcache
+
+type config = {
+  nfsds : int;
+  write_layer : Write_layer.config;
+  costs : Cpu_model.t;
+  dupcache : bool;
+  rcvbuf : int;
+  cache_blocks : int option;
+}
+
+let default_config =
+  {
+    nfsds = 8;
+    write_layer = Write_layer.default_gathering;
+    costs = Cpu_model.default;
+    dupcache = true;
+    rcvbuf = 256 * 1024;
+    cache_blocks = None;
+  }
+
+(* Write verifier (NFSv3): changes across server incarnations so a
+   client holding unstable data can detect that a reboot may have lost
+   it and must rewrite. A plain boot counter keeps runs deterministic. *)
+let boot_counter = ref 0
+
+type t = {
+  eng : Engine.t;
+  segment : Nfsg_net.Segment.t;
+  config : config;
+  addr : string;
+  device : Nfsg_disk.Device.t;
+  fs : Fs.t;
+  sock : Nfsg_net.Socket.t;
+  cpu : Resource.t;
+  wl : Write_layer.t;
+  verf : int;
+  op_counts : (int, int) Hashtbl.t;
+  trace : Nfsg_stats.Trace.t option;
+}
+
+let root_fh t =
+  let root = Fs.root t.fs in
+  { Proto.inum = Fs.inum root; gen = Fs.generation root }
+
+let fs t = t.fs
+let cpu t = t.cpu
+let device t = t.device
+let write_layer t = t.wl
+let socket t = t.sock
+let addr t = t.addr
+let write_verifier t = t.verf
+let op_count t proc = Option.value ~default:0 (Hashtbl.find_opt t.op_counts proc)
+let total_ops t = Hashtbl.fold (fun _ n acc -> acc + n) t.op_counts 0
+
+let count_op t proc = Hashtbl.replace t.op_counts proc (1 + op_count t proc)
+
+(* {1 Dispatch} *)
+
+let vnode_of_fh t (fh : Proto.fh) = Vfs.vnode_of_inode t.fs (Fs.iget t.fs ~inum:fh.Proto.inum ~gen:fh.Proto.gen)
+
+let fh_of_vnode v = { Proto.inum = Vfs.vnode_id v; gen = Fs.generation (Vfs.inode_of v) }
+
+let fattr_of_vnode t v =
+  let a = Vfs.vop_getattr v in
+  let bsize = Fs.bsize t.fs in
+  {
+    Proto.ftype =
+      (match a.Fs.ftype with
+      | Layout.Regular -> Proto.NFREG
+      | Layout.Directory -> Proto.NFDIR
+      | Layout.Symlink -> Proto.NFLNK
+      | Layout.Free -> Proto.NFNON);
+    mode = 0o644;
+    nlink = a.Fs.nlink;
+    uid = 0;
+    gid = 0;
+    size = a.Fs.size;
+    blocksize = bsize;
+    rdev = 0;
+    blocks = (a.Fs.size + bsize - 1) / bsize;
+    fsid = 1;
+    fileid = a.Fs.inum;
+    atime = Proto.timeval_of_ns a.Fs.atime;
+    mtime = Proto.timeval_of_ns a.Fs.mtime;
+    ctime = Proto.timeval_of_ns a.Fs.ctime;
+  }
+
+(* Map filesystem exceptions onto NFS statuses. *)
+let status_of_exn = function
+  | Fs.Stale _ -> Some Proto.NFSERR_STALE
+  | Not_found -> Some Proto.NFSERR_NOENT
+  | Fs.Exists _ -> Some Proto.NFSERR_EXIST
+  | Fs.Not_dir _ -> Some Proto.NFSERR_NOTDIR
+  | Fs.Is_dir _ -> Some Proto.NFSERR_ISDIR
+  | Fs.Not_symlink _ -> Some Proto.NFSERR_IO
+  | Fs.No_space -> Some Proto.NFSERR_NOSPC
+  | Failure msg when msg = "not empty" -> Some Proto.NFSERR_NOTEMPTY
+  | _ -> None
+
+let execute t (args : Proto.args) : Proto.res =
+  let attr_res v = Proto.RAttr (Ok (fattr_of_vnode t v)) in
+  let dirop_res v = Proto.RDirop (Ok (fh_of_vnode v, fattr_of_vnode t v)) in
+  match args with
+  | Proto.Null -> Proto.RNull
+  | Proto.Getattr fh -> attr_res (vnode_of_fh t fh)
+  | Proto.Setattr (fh, sattr) ->
+      let v = vnode_of_fh t fh in
+      Vfs.with_lock v (fun () ->
+          if sattr.Proto.s_size >= 0 then begin
+            Vfs.vop_truncate v sattr.Proto.s_size;
+            (* Truncation changes visible state: commit before reply. *)
+            Nfsg_ufs.Fs.fsync_metadata t.fs (Vfs.inode_of v)
+          end;
+          match sattr.Proto.s_mtime with
+          | Some tv -> Vfs.vop_touch v ~mtime:(Proto.ns_of_timeval tv)
+          | None -> ());
+      attr_res v
+  | Proto.Lookup (fh, name) ->
+      let dir = vnode_of_fh t fh in
+      dirop_res (Vfs.vop_lookup dir name)
+  | Proto.Read { fh; offset; count } ->
+      let v = vnode_of_fh t fh in
+      let data = Vfs.vop_read v ~off:offset ~len:count in
+      Proto.RRead (Ok (fattr_of_vnode t v, data))
+  | Proto.Write _ | Proto.Write3 _ | Proto.Commit _ ->
+      assert false (* handled by the write layer / dispatch *)
+  | Proto.Create { dir; name; sattr = _ } ->
+      let d = vnode_of_fh t dir in
+      dirop_res (Vfs.with_lock d (fun () -> Vfs.vop_create d name Layout.Regular))
+  | Proto.Remove { dir; name } ->
+      let d = vnode_of_fh t dir in
+      Vfs.with_lock d (fun () -> Vfs.vop_remove d name);
+      Proto.RStatus Proto.NFS_OK
+  | Proto.Rename { from_dir; from_name; to_dir; to_name } ->
+      let src = vnode_of_fh t from_dir in
+      let dst = vnode_of_fh t to_dir in
+      Vfs.with_lock src (fun () -> Vfs.vop_rename src ~src:from_name ~dst_dir:dst ~dst:to_name);
+      Proto.RStatus Proto.NFS_OK
+  | Proto.Mkdir { dir; name; sattr = _ } ->
+      let d = vnode_of_fh t dir in
+      dirop_res (Vfs.with_lock d (fun () -> Vfs.vop_mkdir d name))
+  | Proto.Rmdir { dir; name } ->
+      let d = vnode_of_fh t dir in
+      Vfs.with_lock d (fun () -> Vfs.vop_rmdir d name);
+      Proto.RStatus Proto.NFS_OK
+  | Proto.Readlink fh ->
+      let v = vnode_of_fh t fh in
+      Proto.RReadlink (Ok (Vfs.vop_readlink v))
+  | Proto.Symlink { dir; name; target; sattr = _ } ->
+      let d = vnode_of_fh t dir in
+      dirop_res (Vfs.with_lock d (fun () -> Vfs.vop_symlink d name ~target))
+  | Proto.Readdir { fh; cookie = _; count = _ } ->
+      let d = vnode_of_fh t fh in
+      Proto.RReaddir (Ok (Vfs.vop_readdir d, true))
+  | Proto.Statfs _ ->
+      let s = Fs.statfs t.fs in
+      Proto.RStatfs
+        (Ok
+           {
+             Proto.tsize = 8192;
+             bsize = s.Fs.bsize;
+             blocks = s.Fs.total_blocks;
+             bfree = s.Fs.free_blocks;
+             bavail = s.Fs.free_blocks;
+           })
+
+(* Error result with the shape the procedure's decoder expects. *)
+let error_res ~proc st : Proto.res =
+  if proc = Proto.proc_getattr || proc = Proto.proc_setattr || proc = Proto.proc_write then
+    Proto.RAttr (Error st)
+  else if proc = Proto.proc_lookup || proc = Proto.proc_create || proc = Proto.proc_mkdir
+          || proc = Proto.proc_symlink then Proto.RDirop (Error st)
+  else if proc = Proto.proc_read then Proto.RRead (Error st)
+  else if proc = Proto.proc_readlink then Proto.RReadlink (Error st)
+  else if proc = Proto.proc_write3 then Proto.RWrite3 (Error st)
+  else if proc = Proto.proc_commit then Proto.RCommit (Error st)
+  else if proc = Proto.proc_readdir then Proto.RReaddir (Error st)
+  else if proc = Proto.proc_statfs then Proto.RStatfs (Error st)
+  else Proto.RStatus st
+
+let make_dispatch t =
+  fun tr (call : Rpc.call) ->
+    ignore tr;
+    if call.Rpc.prog <> Rpc.nfs_program then Svc.Reply (Rpc.Prog_unavail, Bytes.create 0)
+    else begin
+      Resource.use t.cpu (t.config.costs.Cpu_model.rpc_decode + t.config.costs.Cpu_model.op_base);
+      match Proto.decode_args ~proc:call.Rpc.proc call.Rpc.body with
+      | exception Nfsg_rpc.Xdr.Dec.Error _ -> Svc.Reply (Rpc.Garbage_args, Bytes.create 0)
+      | Proto.Write { fh; offset; data } -> (
+          count_op t Proto.proc_write;
+          match vnode_of_fh t fh with
+          | v -> Write_layer.handle_write t.wl tr v ~off:offset ~data
+          | exception Fs.Stale _ ->
+              Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
+              Svc.Reply (Rpc.Success, Proto.encode_res (Proto.RAttr (Error Proto.NFSERR_STALE))))
+      | Proto.Write3 { fh; offset; stable; data } -> (
+          count_op t Proto.proc_write3;
+          match vnode_of_fh t fh with
+          | exception Fs.Stale _ ->
+              Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
+              Svc.Reply (Rpc.Success, Proto.encode_res (Proto.RWrite3 (Error Proto.NFSERR_STALE)))
+          | v -> (
+              match stable with
+              | Proto.Unstable -> (
+                  (* The v3 asynchronous promise: data to the cache,
+                     reply immediately; durability comes at COMMIT. *)
+                  Vfs.lock v;
+                  match
+                    ( Resource.use t.cpu t.config.costs.Cpu_model.ufs_trip;
+                      Vfs.vop_write v ~off:offset data ~flags:[ Vfs.IO_DELAYDATA ] )
+                  with
+                  | () ->
+                      Vfs.unlock v;
+                      Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
+                      Svc.Reply
+                        ( Rpc.Success,
+                          Proto.encode_res
+                            (Proto.RWrite3 (Ok (fattr_of_vnode t v, Proto.Unstable, t.verf))) )
+                  | exception Fs.No_space ->
+                      Vfs.unlock v;
+                      Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
+                      Svc.Reply
+                        (Rpc.Success, Proto.encode_res (Proto.RWrite3 (Error Proto.NFSERR_NOSPC))))
+              | Proto.Data_sync | Proto.File_sync ->
+                  (* v2 semantics through the write layer: these writes
+                     gather in the same batches as v2 WRITEs. *)
+                  let respond a = Proto.RWrite3 (Ok (a, Proto.File_sync, t.verf)) in
+                  Write_layer.handle_write t.wl tr ~respond v ~off:offset ~data))
+      | Proto.Commit { fh; offset; count } -> (
+          count_op t Proto.proc_commit;
+          match vnode_of_fh t fh with
+          | exception Fs.Stale _ ->
+              Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
+              Svc.Reply (Rpc.Success, Proto.encode_res (Proto.RCommit (Error Proto.NFSERR_STALE)))
+          | v ->
+              Vfs.with_lock v (fun () ->
+                  Resource.use t.cpu t.config.costs.Cpu_model.ufs_trip;
+                  let len =
+                    if count = 0 then (Vfs.vop_getattr v).Fs.size - offset else count
+                  in
+                  if len > 0 then Vfs.vop_syncdata v ~off:offset ~len;
+                  Resource.use t.cpu t.config.costs.Cpu_model.ufs_trip;
+                  Vfs.vop_fsync v ~flags:[ Vfs.FWRITE; Vfs.FWRITE_METADATA ]);
+              Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
+              Svc.Reply
+                (Rpc.Success, Proto.encode_res (Proto.RCommit (Ok (fattr_of_vnode t v, t.verf)))))
+      | args -> (
+          count_op t call.Rpc.proc;
+          match execute t args with
+          | res ->
+              Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
+              Svc.Reply (Rpc.Success, Proto.encode_res res)
+          | exception e -> (
+              match status_of_exn e with
+              | Some st ->
+                  Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
+                  Svc.Reply (Rpc.Success, Proto.encode_res (error_res ~proc:call.Rpc.proc st))
+              | None -> raise e))
+    end
+
+let make eng ~segment ~addr ~device ?trace ?(mkfs = true) config =
+  if mkfs then Fs.mkfs device ();
+  let fs = Fs.mount eng ?cache_blocks:config.cache_blocks device in
+  let cpu = Resource.create eng "server-cpu" in
+  let costs = config.costs in
+  let sock =
+    Nfsg_net.Socket.create segment ~addr ~rcvbuf:config.rcvbuf
+      ~on_rx_fragment:(fun ~bytes:_ -> Resource.charge cpu costs.Cpu_model.rx_fragment)
+      ()
+  in
+  let svc_ref = ref None in
+  let send_reply tr res =
+    match !svc_ref with
+    | Some svc -> Svc.send_reply svc tr Rpc.Success (Proto.encode_res res)
+    | None -> assert false
+  in
+  let wl = Write_layer.create eng ~fs ~sock ~cpu ~costs ~send_reply ?trace config.write_layer in
+  incr boot_counter;
+  let t =
+    {
+      eng;
+      segment;
+      config;
+      addr;
+      device;
+      fs;
+      sock;
+      cpu;
+      wl;
+      verf = !boot_counter;
+      op_counts = Hashtbl.create 16;
+      trace;
+    }
+  in
+  let dupcache = if config.dupcache then Some (Dupcache.create eng ()) else None in
+  let svc =
+    Svc.create eng ~sock ?dupcache
+      ~on_duplicate_drop:(fun ~client:_ call ->
+        if call.Rpc.prog = Rpc.nfs_program && call.Rpc.proc = Proto.proc_write then
+          match Proto.decode_args ~proc:call.Rpc.proc call.Rpc.body with
+          | Proto.Write { fh; _ } -> Write_layer.rescue wl ~inum:fh.Proto.inum
+          | _ | (exception Nfsg_rpc.Xdr.Dec.Error _) -> ())
+      ~nfsds:config.nfsds
+      ~dispatch:(fun tr call -> make_dispatch t tr call)
+      ()
+  in
+  svc_ref := Some svc;
+  t
+
+let crash t =
+  (* Power off: volatile state gone and the host leaves the wire. *)
+  Nfsg_net.Socket.detach t.sock;
+  Fs.crash t.fs
+
+let recover t =
+  t.device.Nfsg_disk.Device.recover ();
+  make t.eng ~segment:t.segment ~addr:t.addr ~device:t.device ?trace:t.trace ~mkfs:false
+    t.config

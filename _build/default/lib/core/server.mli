@@ -1,0 +1,59 @@
+(** The NFS server: socket, nfsd pool, duplicate cache, CPU model,
+    filesystem, and the write layer, assembled.
+
+    Create a device (optionally NVRAM-accelerated and/or striped), run
+    {!make} over it, and point NFS clients at [addr] on the same
+    segment. *)
+
+type config = {
+  nfsds : int;
+  write_layer : Write_layer.config;
+  costs : Cpu_model.t;
+  dupcache : bool;
+  rcvbuf : int;  (** server socket buffer (DEC OSF/1: 256 KiB max) *)
+  cache_blocks : int option;  (** buffer-cache bound; None = plenty of RAM *)
+}
+
+val default_config : config
+(** 8 nfsds, gathering write layer, default costs, dupcache on. *)
+
+type t
+
+val make :
+  Nfsg_sim.Engine.t ->
+  segment:Nfsg_net.Segment.t ->
+  addr:string ->
+  device:Nfsg_disk.Device.t ->
+  ?trace:Nfsg_stats.Trace.t ->
+  ?mkfs:bool ->
+  config ->
+  t
+(** Formats the device (unless [mkfs:false]), mounts, attaches the
+    socket, spawns the nfsds. *)
+
+val root_fh : t -> Nfsg_nfs.Proto.fh
+val fs : t -> Nfsg_ufs.Fs.t
+val cpu : t -> Nfsg_sim.Resource.t
+val device : t -> Nfsg_disk.Device.t
+val write_layer : t -> Write_layer.t
+val socket : t -> Nfsg_net.Socket.t
+val addr : t -> string
+
+val write_verifier : t -> int
+(** The NFSv3 write verifier of this server incarnation; {!recover}
+    yields a different one, which is how v3 clients learn that
+    uncommitted data may have been lost. *)
+
+val op_count : t -> int -> int
+(** Completed requests for an NFS procedure number. *)
+
+val total_ops : t -> int
+
+val crash : t -> unit
+(** Power-fail the server: volatile state gone, in-flight requests
+    lost. The device survives (platter + NVRAM). *)
+
+val recover : t -> t
+(** Reboot after {!crash}: device recovery (NVRAM replay), fsck-style
+    remount, fresh daemons, same network address (the crashed
+    incarnation left the wire). *)

@@ -1,0 +1,398 @@
+open Nfsg_sim
+module Vfs = Nfsg_ufs.Vfs
+module Fs = Nfsg_ufs.Fs
+module Proto = Nfsg_nfs.Proto
+module Svc = Nfsg_rpc.Svc
+module Trace = Nfsg_stats.Trace
+
+type mode = Standard | Gathering | Unsafe_async
+
+type config = {
+  mode : mode;
+  procrastinate : Time.t;
+  max_procrastinations : int;
+  use_mbuf_hunter : bool;
+  reply_order : [ `Fifo | `Lifo ];
+  latency_device : [ `Procrastinate | `First_write ];
+  learn_clients : bool;
+}
+
+let default_gathering =
+  {
+    mode = Gathering;
+    procrastinate = Time.of_ms_f 8.0;
+    max_procrastinations = 1;
+    use_mbuf_hunter = true;
+    reply_order = `Fifo;
+    latency_device = `Procrastinate;
+    learn_clients = false;
+  }
+
+let standard = { default_gathering with mode = Standard }
+let unsafe_async = { default_gathering with mode = Unsafe_async }
+
+type descriptor = {
+  tr : Svc.transport;
+  seq : int;
+  client : string;
+  respond : Proto.fattr -> Proto.res;  (** v2 and v3 writes share batches *)
+}
+
+(* Per-file gather state: the paper's "global array of nfsd state"
+   plus the active write queue, folded into one record per vnode. *)
+type gstate = {
+  vnode : Vfs.vnode;
+  mutable active : int;  (** nfsds currently inside handle_write for this file *)
+  mutable queue : descriptor list;  (** newest first; all unreplied descriptors *)
+  mutable lo : int;  (** dirty byte range for VOP_SYNCDATA hints *)
+  mutable hi : int;
+}
+
+(* Mogul's learned-client database: an exponentially-weighted success
+   score per client address. Writes that end up in a batch with company
+   score 1; writes flushed alone score 0. Clients that settle near 0
+   are single-threaded and skip the procrastination penalty. *)
+type learned = { mutable score : float; mutable samples : int }
+
+type t = {
+  eng : Engine.t;
+  fs : Fs.t;
+  sock : Nfsg_net.Socket.t;
+  cpu : Resource.t;
+  costs : Cpu_model.t;
+  send_reply : Svc.transport -> Proto.res -> unit;
+  trace : Trace.t option;
+  cfg : config;
+  states : (int, gstate) Hashtbl.t;
+  clients : (string, learned) Hashtbl.t;
+  mutable seq : int;
+  mutable writes : int;
+  mutable batches : int;
+  mutable gathered : int;
+  mutable procrastinations : int;
+  mutable procrastinate_failures : int;
+  mutable mbuf_hits : int;
+  mutable rescues : int;
+}
+
+let create eng ~fs ~sock ~cpu ~costs ~send_reply ?trace cfg =
+  {
+    eng;
+    fs;
+    sock;
+    cpu;
+    costs;
+    send_reply;
+    trace;
+    cfg;
+    states = Hashtbl.create 64;
+    clients = Hashtbl.create 16;
+    seq = 0;
+    writes = 0;
+    batches = 0;
+    gathered = 0;
+    procrastinations = 0;
+    procrastinate_failures = 0;
+    mbuf_hits = 0;
+    rescues = 0;
+  }
+
+let writes_handled t = t.writes
+let batches t = t.batches
+let gathered_replies t = t.gathered
+let procrastinations t = t.procrastinations
+let procrastinate_failures t = t.procrastinate_failures
+let mbuf_hits t = t.mbuf_hits
+let rescues t = t.rescues
+
+let mean_batch_size t =
+  if t.batches = 0 then 0.0 else float_of_int t.gathered /. float_of_int t.batches
+
+(* {1 Learned clients (Future Work: Mogul's scheme)} *)
+
+let learned_of t client =
+  match Hashtbl.find_opt t.clients client with
+  | Some l -> l
+  | None ->
+      let l = { score = 1.0; samples = 0 } in
+      Hashtbl.replace t.clients client l;
+      l
+
+let learn t client ~gathered =
+  let l = learned_of t client in
+  l.score <- (0.85 *. l.score) +. (0.15 *. if gathered then 1.0 else 0.0);
+  l.samples <- l.samples + 1
+
+(* A client is "known solo" once we have evidence and its score says
+   its writes essentially never find company. *)
+let known_solo t client =
+  t.cfg.learn_clients
+  &&
+  let l = learned_of t client in
+  l.samples >= 8 && l.score < 0.25
+
+let learned_solo_clients t =
+  Hashtbl.fold (fun _ l n -> if l.samples >= 8 && l.score < 0.25 then n + 1 else n) t.clients 0
+
+let emit t event = match t.trace with Some tr -> Trace.emit tr ~actor:(Engine.self_name ()) event | None -> ()
+
+let fattr_of_vnode v =
+  let a = Vfs.vop_getattr v in
+  let bsize = 8192 in
+  {
+    Proto.ftype =
+      (match a.Fs.ftype with
+      | Nfsg_ufs.Layout.Regular -> Proto.NFREG
+      | Nfsg_ufs.Layout.Directory -> Proto.NFDIR
+      | Nfsg_ufs.Layout.Symlink -> Proto.NFLNK
+      | Nfsg_ufs.Layout.Free -> Proto.NFNON);
+    mode = 0o644;
+    nlink = a.Fs.nlink;
+    uid = 0;
+    gid = 0;
+    size = a.Fs.size;
+    blocksize = bsize;
+    rdev = 0;
+    blocks = (a.Fs.size + bsize - 1) / bsize;
+    fsid = 1;
+    fileid = a.Fs.inum;
+    atime = Proto.timeval_of_ns a.Fs.atime;
+    mtime = Proto.timeval_of_ns a.Fs.mtime;
+    ctime = Proto.timeval_of_ns a.Fs.ctime;
+  }
+
+let gstate_of t vnode =
+  let id = Vfs.vnode_id vnode in
+  match Hashtbl.find_opt t.states id with
+  | Some g -> g
+  | None ->
+      let g = { vnode; active = 0; queue = []; lo = max_int; hi = 0 } in
+      Hashtbl.replace t.states id g;
+      g
+
+let charge_trip t = Resource.use t.cpu t.costs.Cpu_model.ufs_trip
+
+(* The mbuf hunter (section 6.5): grep the socket buffer for another
+   WRITE to the same file. "A gross violation of kernel layering, but
+   with a fast server this technique is often a win." *)
+let socket_has_write_for t inum =
+  let hit =
+    Nfsg_net.Socket.scan t.sock (fun ~src:_ payload ->
+        match Proto.peek_write payload with
+        | Some (fh, _, _) -> fh.Proto.inum = inum
+        | None -> false)
+  in
+  if hit then t.mbuf_hits <- t.mbuf_hits + 1;
+  hit
+
+let reply_ok t d attr =
+  Resource.use t.cpu t.costs.Cpu_model.rpc_encode;
+  t.send_reply d.tr (d.respond attr)
+
+(* Flush the gathered batch: data (if delayed), one metadata update,
+   then every pending reply — FIFO, all with the same mtime. *)
+let flush_as_metadata_writer t g =
+  let rec rounds () =
+    let batch = List.sort (fun (a : descriptor) b -> compare a.seq b.seq) g.queue in
+    g.queue <- [];
+    let lo = g.lo and hi = g.hi in
+    g.lo <- max_int;
+    g.hi <- 0;
+    Vfs.lock g.vnode;
+    let accel = Vfs.accelerated g.vnode in
+    if (not accel) && lo < hi then begin
+      charge_trip t;
+      emit t (Printf.sprintf "%dK data to disk (clustered)" ((hi - lo) / 1024));
+      Vfs.vop_syncdata g.vnode ~off:lo ~len:(hi - lo)
+    end;
+    charge_trip t;
+    emit t "Metadata to disk";
+    Vfs.vop_fsync g.vnode ~flags:[ Vfs.FWRITE; Vfs.FWRITE_METADATA ];
+    Vfs.unlock g.vnode;
+    let attr = fattr_of_vnode g.vnode in
+    let ordered = match t.cfg.reply_order with `Fifo -> batch | `Lifo -> List.rev batch in
+    let n = List.length ordered in
+    if n > 0 then emit t (Printf.sprintf "%d Write Repl%s" n (if n = 1 then "y" else "ies"));
+    List.iter (fun d -> reply_ok t d attr) ordered;
+    if t.cfg.learn_clients then
+      List.iter (fun (d : descriptor) -> learn t d.client ~gathered:(n > 1)) ordered;
+    t.batches <- t.batches + 1;
+    t.gathered <- t.gathered + n;
+    (* Writes that arrived while we were flushing: if no OTHER nfsd is
+       active to pick them up (we ourselves still count in g.active
+       when called from handle_gathering), we stay metadata writer for
+       another round — otherwise their descriptors would be orphaned,
+       the failure mode of section 6.9. The new batch gets the same
+       gathering opportunity a fresh nfsd would give it. *)
+    if g.queue <> [] && g.active <= 1 then begin
+      if t.cfg.latency_device = `Procrastinate && t.cfg.procrastinate > 0 then begin
+        t.procrastinations <- t.procrastinations + 1;
+        Engine.delay t.cfg.procrastinate
+      end;
+      if g.queue <> [] && g.active <= 1 then rounds ()
+    end
+  in
+  rounds ()
+
+let maybe_gc t g =
+  if g.active = 0 && g.queue = [] then Hashtbl.remove t.states (Vfs.vnode_id g.vnode)
+
+let v2_respond a = Proto.RAttr (Ok a)
+
+(* Standard (reference port) path: everything synchronous under the
+   vnode lock, reply sent by the same nfsd that did the work. *)
+let handle_standard t tr ~respond vnode ~off ~data =
+  Vfs.lock vnode;
+  (match
+     ( charge_trip t;
+       emit t (Printf.sprintf "%dK data to disk" (Bytes.length data / 1024));
+       Vfs.vop_write vnode ~off data ~flags:[ Vfs.IO_SYNC ] )
+   with
+  | () ->
+      if Fs.meta_dirty (Vfs.inode_of vnode) = `Clean then emit t "Metadata to disk";
+      Vfs.unlock vnode;
+      t.batches <- t.batches + 1;
+      let attr = fattr_of_vnode vnode in
+      Resource.use t.cpu t.costs.Cpu_model.rpc_encode;
+      emit t "Write Reply";
+      t.send_reply tr (respond attr)
+  | exception Fs.No_space ->
+      Vfs.unlock vnode;
+      Resource.use t.cpu t.costs.Cpu_model.rpc_encode;
+      t.send_reply tr (Proto.RAttr (Error Proto.NFSERR_NOSPC)));
+  Svc.Reply_pending
+
+(* Gathering path, one nfsd D (paper section 6.8). *)
+let handle_gathering t tr ~respond vnode ~off ~data =
+  emit t (Printf.sprintf "%dK Write recv (off=%dK)" (Bytes.length data / 1024) (off / 1024));
+  let g = gstate_of t vnode in
+  g.active <- g.active + 1;
+  let accel = Vfs.accelerated vnode in
+  (* Hand off data to UFS via VOP_WRITE. *)
+  Vfs.lock vnode;
+  (match
+     ( charge_trip t;
+       if accel then begin
+         emit t (Printf.sprintf "%dK data to Presto" (Bytes.length data / 1024));
+         Vfs.vop_write vnode ~off data ~flags:[ Vfs.IO_SYNC; Vfs.IO_DATAONLY ]
+       end
+       else Vfs.vop_write vnode ~off data ~flags:[ Vfs.IO_DELAYDATA ] )
+   with
+  | () ->
+      Vfs.unlock vnode;
+      (* Only now — with the data handed to UFS — may our reply be
+         queued where a metadata writer can pick it up. Queueing any
+         earlier would let a concurrent flusher acknowledge data that
+         is not in the cache yet. *)
+      t.seq <- t.seq + 1;
+      let d = { tr; seq = t.seq; client = Svc.client_of tr; respond } in
+      g.queue <- d :: g.queue;
+      g.lo <- Stdlib.min g.lo off;
+      g.hi <- Stdlib.max g.hi (off + Bytes.length data);
+      (* SIVA93 variant: use the first write's disk time as the latency
+         device instead of sleeping. *)
+      if t.cfg.latency_device = `First_write && not accel then begin
+        Vfs.lock vnode;
+        charge_trip t;
+        Vfs.vop_syncdata vnode ~off ~len:(Bytes.length data);
+        Vfs.unlock vnode
+      end;
+      let inum = Vfs.vnode_id vnode in
+      (* In the paper, every write of an arriving train procrastinates
+         in turn, so the chain of nfsds extends the gathering window
+         for as long as the train keeps coming. Our nfsds handle
+         delayed writes instantly and vanish before the sleeper wakes,
+         so we model the chain directly: a procrastination during
+         which the queue grew earns another procrastination, up to a
+         chain cap. A quiet interval ends the chain. *)
+      let max_chain = 16 in
+      (* A client learned to be single-threaded gets no procrastination:
+         the free checks (active nfsds, socket scan) still apply, so a
+         reformed client earns its way back via the score. *)
+      let initial_budget =
+        if known_solo t (Svc.client_of tr) then 0 else t.cfg.max_procrastinations
+      in
+      let rec decide ~budget ~chain ~slept =
+        if g.active > 1 then
+          (* Another nfsd is in the write path for this file: leave the
+             metadata update (and our reply) to it. *)
+          ()
+        else if t.cfg.use_mbuf_hunter && socket_has_write_for t inum then
+          (* A WRITE for this file is sitting in the socket buffer; the
+             nfsd that picks it up will take over. *)
+          ()
+        else if
+          budget > 0 && chain < max_chain
+          && t.cfg.latency_device = `Procrastinate
+          && t.cfg.procrastinate > 0
+        then begin
+          t.procrastinations <- t.procrastinations + 1;
+          emit t "Gather Writes (procrastinate)";
+          let qlen = List.length g.queue in
+          Engine.delay t.cfg.procrastinate;
+          let grew = List.length g.queue > qlen in
+          decide
+            ~budget:(if grew then t.cfg.max_procrastinations else budget - 1)
+            ~chain:(chain + 1) ~slept:true
+        end
+        else begin
+          (* Become the metadata writer and assume responsibility. *)
+          if slept && List.length g.queue <= 1 then
+            t.procrastinate_failures <- t.procrastinate_failures + 1;
+          flush_as_metadata_writer t g
+        end
+      in
+      decide ~budget:initial_budget ~chain:0 ~slept:false;
+      g.active <- g.active - 1;
+      maybe_gc t g
+  | exception Fs.No_space ->
+      Vfs.unlock vnode;
+      (* This request fails alone; its descriptor was never queued. *)
+      g.active <- g.active - 1;
+      Resource.use t.cpu t.costs.Cpu_model.rpc_encode;
+      t.send_reply tr (Proto.RAttr (Error Proto.NFSERR_NOSPC));
+      (* If gatherers were counting on us, flush what they queued. *)
+      if g.active = 0 && g.queue <> [] then flush_as_metadata_writer t g;
+      maybe_gc t g);
+  Svc.Reply_pending
+
+(* "Dangerous mode": acknowledge from volatile memory. The asynchronous
+   promise is one the server cannot recall after a crash (section 4.3);
+   kept here so the benchmark can show what the shortcut buys and the
+   crash tests can show what it costs. *)
+let handle_unsafe_async t tr ~respond vnode ~off ~data =
+  Vfs.lock vnode;
+  (match
+     ( charge_trip t;
+       Vfs.vop_write vnode ~off data ~flags:[ Vfs.IO_DELAYDATA ] )
+   with
+  | () ->
+      Vfs.unlock vnode;
+      t.batches <- t.batches + 1;
+      let attr = fattr_of_vnode vnode in
+      Resource.use t.cpu t.costs.Cpu_model.rpc_encode;
+      emit t "Write Reply (volatile!)";
+      t.send_reply tr (respond attr)
+  | exception Fs.No_space ->
+      Vfs.unlock vnode;
+      Resource.use t.cpu t.costs.Cpu_model.rpc_encode;
+      t.send_reply tr (Proto.RAttr (Error Proto.NFSERR_NOSPC)));
+  Svc.Reply_pending
+
+let handle_write t tr ?(respond = v2_respond) vnode ~off ~data =
+  t.writes <- t.writes + 1;
+  match t.cfg.mode with
+  | Standard -> handle_standard t tr ~respond vnode ~off ~data
+  | Gathering -> handle_gathering t tr ~respond vnode ~off ~data
+  | Unsafe_async -> handle_unsafe_async t tr ~respond vnode ~off ~data
+
+(* Section 6.9: a duplicate WRITE was dropped from the socket buffer.
+   If a gatherer had counted on that datagram (mbuf hunter) and nobody
+   is active, the queue would be orphaned — flush it now. *)
+let rescue t ~inum =
+  match Hashtbl.find_opt t.states inum with
+  | Some g when g.active = 0 && g.queue <> [] ->
+      t.rescues <- t.rescues + 1;
+      flush_as_metadata_writer t g;
+      maybe_gc t g
+  | Some _ | None -> ()

@@ -1,0 +1,115 @@
+(** The server write layer: the paper's contribution.
+
+    Two modes:
+
+    - {b Standard}: the reference-port path. Each WRITE does
+      VOP_WRITE(IO_SYNC) — data then metadata synchronously (with the
+      mtime-only asynchronous special case) — and replies. Up to three
+      disk transactions per 8 KB write.
+
+    - {b Gathering} (section 6.8): VOP_WRITE delivers the data
+      (IO_SYNC|IO_DATAONLY when the device is NVRAM-accelerated,
+      IO_DELAYDATA otherwise), then the nfsd tries to leave the
+      metadata update to a {e following} nfsd: if another nfsd is in
+      the write path for the same file, or the socket buffer holds
+      another WRITE for it (the mbuf hunter, section 6.5), it queues
+      its reply descriptor and goes back for more work
+      ([Reply_pending] through a fresh transport handle). Otherwise it
+      procrastinates once (section 6.6) and re-checks. The last nfsd
+      standing becomes the {e metadata writer}: it flushes the
+      gathered data (VOP_SYNCDATA with range hints; clustered 64 KB
+      transactions), does one VOP_FSYNC(FWRITE_METADATA), and sends
+      every pending reply in FIFO order — all carrying the same file
+      modify time. Crash semantics are preserved: no reply leaves
+      before the covering metadata update is stable.
+
+    The [`First_write] latency device reproduces the [SIVA93] variant
+    the paper rejects (send the first write to disk as the delay
+    instead of sleeping), for the ablation benchmark. *)
+
+type mode =
+  | Standard
+  | Gathering
+  | Unsafe_async
+      (** "dangerous mode" (paper section 4.3): reply as soon as the
+          data is in volatile memory. Some vendors shipped this as the
+          default, with or without a UPS; it is fast and it breaks the
+          NFS crash-recovery design — the crash-injection tests prove
+          the breakage. *)
+
+type config = {
+  mode : mode;
+  procrastinate : Nfsg_sim.Time.t;
+      (** 8 ms for Ethernet, 5 ms for FDDI in the paper *)
+  max_procrastinations : int;  (** the paper procrastinates at most once *)
+  use_mbuf_hunter : bool;
+  reply_order : [ `Fifo | `Lifo ];  (** paper kept FIFO; LIFO is the rejected variant *)
+  latency_device : [ `Procrastinate | `First_write ];
+  learn_clients : bool;
+      (** Jeff Mogul's suggestion from the paper's Future Work: build a
+          small database of learned per-client behaviour and use it to
+          direct gathering. When on, a client whose writes repeatedly
+          fail to gather (a single-threaded "dumb PC") stops paying the
+          procrastination penalty; a client that gathers keeps the full
+          treatment. Off by default — the paper's server doesn't have
+          it. *)
+}
+
+val default_gathering : config
+val standard : config
+val unsafe_async : config
+
+type t
+
+val create :
+  Nfsg_sim.Engine.t ->
+  fs:Nfsg_ufs.Fs.t ->
+  sock:Nfsg_net.Socket.t ->
+  cpu:Nfsg_sim.Resource.t ->
+  costs:Cpu_model.t ->
+  send_reply:(Nfsg_rpc.Svc.transport -> Nfsg_nfs.Proto.res -> unit) ->
+  ?trace:Nfsg_stats.Trace.t ->
+  config ->
+  t
+
+val handle_write :
+  t ->
+  Nfsg_rpc.Svc.transport ->
+  ?respond:(Nfsg_nfs.Proto.fattr -> Nfsg_nfs.Proto.res) ->
+  Nfsg_ufs.Vfs.vnode ->
+  off:int ->
+  data:Bytes.t ->
+  Nfsg_rpc.Svc.disposition
+(** Always arranges the reply itself (through [send_reply]) and
+    returns [Reply_pending]; the caller must not reply again.
+    [respond] formats the success reply from the post-flush attributes
+    (default: the v2 [RAttr] shape; the server passes a v3 [RWrite3]
+    formatter for stable v3 writes, which therefore share gather
+    batches with v2 writes). *)
+
+val rescue : t -> inum:int -> unit
+(** Orphan protection (section 6.9): called when a duplicate WRITE was
+    dropped from the socket buffer — if that drop stranded queued
+    descriptors with no nfsd left to elect a metadata writer, the
+    calling process flushes and replies itself. Must run in a
+    simulation process. *)
+
+(** {1 Statistics} *)
+
+val writes_handled : t -> int
+val batches : t -> int
+(** Metadata updates performed (gathering mode: one per gather). *)
+
+val gathered_replies : t -> int
+val procrastinations : t -> int
+val procrastinate_failures : t -> int
+(** Times the server procrastinated and still ended up flushing a
+    single write — the dumb-PC worst case. *)
+
+val mbuf_hits : t -> int
+val rescues : t -> int
+val mean_batch_size : t -> float
+
+val learned_solo_clients : t -> int
+(** Clients the learned-client database currently classifies as
+    single-threaded (0 unless [learn_clients] is on). *)

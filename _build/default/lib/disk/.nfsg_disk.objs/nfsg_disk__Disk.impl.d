@@ -1,0 +1,1 @@
+lib/disk/disk.ml: Bytes Condition Device Engine Ivar List Nfsg_sim Printf Stdlib Time

@@ -1,0 +1,1 @@
+lib/disk/disk.mli: Device Nfsg_sim

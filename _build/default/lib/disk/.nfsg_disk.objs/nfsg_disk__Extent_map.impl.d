@@ -1,0 +1,1 @@
+lib/disk/extent_map.ml: Bytes Int List Map Stdlib

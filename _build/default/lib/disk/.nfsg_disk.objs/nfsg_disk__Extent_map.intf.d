@@ -1,0 +1,1 @@
+lib/disk/extent_map.mli: Bytes

@@ -1,0 +1,1 @@
+lib/disk/nvram.ml: Bytes Condition Device Engine Ephemeron Extent_map Nfsg_sim Stdlib Time

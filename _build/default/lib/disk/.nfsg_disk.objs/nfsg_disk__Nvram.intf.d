@@ -1,0 +1,1 @@
+lib/disk/nvram.mli: Device Nfsg_sim

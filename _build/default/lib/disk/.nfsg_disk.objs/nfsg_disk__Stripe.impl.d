@@ -1,0 +1,1 @@
+lib/disk/stripe.ml: Array Bytes Device Engine Ivar List Nfsg_sim Printf Stdlib

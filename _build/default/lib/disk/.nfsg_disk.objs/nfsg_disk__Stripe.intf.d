@@ -1,0 +1,1 @@
+lib/disk/stripe.mli: Device Nfsg_sim

@@ -1,0 +1,47 @@
+(** Block-device abstraction shared by the raw disk, the stripe driver
+    and the NVRAM accelerator.
+
+    A device stores real bytes: reads return what was written, and the
+    stable/volatile split is explicit so crash-recovery invariants can
+    be tested rather than asserted.
+
+    Calls to {!read} and {!write} block the calling simulation process
+    for the device's modelled service time. *)
+
+type stats = {
+  transactions : int;  (** physical spindle transactions completed *)
+  bytes_moved : int;  (** bytes across all spindle transactions *)
+  busy_time : Nfsg_sim.Time.t;  (** cumulative spindle busy time *)
+}
+
+type t = {
+  name : string;
+  capacity : int;  (** device size in bytes *)
+  accelerated : bool;
+      (** true when fronted by NVRAM — the server write layer queries
+          this to pick its policy (paper section 6.3). *)
+  read : off:int -> len:int -> Bytes.t;
+  write : off:int -> Bytes.t -> unit;
+      (** On return the data is on {e stable} storage (platter or
+          NVRAM). *)
+  flush : unit -> unit;
+      (** Drain any buffered (NVRAM) state down to the platter. *)
+  crash : unit -> unit;
+      (** Power loss: volatile state and queued-but-unserviced requests
+          are dropped. Platter and NVRAM survive. *)
+  recover : unit -> unit;
+      (** Post-crash recovery, e.g. NVRAM replay onto the platter.
+          Instantaneous (happens "during downtime"). *)
+  spindle_stats : unit -> stats;
+      (** Aggregated over all underlying physical spindles — this is
+          what the paper's "server disk trans/sec" rows count. *)
+  stable_read : off:int -> len:int -> Bytes.t;
+      (** Instantaneous view of stable storage (platter plus NVRAM);
+          for recovery and test assertions. *)
+  stable_write : off:int -> Bytes.t -> unit;
+      (** Instantaneous write to the platter; for recovery replay and
+          test seeding only — consumes no simulated time. *)
+}
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats

@@ -1,0 +1,216 @@
+open Nfsg_sim
+
+type geometry = {
+  capacity : int;
+  track_bytes : int;
+  rpm : float;
+  media_rate : float;
+  seek_single : Time.t;
+  seek_full : Time.t;
+  command_overhead : Time.t;
+}
+
+let rz26 ?(capacity = 96 * 1024 * 1024) () =
+  {
+    capacity;
+    track_bytes = 400 * 1024;
+    rpm = 5400.0;
+    media_rate = 2.6e6;
+    seek_single = Time.of_ms_f 1.2;
+    seek_full = Time.of_ms_f 19.0;
+    command_overhead = Time.of_us_f 500.0;
+  }
+
+let seek_time g ~cylinders ~distance =
+  if distance <= 0 then Time.zero
+  else begin
+    let span = Stdlib.max 1 (cylinders - 1) in
+    let frac = sqrt (float_of_int distance /. float_of_int span) in
+    let single = float_of_int g.seek_single and full = float_of_int g.seek_full in
+    int_of_float (single +. ((full -. single) *. frac))
+  end
+
+type scheduler = Fifo | Elevator
+
+type job =
+  | Read of { off : int; len : int; reply : Bytes.t Ivar.t }
+  | Write of { off : int; data : Bytes.t; reply : unit Ivar.t }
+
+let job_off = function Read { off; _ } -> off | Write { off; _ } -> off
+
+type state = {
+  eng : Engine.t;
+  g : geometry;
+  scheduler : scheduler;
+  platter : Bytes.t;
+  mutable pending : job list;  (** arrival order (newest last) *)
+  arrived : Condition.t;
+  mutable head_cyl : int;
+  mutable crashed : bool;
+  mutable transactions : int;
+  mutable bytes_moved : int;
+  mutable busy : Time.t;
+  on_transaction : bytes:int -> unit;
+}
+
+(* Pick the next job per policy and remove it from the pending set. *)
+let take_next st =
+  match st.pending with
+  | [] -> None
+  | jobs -> (
+      match st.scheduler with
+      | Fifo ->
+          let j = List.hd jobs in
+          st.pending <- List.tl jobs;
+          Some j
+      | Elevator ->
+          (* C-LOOK: nearest cylinder at or beyond the head; if none,
+             wrap to the lowest pending cylinder. *)
+          let cyl j = job_off j / st.g.track_bytes in
+          let ahead = List.filter (fun j -> cyl j >= st.head_cyl) jobs in
+          let best_of pool =
+            List.fold_left
+              (fun acc j -> match acc with None -> Some j | Some b -> if cyl j < cyl b then Some j else acc)
+              None pool
+          in
+          let chosen =
+            match best_of ahead with Some j -> Some j | None -> best_of jobs
+          in
+          (match chosen with
+          | Some j -> st.pending <- List.filter (fun x -> x != j) st.pending
+          | None -> ());
+          chosen)
+
+let cylinders st = Stdlib.max 1 (st.g.capacity / st.g.track_bytes)
+
+let rotation_period st = Time.of_sec_f (60.0 /. st.g.rpm)
+
+(* Rotational delay from [at] until the platter angle matches the sector
+   at byte offset [off]. *)
+let rotational_delay st ~at ~off =
+  let period = rotation_period st in
+  let target = off mod st.g.track_bytes in
+  (* Fraction of a rotation the target sector sits at. *)
+  let target_phase = float_of_int target /. float_of_int st.g.track_bytes in
+  let target_ns = int_of_float (target_phase *. float_of_int period) in
+  let current = at mod period in
+  let d = (target_ns - current + period) mod period in
+  d
+
+let service_time st ~off ~len =
+  let cyl = off / st.g.track_bytes in
+  let dist = abs (cyl - st.head_cyl) in
+  let seek = seek_time st.g ~cylinders:(cylinders st) ~distance:dist in
+  let settled = Engine.now st.eng + st.g.command_overhead + seek in
+  let rot = rotational_delay st ~at:settled ~off in
+  let xfer = Time.of_sec_f (float_of_int len /. st.g.media_rate) in
+  st.head_cyl <- (off + len) / st.g.track_bytes;
+  st.g.command_overhead + seek + rot + xfer
+
+let check_bounds st ~off ~len =
+  if off < 0 || len < 0 || off + len > st.g.capacity then
+    invalid_arg
+      (Printf.sprintf "disk: request [%d, %d) outside capacity %d" off (off + len) st.g.capacity)
+
+let account st ~len ~busy =
+  st.transactions <- st.transactions + 1;
+  st.bytes_moved <- st.bytes_moved + len;
+  st.busy <- st.busy + busy;
+  st.on_transaction ~bytes:len
+
+let daemon st () =
+  let rec loop () =
+    let job =
+      let rec next () =
+        match take_next st with
+        | Some j -> j
+        | None ->
+            Condition.wait st.arrived;
+            next ()
+      in
+      next ()
+    in
+    (* Jobs arriving or in flight during a crash are silently dropped:
+       their issuers never get a completion, like a powered-off drive. *)
+    if not st.crashed then begin
+      match job with
+      | Read { off; len; reply } ->
+          check_bounds st ~off ~len;
+          let d = service_time st ~off ~len in
+          Engine.delay d;
+          if not st.crashed then begin
+            account st ~len ~busy:d;
+            Ivar.fill reply (Bytes.sub st.platter off len)
+          end
+      | Write { off; data; reply } ->
+          let len = Bytes.length data in
+          check_bounds st ~off ~len;
+          let d = service_time st ~off ~len in
+          Engine.delay d;
+          (* Data reaches the platter only if power held through the
+             whole transfer: a crash mid-write loses the request. *)
+          if not st.crashed then begin
+            Bytes.blit data 0 st.platter off len;
+            account st ~len ~busy:d;
+            Ivar.fill reply ()
+          end
+    end;
+    loop ()
+  in
+  loop ()
+
+let create eng ?(name = "disk") ?(on_transaction = fun ~bytes:_ -> ()) ?(scheduler = Fifo) g =
+  let st =
+    {
+      eng;
+      g;
+      scheduler;
+      platter = Bytes.make g.capacity '\000';
+      pending = [];
+      arrived = Condition.create ();
+      head_cyl = 0;
+      crashed = false;
+      transactions = 0;
+      bytes_moved = 0;
+      busy = Time.zero;
+      on_transaction;
+    }
+  in
+  Engine.spawn eng ~name:(name ^ "-daemon") (daemon st);
+  let submit job =
+    st.pending <- st.pending @ [ job ];
+    Condition.signal st.arrived
+  in
+  let read ~off ~len =
+    check_bounds st ~off ~len;
+    let reply = Ivar.create () in
+    submit (Read { off; len; reply });
+    Ivar.read reply
+  in
+  let write ~off data =
+    check_bounds st ~off ~len:(Bytes.length data);
+    let reply = Ivar.create () in
+    submit (Write { off; data = Bytes.copy data; reply });
+    Ivar.read reply
+  in
+  {
+    Device.name;
+    capacity = g.capacity;
+    accelerated = false;
+    read;
+    write;
+    flush = (fun () -> ());
+    crash = (fun () -> st.crashed <- true);
+    recover = (fun () -> st.crashed <- false);
+    spindle_stats =
+      (fun () ->
+        { Device.transactions = st.transactions; bytes_moved = st.bytes_moved; busy_time = st.busy });
+    stable_read =
+      (fun ~off ~len ->
+        check_bounds st ~off ~len;
+        Bytes.sub st.platter off len);
+    stable_write =
+      (fun ~off data ->
+        check_bounds st ~off ~len:(Bytes.length data);
+        Bytes.blit data 0 st.platter off (Bytes.length data));
+  }

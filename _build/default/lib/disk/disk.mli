@@ -1,0 +1,52 @@
+(** Moving-head disk model (the paper's RZ26-class SCSI spindle).
+
+    Service time for a request is
+
+    [command overhead + seek(cylinder distance) + rotational alignment
+     + length / media rate]
+
+    Seek time follows the classical [a + b*sqrt(d)] curve, normalised
+    by the cylinder span so small test disks seek like big ones.
+    Rotational alignment is positional: the platter angle advances with
+    the simulation clock, so a stream of back-to-back sequential 8K
+    writes that each arrive "just too late" pays nearly a full rotation
+    — the "missed rotations" the paper says clustering avoids.
+
+    Requests are served strictly FIFO by default (the reference port's
+    driver behaviour for the paper's single-writer workloads) or with a
+    C-LOOK elevator ([`Elevator]) that serves the pending request with
+    the nearest cylinder at or beyond the head, wrapping to the lowest
+    — the classic seek-reducing driver policy, benchable against FIFO
+    under mixed load. *)
+
+type geometry = {
+  capacity : int;  (** bytes *)
+  track_bytes : int;  (** bytes per cylinder *)
+  rpm : float;
+  media_rate : float;  (** sustained transfer, bytes/sec *)
+  seek_single : Nfsg_sim.Time.t;  (** track-to-track seek *)
+  seek_full : Nfsg_sim.Time.t;  (** full-span seek *)
+  command_overhead : Nfsg_sim.Time.t;  (** fixed per-request cost *)
+}
+
+val rz26 : ?capacity:int -> unit -> geometry
+(** RZ26-inspired default geometry (5400 RPM, ~2.6 MB/s media rate).
+    Default [capacity] is 96 MiB — big enough for every experiment,
+    small enough to hold in RAM. *)
+
+type scheduler = Fifo | Elevator
+
+val create :
+  Nfsg_sim.Engine.t ->
+  ?name:string ->
+  ?on_transaction:(bytes:int -> unit) ->
+  ?scheduler:scheduler ->
+  geometry ->
+  Device.t
+(** A fresh zero-filled disk served by a spawned daemon process.
+    [on_transaction] fires at each request completion, letting the
+    caller account driver/interrupt CPU cost. *)
+
+val seek_time : geometry -> cylinders:int -> distance:int -> Nfsg_sim.Time.t
+(** Exposed for tests: seek duration for a head movement of [distance]
+    cylinders on a disk with [cylinders] total. *)

@@ -1,0 +1,232 @@
+open Nfsg_sim
+
+type params = {
+  capacity : int;
+  accept_limit : int;
+  copy_rate : float;
+  copy_overhead : Time.t;
+  flush_cluster : int;
+  flush_trigger : int;
+  flush_idle : Time.t;
+}
+
+(* Lazy draining is the point of the board: dirty blocks (notably the
+   inode block a sequential writer rewrites on every WRITE) sit in
+   battery-backed RAM coalescing until the high watermark forces big,
+   efficient spindle transactions. *)
+let default_params =
+  {
+    capacity = 1024 * 1024;
+    accept_limit = 8 * 1024;
+    copy_rate = 50e6;
+    copy_overhead = Time.of_us_f 80.0;
+    flush_cluster = 128 * 1024;
+    flush_trigger = 640 * 1024;
+    flush_idle = Time.of_ms_f 200.0;
+  }
+
+type state = {
+  eng : Engine.t;
+  p : params;
+  backing : Device.t;
+  dirty : Extent_map.t;
+  mutable in_flight : (int * Bytes.t) option;
+  mutable rotor : int;  (** elevator position for the drain sweep *)
+  mutable crashed : bool;
+  mutable draining : bool;
+  mutable gen : int;  (** flusher generation; bumped on recovery *)
+  more : Condition.t;  (** new dirty data *)
+  space : Condition.t;  (** NVRAM space freed *)
+  clean : Condition.t;  (** cache fully drained *)
+}
+
+let used st =
+  Extent_map.total_bytes st.dirty
+  + match st.in_flight with Some (_, d) -> Bytes.length d | None -> 0
+
+let is_clean st = Extent_map.is_empty st.dirty && st.in_flight = None
+
+(* Boards smaller than the configured watermark still have to drain
+   under space pressure. *)
+let effective_trigger st = Stdlib.min st.p.flush_trigger (st.p.capacity / 2)
+
+(* Next contiguous dirty run in elevator order, up to flush_cluster
+   bytes. Sweeping (instead of always draining the lowest extent)
+   keeps a constantly-redirtied inode block from monopolising the
+   drain while sequential data piles up behind it. *)
+let next_cluster st =
+  match Extent_map.take_after st.dirty ~off:st.rotor ~max:st.p.flush_cluster with
+  | Some (off, data) as r ->
+      st.rotor <- off + Bytes.length data;
+      r
+  | None -> None
+
+let rec flusher st my_gen () =
+  if my_gen = st.gen then begin
+    if Extent_map.is_empty st.dirty || st.crashed then begin
+      if is_clean st then Condition.broadcast st.clean;
+      Condition.wait st.more;
+      flusher st my_gen ()
+    end
+    else if (not st.draining) && Extent_map.total_bytes st.dirty < effective_trigger st then begin
+      (* Below the watermark: let dirty data age and coalesce. A new
+         write only re-checks the watermark; an undisturbed idle
+         period forces an age-out flush. *)
+      let signalled = Condition.wait_timeout st.eng st.more st.p.flush_idle in
+      if my_gen = st.gen && (not st.crashed) && not signalled then flush_one st;
+      flusher st my_gen ()
+    end
+    else begin
+      flush_one st;
+      flusher st my_gen ()
+    end
+  end
+
+and flush_one st =
+  match next_cluster st with
+  | None -> ()
+  | Some (off, data) ->
+      st.in_flight <- Some (off, data);
+      st.backing.Device.write ~off data;
+      st.in_flight <- None;
+      if is_clean st then st.draining <- false;
+      Condition.broadcast st.space;
+      if is_clean st then Condition.broadcast st.clean
+
+let spawn_flusher st =
+  Engine.spawn st.eng ~name:"presto-flusher" (flusher st st.gen)
+
+(* Overlay NVRAM contents (in-flight first, then the dirty map so newer
+   bytes win) onto a buffer of platter data. *)
+let overlay st ~off buf =
+  (match st.in_flight with
+  | Some (ioff, idata) ->
+      let tmp = Extent_map.create () in
+      Extent_map.insert tmp ~off:ioff idata;
+      Extent_map.apply tmp ~off buf
+  | None -> ());
+  Extent_map.apply st.dirty ~off buf
+
+(* Weak registry: lets {!dirty_bytes} find the internal state of a
+   device without pinning retired simulation worlds (and their 96 MB
+   platters) in memory forever. *)
+let registry : (Device.t, state) Ephemeron.K1.t list ref = ref []
+
+let dirty_bytes dev =
+  let rec find = function
+    | [] -> invalid_arg "Nvram.dirty_bytes: not an NVRAM device"
+    | e :: rest -> (
+        match Ephemeron.K1.query e dev with Some st -> used st | None -> find rest)
+  in
+  find !registry
+
+let create eng ?(name = "presto") ?(params = default_params) ?(cpu_charge = fun _ -> ())
+    backing =
+  let st =
+    {
+      eng;
+      p = params;
+      backing;
+      dirty = Extent_map.create ();
+      in_flight = None;
+      rotor = 0;
+      crashed = false;
+      draining = false;
+      gen = 0;
+      more = Condition.create ();
+      space = Condition.create ();
+      clean = Condition.create ();
+    }
+  in
+  spawn_flusher st;
+  let copy_time len =
+    st.p.copy_overhead + Time.of_sec_f (float_of_int len /. st.p.copy_rate)
+  in
+  (* A powered-off board services nothing: park the caller forever,
+     like an unplugged drive. *)
+  let check_power () =
+    if st.crashed then (Engine.suspend (fun _wake -> ()) : unit)
+  in
+  let write ~off data =
+    check_power ();
+    let len = Bytes.length data in
+    if len > st.p.accept_limit then
+      (* Declined: degrade to underlying device speed (paper 6.3). *)
+      st.backing.Device.write ~off data
+    else begin
+      while used st + len > st.p.capacity do
+        Condition.wait st.space
+      done;
+      let d = copy_time len in
+      cpu_charge d;
+      Engine.delay d;
+      Extent_map.insert st.dirty ~off (Bytes.copy data);
+      Condition.signal st.more
+    end
+  in
+  let read ~off ~len =
+    check_power ();
+    if Extent_map.covers st.dirty ~off ~len then begin
+      (* Whole range cached: served from RAM at copy speed. *)
+      Engine.delay (copy_time len);
+      let buf = Bytes.create len in
+      overlay st ~off buf;
+      buf
+    end
+    else begin
+      let buf = st.backing.Device.read ~off ~len in
+      overlay st ~off buf;
+      buf
+    end
+  in
+  let flush () =
+    st.draining <- true;
+    Condition.signal st.more;
+    while not (is_clean st) do
+      Condition.wait st.clean
+    done;
+    st.backing.Device.flush ()
+  in
+  let crash () =
+    st.crashed <- true;
+    st.backing.Device.crash ()
+  in
+  let recover () =
+    st.backing.Device.recover ();
+    (* Battery-backed replay: in-flight first, then the dirty map so the
+       newest bytes win, exactly like the read overlay. *)
+    (match st.in_flight with
+    | Some (off, data) -> st.backing.Device.stable_write ~off data
+    | None -> ());
+    Extent_map.iter (fun off data -> st.backing.Device.stable_write ~off data) st.dirty;
+    (match st.in_flight with Some _ -> st.in_flight <- None | None -> ());
+    Extent_map.remove_range st.dirty ~off:0 ~len:st.backing.Device.capacity;
+    st.crashed <- false;
+    st.draining <- false;
+    st.gen <- st.gen + 1;
+    spawn_flusher st;
+    Condition.broadcast st.space;
+    Condition.broadcast st.clean
+  in
+  let stable_read ~off ~len =
+    let buf = st.backing.Device.stable_read ~off ~len in
+    overlay st ~off buf;
+    buf
+  in
+  let dev =
+    {
+      Device.name;
+      capacity = backing.Device.capacity;
+      accelerated = true;
+      read;
+      write;
+      flush;
+      crash;
+      recover;
+      spindle_stats = backing.Device.spindle_stats;
+      stable_read;
+      stable_write = backing.Device.stable_write;
+    }
+  in
+  registry := Ephemeron.K1.make dev st :: !registry;
+  dev

@@ -1,0 +1,42 @@
+(** Prestoserve-style NVRAM write accelerator (paper section 6.3).
+
+    Sits in front of a slower device. Writes no larger than
+    [accept_limit] are copied into battery-backed RAM — stable by
+    definition — and acknowledged after a fast copy; a background
+    flusher drains dirty bytes to the underlying device, doing {e its
+    own} clustering of contiguous ranges ("Presto does its own
+    clustering"). Writes above the limit are declined and passed
+    through synchronously, so "performance degrades to underlying disk
+    speed" exactly as the paper warns.
+
+    When the cache is full, accepted writes block until the flusher
+    frees space — the accelerated device degrades toward the drain
+    rate of the spindle underneath, which is what bounds Table 4. *)
+
+type params = {
+  capacity : int;  (** NVRAM bytes (Prestoserve boards: ~1 MB) *)
+  accept_limit : int;  (** largest request accepted (typically 8 KB) *)
+  copy_rate : float;  (** bytes/sec for the CPU copy into NVRAM *)
+  copy_overhead : Nfsg_sim.Time.t;  (** fixed cost per accepted write *)
+  flush_cluster : int;  (** max bytes per flush transaction *)
+  flush_trigger : int;  (** dirty high-watermark starting the flusher *)
+  flush_idle : Nfsg_sim.Time.t;  (** age before a below-watermark flush *)
+}
+
+val default_params : params
+
+val create :
+  Nfsg_sim.Engine.t ->
+  ?name:string ->
+  ?params:params ->
+  ?cpu_charge:(Nfsg_sim.Time.t -> unit) ->
+  Device.t ->
+  Device.t
+(** [create eng backing] — the returned device reports
+    [accelerated = true]. [cpu_charge] is called with the duration of
+    every NVRAM copy so the server CPU account sees the cost the paper
+    attributes to Presto ("copy data to NVRAM"). *)
+
+val dirty_bytes : Device.t -> int
+(** Dirty bytes currently in NVRAM of a device made by {!create}.
+    Raises [Invalid_argument] for other devices. *)

@@ -1,0 +1,100 @@
+open Nfsg_sim
+
+type t = { eng : Engine.t; chunk : int; members : Device.t array; capacity : int }
+
+(* Map a logical byte offset to (member index, member-local offset). *)
+let locate st off =
+  let chunk_idx = off / st.chunk in
+  let member = chunk_idx mod Array.length st.members in
+  let member_chunk = chunk_idx / Array.length st.members in
+  (member, (member_chunk * st.chunk) + (off mod st.chunk))
+
+(* Split [off, off+len) at chunk boundaries into per-member pieces:
+   (member, member_off, logical_off, piece_len) list. *)
+let split st ~off ~len =
+  let rec go acc off remaining =
+    if remaining = 0 then List.rev acc
+    else begin
+      let within = off mod st.chunk in
+      let piece = Stdlib.min remaining (st.chunk - within) in
+      let member, moff = locate st off in
+      go ((member, moff, off, piece) :: acc) (off + piece) (remaining - piece)
+    end
+  in
+  go [] off len
+
+(* Run [f] on every piece in parallel and wait for all completions. *)
+let parallel_pieces st pieces f =
+  let ivars =
+    List.map
+      (fun piece ->
+        let iv = Ivar.create () in
+        Engine.spawn st.eng ~name:"stripe-io" (fun () ->
+            f piece;
+            Ivar.fill iv ());
+        iv)
+      pieces
+  in
+  List.iter Ivar.read ivars
+
+let create eng ?(name = "stripe") ~chunk members =
+  if Array.length members = 0 then invalid_arg "Stripe.create: no members";
+  if chunk <= 0 then invalid_arg "Stripe.create: chunk must be positive";
+  let min_cap = Array.fold_left (fun acc m -> Stdlib.min acc m.Device.capacity) max_int members in
+  let capacity = min_cap / chunk * chunk * Array.length members in
+  let st = { eng; chunk; members; capacity } in
+  let check ~off ~len =
+    if off < 0 || len < 0 || off + len > capacity then
+      invalid_arg (Printf.sprintf "%s: request [%d, %d) outside capacity %d" name off (off + len) capacity)
+  in
+  let read ~off ~len =
+    check ~off ~len;
+    let buf = Bytes.create len in
+    parallel_pieces st (split st ~off ~len) (fun (m, moff, loff, plen) ->
+        let piece = st.members.(m).Device.read ~off:moff ~len:plen in
+        Bytes.blit piece 0 buf (loff - off) plen);
+    buf
+  in
+  let write ~off data =
+    let len = Bytes.length data in
+    check ~off ~len;
+    parallel_pieces st (split st ~off ~len) (fun (m, moff, loff, plen) ->
+        st.members.(m).Device.write ~off:moff (Bytes.sub data (loff - off) plen))
+  in
+  let on_all f = Array.iter f st.members in
+  let all_stats () =
+    Array.fold_left
+      (fun acc m -> Device.add_stats acc (m.Device.spindle_stats ()))
+      Device.zero_stats st.members
+  in
+  let stable_read ~off ~len =
+    check ~off ~len;
+    let buf = Bytes.create len in
+    List.iter
+      (fun (m, moff, loff, plen) ->
+        let piece = st.members.(m).Device.stable_read ~off:moff ~len:plen in
+        Bytes.blit piece 0 buf (loff - off) plen)
+      (split st ~off ~len);
+    buf
+  in
+  let stable_write ~off data =
+    let len = Bytes.length data in
+    check ~off ~len;
+    List.iter
+      (fun (m, moff, loff, plen) ->
+        st.members.(m).Device.stable_write ~off:moff (Bytes.sub data (loff - off) plen))
+      (split st ~off ~len)
+  in
+  {
+    Device.name;
+    capacity;
+    accelerated = Array.for_all (fun m -> m.Device.accelerated) members;
+    read;
+    write;
+    flush = (fun () -> on_all (fun m -> m.Device.flush ()));
+    crash = (fun () -> on_all (fun m -> m.Device.crash ()));
+    recover = (fun () -> on_all (fun m -> m.Device.recover ()));
+    spindle_stats = all_stats;
+    stable_read;
+    stable_write;
+  }

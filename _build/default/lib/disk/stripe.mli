@@ -1,0 +1,14 @@
+(** RAID-0 striping driver over [n] member devices (the paper's
+    "3 drive stripe set", provided by a disk striping driver).
+
+    The logical byte space is cut into fixed-size chunks dealt
+    round-robin across members. A request spanning several chunks is
+    issued to the members in parallel and completes when every
+    sub-request has. *)
+
+val create :
+  Nfsg_sim.Engine.t -> ?name:string -> chunk:int -> Device.t array -> Device.t
+(** [create eng ~chunk members] — capacity is the members' minimum
+    capacity times the member count, rounded down to whole chunks.
+    Raises [Invalid_argument] on an empty member array or non-positive
+    chunk. *)

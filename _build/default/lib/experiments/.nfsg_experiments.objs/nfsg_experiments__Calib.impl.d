@@ -1,0 +1,1 @@
+lib/experiments/calib.ml: Nfsg_core Nfsg_disk Nfsg_net Nfsg_sim Time

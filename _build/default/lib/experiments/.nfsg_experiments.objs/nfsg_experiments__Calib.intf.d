@@ -1,0 +1,1 @@
+lib/experiments/calib.mli: Nfsg_core Nfsg_disk Nfsg_net Nfsg_sim

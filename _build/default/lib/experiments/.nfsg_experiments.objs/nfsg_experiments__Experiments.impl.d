@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Buffer Bytes Calib Engine Filecopy Gc List Nfsg_core Nfsg_disk Nfsg_nfs Nfsg_sim Nfsg_stats Nfsg_workload Printf Rig String Time

@@ -1,0 +1,1 @@
+lib/experiments/filecopy.ml: Calib Gc List Nfsg_core Nfsg_nfs Nfsg_stats Nfsg_workload Rig

@@ -1,0 +1,1 @@
+lib/experiments/filecopy.mli: Calib Nfsg_stats Rig

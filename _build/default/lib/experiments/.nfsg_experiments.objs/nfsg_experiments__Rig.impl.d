@@ -1,0 +1,1 @@
+lib/experiments/rig.ml: Array Calib Engine Nfsg_core Nfsg_disk Nfsg_net Nfsg_nfs Nfsg_rpc Nfsg_sim Nfsg_stats Printf Resource Stdlib Time

@@ -1,0 +1,1 @@
+lib/experiments/rig.mli: Calib Nfsg_core Nfsg_disk Nfsg_net Nfsg_nfs Nfsg_sim Nfsg_stats

@@ -1,0 +1,48 @@
+open Nfsg_sim
+
+type net = Ethernet | Fddi
+
+let segment_params = function
+  | Ethernet -> Nfsg_net.Segment.ethernet
+  | Fddi -> Nfsg_net.Segment.fddi
+
+(* RZ26-class spindle, tuned so a standard server serves ~74 x 8K
+   synchronous writes/sec and a 64K cluster costs ~45-50 ms — the
+   implied physics of the paper's Tables 1 and 3 (see EXPERIMENTS.md). *)
+let disk_geometry =
+  {
+    (Nfsg_disk.Disk.rz26 ~capacity:(96 * 1024 * 1024) ()) with
+    Nfsg_disk.Disk.track_bytes = 400 * 1024;
+    media_rate = 2.6e6;
+    seek_single = Time.of_ms_f 1.2;
+    seek_full = Time.of_ms_f 21.0;
+    command_overhead = Time.of_us_f 300.0;
+  }
+
+let nvram_params = Nfsg_disk.Nvram.default_params
+
+(* Request-path costs, calibrated against the paper's CPU-utilisation
+   columns. Packet reassembly per transport unit is the expensive part
+   (the paper's Ethernet rows burn twice the CPU of FDDI at equal
+   throughput); the remaining per-request costs are modest. The
+   Ethernet tables ran on a DEC 3400, the FDDI tables on a roughly
+   twice-as-fast DEC 3800. *)
+let base_costs =
+  {
+    Nfsg_core.Cpu_model.rx_fragment = Time.of_us_f 300.0;
+    rpc_decode = Time.of_us_f 110.0;
+    rpc_encode = Time.of_us_f 95.0;
+    op_base = Time.of_us_f 80.0;
+    ufs_trip = Time.of_us_f 250.0;
+    driver_transaction = Time.of_us_f 550.0;
+  }
+
+let cpu_costs = function
+  | Ethernet -> base_costs
+  | Fddi -> Nfsg_core.Cpu_model.scale base_costs 0.65
+
+let procrastinate = function
+  | Ethernet -> Time.of_ms_f 8.0
+  | Fddi -> Time.of_ms_f 5.0
+
+let file_size = 10 * 1024 * 1024

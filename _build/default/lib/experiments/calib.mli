@@ -1,0 +1,24 @@
+(** Calibration constants shared by every experiment.
+
+    One place holds the modelled hardware: an RZ26-class spindle, a
+    Prestoserve-class NVRAM board, DEC 3400-class CPU costs, and the
+    paper's procrastination intervals (8 ms Ethernet, 5 ms FDDI,
+    section 6.6). EXPERIMENTS.md records how well the shapes match the
+    paper under these constants; change them here and every table and
+    figure moves together. *)
+
+type net = Ethernet | Fddi
+
+val segment_params : net -> Nfsg_net.Segment.params
+val disk_geometry : Nfsg_disk.Disk.geometry
+val nvram_params : Nfsg_disk.Nvram.params
+
+val cpu_costs : net -> Nfsg_core.Cpu_model.t
+(** The paper's Ethernet tables ran on a DEC 3400 server, the FDDI
+    tables on a roughly twice-as-fast DEC 3800; packet reassembly per
+    transport unit dominates the Ethernet CPU story. *)
+
+val procrastinate : net -> Nfsg_sim.Time.t
+
+val file_size : int
+(** The 10 MB copy size from the paper's Results section. *)

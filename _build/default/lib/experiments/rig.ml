@@ -1,0 +1,127 @@
+open Nfsg_sim
+module Segment = Nfsg_net.Segment
+module Socket = Nfsg_net.Socket
+module Disk = Nfsg_disk.Disk
+module Nvram = Nfsg_disk.Nvram
+module Stripe = Nfsg_disk.Stripe
+module Device = Nfsg_disk.Device
+module Server = Nfsg_core.Server
+module Write_layer = Nfsg_core.Write_layer
+module Client = Nfsg_nfs.Client
+module Rpc_client = Nfsg_rpc.Rpc_client
+
+type spec = {
+  net : Calib.net;
+  accel : bool;
+  spindles : int;
+  nfsds : int;
+  gathering : bool;
+  trace : bool;
+  cache_blocks : int option;
+  disk_scheduler : Disk.scheduler;
+  write_layer_overrides : Write_layer.config -> Write_layer.config;
+}
+
+let default_spec =
+  {
+    net = Calib.Fddi;
+    accel = false;
+    spindles = 1;
+    nfsds = 8;
+    gathering = true;
+    trace = false;
+    cache_blocks = None;
+    disk_scheduler = Disk.Fifo;
+    write_layer_overrides = (fun c -> c);
+  }
+
+type t = {
+  eng : Engine.t;
+  segment : Segment.t;
+  disks : Device.t array;
+  device : Device.t;
+  server : Server.t;
+  trace : Nfsg_stats.Trace.t option;
+}
+
+let make spec =
+  let eng = Engine.create () in
+  let segment = Segment.create eng (Calib.segment_params spec.net) in
+  (* Forward reference: devices exist before the server CPU does. *)
+  let cpu_hook = ref (fun (_ : Time.t) -> ()) in
+  let costs = Calib.cpu_costs spec.net in
+  let driver_cost = costs.Nfsg_core.Cpu_model.driver_transaction in
+  let disks =
+    Array.init spec.spindles (fun i ->
+        Disk.create eng
+          ~name:(Printf.sprintf "rz26-%d" i)
+          ~on_transaction:(fun ~bytes:_ -> !cpu_hook driver_cost)
+          ~scheduler:spec.disk_scheduler Calib.disk_geometry)
+  in
+  let base = if spec.spindles = 1 then disks.(0) else Stripe.create eng ~chunk:32768 disks in
+  let trace = if spec.trace then Some (Nfsg_stats.Trace.create eng) else None in
+  let write_layer =
+    let base_cfg =
+      if spec.gathering then
+        { Write_layer.default_gathering with Write_layer.procrastinate = Calib.procrastinate spec.net }
+      else Write_layer.standard
+    in
+    spec.write_layer_overrides base_cfg
+  in
+  let device =
+    if spec.accel then
+      Nvram.create eng ~params:Calib.nvram_params ~cpu_charge:(fun d -> !cpu_hook d) base
+    else base
+  in
+  let config =
+    {
+      Server.default_config with
+      Server.nfsds = spec.nfsds;
+      write_layer;
+      costs;
+      cache_blocks = spec.cache_blocks;
+    }
+  in
+  let server = Server.make eng ~segment ~addr:"server" ~device ?trace config in
+  (cpu_hook := fun d -> Resource.charge (Server.cpu server) d);
+  { eng; segment; disks; device; server; trace }
+
+let new_client t ?(biods = 4) ?(protocol = Client.V2) addr =
+  let sock = Socket.create t.segment ~addr () in
+  let rpc = Rpc_client.create t.eng ~sock ~server:"server" () in
+  Client.create t.eng ~rpc ~biods ~protocol ()
+
+let root t = Server.root_fh t.server
+
+let run t f =
+  let result = ref None in
+  Engine.spawn t.eng ~name:"driver" (fun () -> result := Some (f ()));
+  Engine.run t.eng;
+  match !result with
+  | Some v -> v
+  | None -> failwith "Rig.run: driver process blocked forever"
+
+type window = { elapsed : Time.t; cpu_pct : float; disk_kb_s : float; disk_trans_s : float }
+
+let spindle_stats t =
+  Array.fold_left (fun acc d -> Device.add_stats acc (d.Device.spindle_stats ())) Device.zero_stats t.disks
+
+let measure t f =
+  let cpu = Server.cpu t.server in
+  let t0 = Engine.now t.eng in
+  let busy0 = Resource.busy_time cpu in
+  let d0 = spindle_stats t in
+  let v = f () in
+  let t1 = Engine.now t.eng in
+  let d1 = spindle_stats t in
+  let trans = d1.Device.transactions - d0.Device.transactions in
+  let busy1 = Resource.busy_time cpu in
+  let elapsed = Stdlib.max 1 (t1 - t0) in
+  let sec = Time.to_sec_f elapsed in
+  ( v,
+    {
+      elapsed;
+      cpu_pct = 100.0 *. float_of_int (busy1 - busy0) /. float_of_int elapsed;
+      disk_kb_s = float_of_int (d1.Device.bytes_moved - d0.Device.bytes_moved) /. 1024.0 /. sec;
+      disk_trans_s = float_of_int trans /. sec;
+    } )

@@ -1,0 +1,56 @@
+(** Experiment rig: a fresh simulated world per measurement — segment,
+    device stack (raw disk, optional stripe set, optional Prestoserve),
+    server, and any number of client hosts. *)
+
+type spec = {
+  net : Calib.net;
+  accel : bool;  (** Prestoserve NVRAM in front of the device *)
+  spindles : int;  (** 1, or n for an n-drive stripe set *)
+  nfsds : int;
+  gathering : bool;
+  trace : bool;
+  cache_blocks : int option;
+      (** server buffer-cache bound, to force read misses under LADDIS
+          working sets; [None] = unbounded *)
+  disk_scheduler : Nfsg_disk.Disk.scheduler;
+  write_layer_overrides : Nfsg_core.Write_layer.config -> Nfsg_core.Write_layer.config;
+      (** applied after the mode/procrastination defaults; identity for
+          most experiments, used by the ablations *)
+}
+
+val default_spec : spec
+(** FDDI, no accel, 1 spindle, 8 nfsds, gathering, no trace. *)
+
+type t = {
+  eng : Nfsg_sim.Engine.t;
+  segment : Nfsg_net.Segment.t;
+  disks : Nfsg_disk.Device.t array;
+  device : Nfsg_disk.Device.t;
+  server : Nfsg_core.Server.t;
+  trace : Nfsg_stats.Trace.t option;
+}
+
+val make : spec -> t
+
+val new_client :
+  t -> ?biods:int -> ?protocol:Nfsg_nfs.Client.protocol -> string -> Nfsg_nfs.Client.t
+(** Attach a client host with the given address to the segment. *)
+
+val root : t -> Nfsg_nfs.Proto.fh
+
+val run : t -> (unit -> 'a) -> 'a
+(** Run [f] as the driver process and drain the simulation. *)
+
+val spindle_stats : t -> Nfsg_disk.Device.stats
+(** Aggregate over the raw spindles. *)
+
+type window = {
+  elapsed : Nfsg_sim.Time.t;
+  cpu_pct : float;
+  disk_kb_s : float;
+  disk_trans_s : float;
+}
+
+val measure : t -> (unit -> 'a) -> 'a * window
+(** Snapshot CPU and spindle counters around [f] (which must be called
+    from inside a driver process — compose with {!run}). *)

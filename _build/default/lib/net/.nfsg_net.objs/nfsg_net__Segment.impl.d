@@ -1,0 +1,1 @@
+lib/net/segment.ml: Bytes Engine Hashtbl Nfsg_sim Rng Squeue Stdlib Time

@@ -1,0 +1,1 @@
+lib/net/segment.mli: Bytes Nfsg_sim

@@ -1,0 +1,1 @@
+lib/net/socket.ml: Bytes Nfsg_sim Segment

@@ -1,0 +1,115 @@
+open Nfsg_sim
+
+type params = {
+  bandwidth : float;
+  mtu : int;
+  frag_overhead_bytes : int;
+  frag_gap : Time.t;
+  latency : Time.t;
+  loss_prob : float;
+}
+
+let ethernet =
+  {
+    bandwidth = 10e6;
+    mtu = 1500;
+    frag_overhead_bytes = 26;
+    frag_gap = Time.of_us_f 15.0;
+    latency = Time.of_us_f 400.0;
+    loss_prob = 0.0;
+  }
+
+let fddi =
+  {
+    bandwidth = 100e6;
+    mtu = 4352;
+    frag_overhead_bytes = 28;
+    frag_gap = Time.of_us_f 4.0;
+    latency = Time.of_us_f 120.0;
+    loss_prob = 0.0;
+  }
+
+type station = {
+  addr : string;
+  deliver : src:string -> Bytes.t -> unit;
+  rx_fragment : bytes:int -> unit;
+}
+
+type job = { src : string; dst : string; payload : Bytes.t }
+
+type t = {
+  eng : Engine.t;
+  p : params;
+  rng : Rng.t;
+  stations : (string, station) Hashtbl.t;
+  queue : job Squeue.t;
+  mutable sent : int;
+  mutable lost : int;
+  mutable bytes : int;
+  mutable busy : Time.t;
+}
+
+let params t = t.p
+let engine t = t.eng
+let datagrams_sent t = t.sent
+let datagrams_lost t = t.lost
+let bytes_sent t = t.bytes
+let busy_time t = t.busy
+
+let fragments_of p size = Stdlib.max 1 ((size + p.mtu - 1) / p.mtu)
+
+let wire_time p size =
+  let nfrags = fragments_of p size in
+  let wire_bytes = size + (nfrags * p.frag_overhead_bytes) in
+  Time.of_sec_f (float_of_int (wire_bytes * 8) /. p.bandwidth) + (nfrags * p.frag_gap)
+
+let daemon t () =
+  let rec loop () =
+    let { src; dst; payload } = Squeue.get t.queue in
+    let size = Bytes.length payload in
+    let occupancy = wire_time t.p size in
+    Engine.delay occupancy;
+    t.sent <- t.sent + 1;
+    t.bytes <- t.bytes + size;
+    t.busy <- t.busy + occupancy;
+    if not (Rng.bool t.rng t.p.loss_prob) then begin
+      let nfrags = fragments_of t.p size in
+      Engine.schedule t.eng ~after:t.p.latency (fun () ->
+          match Hashtbl.find_opt t.stations dst with
+          | None -> () (* no such station: datagram vanishes *)
+          | Some station ->
+              (* Receiver-side per-fragment cost (reassembly). *)
+              for _ = 1 to nfrags do
+                station.rx_fragment ~bytes:(Stdlib.min size t.p.mtu)
+              done;
+              station.deliver ~src payload)
+    end
+    else t.lost <- t.lost + 1;
+    loop ()
+  in
+  loop ()
+
+let create eng ?(seed = 0x5e9) p =
+  let t =
+    {
+      eng;
+      p;
+      rng = Rng.create seed;
+      stations = Hashtbl.create 8;
+      queue = Squeue.create ();
+      sent = 0;
+      lost = 0;
+      bytes = 0;
+      busy = Time.zero;
+    }
+  in
+  Engine.spawn eng ~name:"segment" (daemon t);
+  t
+
+let attach t station =
+  if Hashtbl.mem t.stations station.addr then
+    invalid_arg ("Segment.attach: duplicate address " ^ station.addr);
+  Hashtbl.replace t.stations station.addr station
+
+let detach t addr = Hashtbl.remove t.stations addr
+let transmit t ~src ~dst payload = Squeue.put t.queue { src; dst; payload }

@@ -1,0 +1,68 @@
+(** Shared network segment (an Ethernet or an FDDI ring).
+
+    All stations on a segment share one medium: transmissions are
+    serialised in FIFO order, so a busy network delays everyone — the
+    paper's "network interface capacity" limit. A datagram is
+    fragmented into MTU-sized transport units; its wire time covers
+    payload, per-fragment header bytes and a per-fragment fixed gap
+    (preamble / token rotation), and it is delivered whole to the
+    destination socket one propagation latency after the last fragment
+    leaves the wire.
+
+    Delivery is into a bounded socket buffer; datagrams arriving at a
+    full buffer are dropped, exactly like the fixed-size NFS socket
+    buffer of a reference-port server ("if the queue fills then some
+    incoming requests may be lost"). Random loss can be injected on
+    top. *)
+
+type params = {
+  bandwidth : float;  (** bits per second *)
+  mtu : int;  (** payload bytes per fragment *)
+  frag_overhead_bytes : int;  (** wire header bytes per fragment *)
+  frag_gap : Nfsg_sim.Time.t;  (** fixed medium time per fragment *)
+  latency : Nfsg_sim.Time.t;  (** propagation + interface latency *)
+  loss_prob : float;  (** independent drop probability per datagram *)
+}
+
+val ethernet : params
+(** 10 Mb/s, MTU 1500 — the paper's private Ethernet. *)
+
+val fddi : params
+(** 100 Mb/s, MTU 4352 — the paper's FDDI ring. *)
+
+type t
+
+val create : Nfsg_sim.Engine.t -> ?seed:int -> params -> t
+val params : t -> params
+val engine : t -> Nfsg_sim.Engine.t
+
+val fragments_of : params -> int -> int
+(** Number of transport units a datagram of the given payload size
+    needs. *)
+
+val wire_time : params -> int -> Nfsg_sim.Time.t
+(** Medium occupancy for one datagram of the given payload size. *)
+
+(** {1 Statistics} *)
+
+val datagrams_sent : t -> int
+val datagrams_lost : t -> int
+(** Lost to injected random loss (socket-buffer drops are counted at
+    the socket). *)
+
+val bytes_sent : t -> int
+val busy_time : t -> Nfsg_sim.Time.t
+
+(**/**)
+
+(* Internal plumbing shared with Socket. *)
+
+type station = {
+  addr : string;
+  deliver : src:string -> Bytes.t -> unit;
+  rx_fragment : bytes:int -> unit;
+}
+
+val attach : t -> station -> unit
+val detach : t -> string -> unit
+val transmit : t -> src:string -> dst:string -> Bytes.t -> unit

@@ -1,0 +1,51 @@
+type t = {
+  segment : Segment.t;
+  addr : string;
+  rcvbuf : int;
+  queue : (string * Bytes.t) Nfsg_sim.Squeue.t;
+  mutable buffered_bytes : int;
+  mutable received : int;
+  mutable dropped : int;
+}
+
+let addr s = s.addr
+let pending s = Nfsg_sim.Squeue.length s.queue
+let pending_bytes s = s.buffered_bytes
+let received s = s.received
+let dropped s = s.dropped
+
+let create segment ~addr ?(rcvbuf = 256 * 1024) ?(on_rx_fragment = fun ~bytes:_ -> ()) () =
+  let s =
+    {
+      segment;
+      addr;
+      rcvbuf;
+      queue = Nfsg_sim.Squeue.create ();
+      buffered_bytes = 0;
+      received = 0;
+      dropped = 0;
+    }
+  in
+  let deliver ~src payload =
+    if s.buffered_bytes + Bytes.length payload > s.rcvbuf then s.dropped <- s.dropped + 1
+    else begin
+      s.buffered_bytes <- s.buffered_bytes + Bytes.length payload;
+      s.received <- s.received + 1;
+      Nfsg_sim.Squeue.put s.queue (src, payload)
+    end
+  in
+  Segment.attach segment { Segment.addr; deliver; rx_fragment = on_rx_fragment };
+  s
+
+let send s ~dst payload = Segment.transmit s.segment ~src:s.addr ~dst payload
+let detach s = Segment.detach s.segment s.addr
+
+let recv s =
+  let ((_, payload) as msg) = Nfsg_sim.Squeue.get s.queue in
+  s.buffered_bytes <- s.buffered_bytes - Bytes.length payload;
+  msg
+
+let scan s pred =
+  let found = ref false in
+  Nfsg_sim.Squeue.iter (fun (src, payload) -> if (not !found) && pred ~src payload then found := true) s.queue;
+  !found

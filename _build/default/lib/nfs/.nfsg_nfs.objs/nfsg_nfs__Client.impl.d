@@ -1,0 +1,1 @@
+lib/nfs/client.ml: Buffer Bytes Condition Engine List Nfsg_rpc Nfsg_sim Proto Semaphore Stdlib

@@ -1,0 +1,1 @@
+lib/nfs/client.mli: Bytes Nfsg_rpc Nfsg_sim Proto

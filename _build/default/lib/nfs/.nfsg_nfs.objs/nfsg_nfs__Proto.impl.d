@@ -1,0 +1,1 @@
+lib/nfs/proto.ml: Bytes Int32 List Nfsg_rpc Printf Xdr

@@ -1,0 +1,1 @@
+lib/nfs/proto.mli: Bytes

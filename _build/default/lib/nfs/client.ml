@@ -1,0 +1,300 @@
+open Nfsg_sim
+module Rpc = Nfsg_rpc.Rpc
+module Rpc_client = Nfsg_rpc.Rpc_client
+
+exception Error of Proto.status
+exception Verifier_changed
+
+type protocol = V2 | V3
+
+type t = {
+  eng : Engine.t;
+  rpc : Rpc_client.t;
+  biods : Semaphore.t;
+  nbiods : int;
+  block_size : int;
+  protocol : protocol;
+  mutable wire_writes : int;
+  mutable commits : int;
+  mutable bytes_written : int;
+  mutable mtimes : int list;  (** newest first *)
+}
+
+let biod_count t = t.nbiods
+let wire_writes t = t.wire_writes
+let commits_sent t = t.commits
+let bytes_written t = t.bytes_written
+let last_write_mtimes t = List.rev t.mtimes
+
+let create eng ~rpc ?(biods = 4) ?(block_size = 8192) ?(protocol = V2) () =
+  if biods < 0 then invalid_arg "Client.create: negative biod count";
+  {
+    eng;
+    rpc;
+    biods = Semaphore.create ~name:"biods" biods;
+    nbiods = biods;
+    block_size;
+    protocol;
+    wire_writes = 0;
+    commits = 0;
+    bytes_written = 0;
+    mtimes = [];
+  }
+
+(* {1 RPC plumbing} *)
+
+let do_call t ~klass args =
+  let proc = Proto.proc_of_args args in
+  let stat, body = Rpc_client.call t.rpc ~klass ~proc (Proto.encode_args args) in
+  if stat <> Rpc.Success then raise (Error Proto.NFSERR_IO);
+  Proto.decode_res ~proc body
+
+let attr_result = function
+  | Proto.RAttr (Ok a) -> a
+  | Proto.RAttr (Error st) -> raise (Error st)
+  | _ -> raise (Error Proto.NFSERR_IO)
+
+let dirop_result = function
+  | Proto.RDirop (Ok (fh, a)) -> (fh, a)
+  | Proto.RDirop (Error st) -> raise (Error st)
+  | _ -> raise (Error Proto.NFSERR_IO)
+
+let status_result = function
+  | Proto.RStatus Proto.NFS_OK -> ()
+  | Proto.RStatus st -> raise (Error st)
+  | _ -> raise (Error Proto.NFSERR_IO)
+
+let getattr t fh = attr_result (do_call t ~klass:Rpc_client.Light (Proto.Getattr fh))
+let setattr t fh sattr = attr_result (do_call t ~klass:Rpc_client.Light (Proto.Setattr (fh, sattr)))
+let lookup t fh name = dirop_result (do_call t ~klass:Rpc_client.Light (Proto.Lookup (fh, name)))
+
+let create_file t dir name =
+  dirop_result
+    (do_call t ~klass:Rpc_client.Middle (Proto.Create { dir; name; sattr = Proto.sattr_none }))
+
+let remove t dir name = status_result (do_call t ~klass:Rpc_client.Middle (Proto.Remove { dir; name }))
+
+let rename t ~from_dir ~from_name ~to_dir ~to_name =
+  status_result
+    (do_call t ~klass:Rpc_client.Middle (Proto.Rename { from_dir; from_name; to_dir; to_name }))
+
+let mkdir t dir name =
+  dirop_result
+    (do_call t ~klass:Rpc_client.Middle (Proto.Mkdir { dir; name; sattr = Proto.sattr_none }))
+
+let rmdir t dir name = status_result (do_call t ~klass:Rpc_client.Middle (Proto.Rmdir { dir; name }))
+
+let readdir t fh =
+  match do_call t ~klass:Rpc_client.Light (Proto.Readdir { fh; cookie = 0; count = 8192 }) with
+  | Proto.RReaddir (Ok (entries, _eof)) -> entries
+  | Proto.RReaddir (Error st) -> raise (Error st)
+  | _ -> raise (Error Proto.NFSERR_IO)
+
+let symlink t dir name ~target =
+  dirop_result
+    (do_call t ~klass:Rpc_client.Middle
+       (Proto.Symlink { dir; name; target; sattr = Proto.sattr_none }))
+
+let readlink t fh =
+  match do_call t ~klass:Rpc_client.Light (Proto.Readlink fh) with
+  | Proto.RReadlink (Ok target) -> target
+  | Proto.RReadlink (Error st) -> raise (Error st)
+  | _ -> raise (Error Proto.NFSERR_IO)
+
+let statfs t fh =
+  match do_call t ~klass:Rpc_client.Light (Proto.Statfs fh) with
+  | Proto.RStatfs (Ok s) -> s
+  | Proto.RStatfs (Error st) -> raise (Error st)
+  | _ -> raise (Error Proto.NFSERR_IO)
+
+let null_ping t =
+  match do_call t ~klass:Rpc_client.Light Proto.Null with
+  | Proto.RNull -> ()
+  | _ -> raise (Error Proto.NFSERR_IO)
+
+(* {1 Write-behind file I/O} *)
+
+type file = {
+  client : t;
+  fh : Proto.fh;
+  mutable buf : Bytes.t;
+  mutable buf_base : int;  (** file offset of the cache block, -1 = empty *)
+  mutable buf_len : int;  (** valid bytes from the block start *)
+  mutable outstanding : int;
+  done_cond : Condition.t;
+  mutable async_error : Proto.status option;
+  mutable verf : int option;  (** v3: verifier seen on this handle's writes *)
+  mutable verf_moved : bool;
+  mutable dirty_lo : int;  (** v3: uncommitted byte range *)
+  mutable dirty_hi : int;
+}
+
+let open_file t fh =
+  {
+    client = t;
+    fh;
+    buf = Bytes.create t.block_size;
+    buf_base = -1;
+    buf_len = 0;
+    outstanding = 0;
+    done_cond = Condition.create ();
+    async_error = None;
+    verf = None;
+    verf_moved = false;
+    dirty_lo = max_int;
+    dirty_hi = 0;
+  }
+
+(* v3 bookkeeping: if the verifier moves between replies, the server
+   rebooted while we held unstable data. *)
+let note_verf f verf =
+  match f.verf with
+  | None -> f.verf <- Some verf
+  | Some v -> if v <> verf then f.verf_moved <- true
+
+let do_write_rpc f ~off data =
+  let t = f.client in
+  t.wire_writes <- t.wire_writes + 1;
+  t.bytes_written <- t.bytes_written + Bytes.length data;
+  match t.protocol with
+  | V2 -> (
+      match
+        do_call t ~klass:Rpc_client.Heavy (Proto.Write { fh = f.fh; offset = off; data })
+      with
+      | res -> (
+          match res with
+          | Proto.RAttr (Ok a) -> t.mtimes <- Proto.ns_of_timeval a.Proto.mtime :: t.mtimes
+          | Proto.RAttr (Error st) -> f.async_error <- Some st
+          | _ -> f.async_error <- Some Proto.NFSERR_IO)
+      | exception Error st -> f.async_error <- Some st)
+  | V3 -> (
+      f.dirty_lo <- Stdlib.min f.dirty_lo off;
+      f.dirty_hi <- Stdlib.max f.dirty_hi (off + Bytes.length data);
+      match
+        do_call t ~klass:Rpc_client.Heavy
+          (Proto.Write3 { fh = f.fh; offset = off; stable = Proto.Unstable; data })
+      with
+      | res -> (
+          match res with
+          | Proto.RWrite3 (Ok (a, _how, verf)) ->
+              note_verf f verf;
+              t.mtimes <- Proto.ns_of_timeval a.Proto.mtime :: t.mtimes
+          | Proto.RWrite3 (Error st) -> f.async_error <- Some st
+          | _ -> f.async_error <- Some Proto.NFSERR_IO)
+      | exception Error st -> f.async_error <- Some st)
+
+let commit f =
+  let t = f.client in
+  if t.protocol = V3 && f.dirty_lo < f.dirty_hi then begin
+    t.commits <- t.commits + 1;
+    let offset = f.dirty_lo and count = f.dirty_hi - f.dirty_lo in
+    (match do_call t ~klass:Rpc_client.Heavy (Proto.Commit { fh = f.fh; offset; count }) with
+    | Proto.RCommit (Ok (_a, verf)) -> note_verf f verf
+    | Proto.RCommit (Error st) -> raise (Error st)
+    | _ -> raise (Error Proto.NFSERR_IO));
+    f.dirty_lo <- max_int;
+    f.dirty_hi <- 0;
+    if f.verf_moved then begin
+      f.verf_moved <- false;
+      raise Verifier_changed
+    end
+  end
+
+(* A full or final cache block "needs to go to the wire": hand it to a
+   biod if one is free, otherwise the application does the RPC itself
+   and thereby blocks — the client-side flow control of section 4.1. *)
+let wire_write f ~off data =
+  let t = f.client in
+  if Semaphore.try_acquire t.biods then begin
+    f.outstanding <- f.outstanding + 1;
+    Engine.spawn t.eng ~name:"biod" (fun () ->
+        do_write_rpc f ~off data;
+        Semaphore.release t.biods;
+        f.outstanding <- f.outstanding - 1;
+        if f.outstanding = 0 then Condition.broadcast f.done_cond)
+  end
+  else begin
+    (* All biods busy: the application performs the RPC itself. Yield
+       first so biod tasks spawned earlier in this instant transmit
+       before us — their blocks were generated first, and FIFO reply
+       order then unblocks us last, exactly the traffic cycle of the
+       paper's case study. *)
+    Engine.yield ();
+    do_write_rpc f ~off data
+  end
+
+let flush f =
+  if f.buf_base >= 0 && f.buf_len > 0 then begin
+    let data = Bytes.sub f.buf 0 f.buf_len in
+    let off = f.buf_base in
+    f.buf_base <- -1;
+    f.buf_len <- 0;
+    wire_write f ~off data
+  end
+  else begin
+    f.buf_base <- -1;
+    f.buf_len <- 0
+  end
+
+let write f ~off data =
+  let bs = f.client.block_size in
+  let len = Bytes.length data in
+  let pos = ref off in
+  while !pos < off + len do
+    let block_base = !pos - (!pos mod bs) in
+    (* A write outside the current block, or non-contiguous within it,
+       pushes the current block out first. *)
+    if f.buf_base >= 0 && (block_base <> f.buf_base || !pos <> f.buf_base + f.buf_len) then
+      flush f;
+    if f.buf_base < 0 then begin
+      if !pos mod bs <> 0 then begin
+        (* Partial block start: model it as starting the cache block at
+           the write position (no read-modify-write traffic). *)
+        f.buf_base <- !pos;
+        f.buf_len <- 0
+      end
+      else begin
+        f.buf_base <- block_base;
+        f.buf_len <- 0
+      end
+    end;
+    let block_end = f.buf_base + bs - (f.buf_base mod bs) in
+    let block_end = if block_end = f.buf_base then f.buf_base + bs else block_end in
+    let chunk = Stdlib.min (block_end - !pos) (off + len - !pos) in
+    Bytes.blit data (!pos - off) f.buf f.buf_len chunk;
+    f.buf_len <- f.buf_len + chunk;
+    pos := !pos + chunk;
+    if f.buf_base + f.buf_len >= block_end then flush f
+  done
+
+let close f =
+  flush f;
+  while f.outstanding > 0 do
+    Condition.wait f.done_cond
+  done;
+  (match f.async_error with
+  | Some st ->
+      f.async_error <- None;
+      raise (Error st)
+  | None -> ());
+  commit f;
+  if f.verf_moved then begin
+    f.verf_moved <- false;
+    raise Verifier_changed
+  end
+
+let read t fh ~off ~len =
+  let out = Buffer.create len in
+  let pos = ref off in
+  let eof = ref false in
+  while (not !eof) && !pos < off + len do
+    let chunk = Stdlib.min t.block_size (off + len - !pos) in
+    match do_call t ~klass:Rpc_client.Middle (Proto.Read { fh; offset = !pos; count = chunk }) with
+    | Proto.RRead (Ok (_a, data)) ->
+        Buffer.add_bytes out data;
+        pos := !pos + Bytes.length data;
+        if Bytes.length data < chunk then eof := true
+    | Proto.RRead (Error st) -> raise (Error st)
+    | _ -> raise (Error Proto.NFSERR_IO)
+  done;
+  Buffer.to_bytes out

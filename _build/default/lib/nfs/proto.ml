@@ -1,0 +1,573 @@
+open Nfsg_rpc
+
+type fh = { inum : int; gen : int }
+
+let fh_bytes = 32
+
+type ftype = NFNON | NFREG | NFDIR | NFLNK
+
+type timeval = { sec : int; usec : int }
+
+let timeval_of_ns ns = { sec = ns / 1_000_000_000; usec = ns mod 1_000_000_000 / 1_000 }
+let ns_of_timeval tv = (tv.sec * 1_000_000_000) + (tv.usec * 1_000)
+
+type fattr = {
+  ftype : ftype;
+  mode : int;
+  nlink : int;
+  uid : int;
+  gid : int;
+  size : int;
+  blocksize : int;
+  rdev : int;
+  blocks : int;
+  fsid : int;
+  fileid : int;
+  atime : timeval;
+  mtime : timeval;
+  ctime : timeval;
+}
+
+type sattr = {
+  s_mode : int;
+  s_uid : int;
+  s_gid : int;
+  s_size : int;
+  s_atime : timeval option;
+  s_mtime : timeval option;
+}
+
+let sattr_none =
+  { s_mode = -1; s_uid = -1; s_gid = -1; s_size = -1; s_atime = None; s_mtime = None }
+
+let sattr_truncate size = { sattr_none with s_size = size }
+
+type status =
+  | NFS_OK
+  | NFSERR_PERM
+  | NFSERR_NOENT
+  | NFSERR_IO
+  | NFSERR_EXIST
+  | NFSERR_NOTDIR
+  | NFSERR_ISDIR
+  | NFSERR_FBIG
+  | NFSERR_NOSPC
+  | NFSERR_NOTEMPTY
+  | NFSERR_STALE
+
+let status_to_int = function
+  | NFS_OK -> 0
+  | NFSERR_PERM -> 1
+  | NFSERR_NOENT -> 2
+  | NFSERR_IO -> 5
+  | NFSERR_EXIST -> 17
+  | NFSERR_NOTDIR -> 20
+  | NFSERR_ISDIR -> 21
+  | NFSERR_FBIG -> 27
+  | NFSERR_NOSPC -> 28
+  | NFSERR_NOTEMPTY -> 66
+  | NFSERR_STALE -> 70
+
+let status_of_int = function
+  | 0 -> NFS_OK
+  | 1 -> NFSERR_PERM
+  | 2 -> NFSERR_NOENT
+  | 5 -> NFSERR_IO
+  | 17 -> NFSERR_EXIST
+  | 20 -> NFSERR_NOTDIR
+  | 21 -> NFSERR_ISDIR
+  | 27 -> NFSERR_FBIG
+  | 28 -> NFSERR_NOSPC
+  | 66 -> NFSERR_NOTEMPTY
+  | 70 -> NFSERR_STALE
+  | n -> raise (Xdr.Dec.Error (Printf.sprintf "bad NFS status %d" n))
+
+let string_of_status = function
+  | NFS_OK -> "NFS_OK"
+  | NFSERR_PERM -> "NFSERR_PERM"
+  | NFSERR_NOENT -> "NFSERR_NOENT"
+  | NFSERR_IO -> "NFSERR_IO"
+  | NFSERR_EXIST -> "NFSERR_EXIST"
+  | NFSERR_NOTDIR -> "NFSERR_NOTDIR"
+  | NFSERR_ISDIR -> "NFSERR_ISDIR"
+  | NFSERR_FBIG -> "NFSERR_FBIG"
+  | NFSERR_NOSPC -> "NFSERR_NOSPC"
+  | NFSERR_NOTEMPTY -> "NFSERR_NOTEMPTY"
+  | NFSERR_STALE -> "NFSERR_STALE"
+
+let proc_null = 0
+let proc_getattr = 1
+let proc_setattr = 2
+let proc_lookup = 4
+let proc_read = 6
+let proc_write = 8
+let proc_create = 9
+let proc_remove = 10
+let proc_rename = 11
+let proc_mkdir = 14
+let proc_rmdir = 15
+let proc_readlink = 5
+let proc_symlink = 13
+let proc_readdir = 16
+let proc_statfs = 17
+
+(* NFSv3 additions: we reuse the v3 procedure numbers that do not
+   collide with the v2 table (v2 procedure 7 was the unused
+   WRITECACHE; 21 is beyond the v2 table). *)
+let proc_write3 = 7
+let proc_commit = 21
+
+let proc_name = function
+  | 0 -> "NULL"
+  | 1 -> "GETATTR"
+  | 2 -> "SETATTR"
+  | 4 -> "LOOKUP"
+  | 6 -> "READ"
+  | 8 -> "WRITE"
+  | 9 -> "CREATE"
+  | 10 -> "REMOVE"
+  | 11 -> "RENAME"
+  | 14 -> "MKDIR"
+  | 15 -> "RMDIR"
+  | 5 -> "READLINK"
+  | 13 -> "SYMLINK"
+  | 16 -> "READDIR"
+  | 17 -> "STATFS"
+  | 7 -> "WRITE3"
+  | 21 -> "COMMIT"
+  | n -> Printf.sprintf "PROC%d" n
+
+(* {1 Primitive XDR pieces} *)
+
+let put_fh enc fh =
+  let b = Bytes.make fh_bytes '\000' in
+  Bytes.set_int32_be b 0 (Int32.of_int fh.inum);
+  Bytes.set_int32_be b 4 (Int32.of_int fh.gen);
+  Xdr.Enc.opaque_fixed enc b
+
+let get_fh dec =
+  let b = Xdr.Dec.opaque_fixed dec fh_bytes in
+  { inum = Int32.to_int (Bytes.get_int32_be b 0); gen = Int32.to_int (Bytes.get_int32_be b 4) }
+
+let put_timeval enc tv =
+  Xdr.Enc.uint32 enc tv.sec;
+  Xdr.Enc.uint32 enc tv.usec
+
+let get_timeval dec =
+  let sec = Xdr.Dec.uint32 dec in
+  let usec = Xdr.Dec.uint32 dec in
+  { sec; usec }
+
+let ftype_to_int = function NFNON -> 0 | NFREG -> 1 | NFDIR -> 2 | NFLNK -> 5
+
+let ftype_of_int = function
+  | 0 -> NFNON
+  | 1 -> NFREG
+  | 2 -> NFDIR
+  | 5 -> NFLNK
+  | n -> raise (Xdr.Dec.Error (Printf.sprintf "bad ftype %d" n))
+
+let put_fattr enc a =
+  Xdr.Enc.enum enc (ftype_to_int a.ftype);
+  Xdr.Enc.uint32 enc a.mode;
+  Xdr.Enc.uint32 enc a.nlink;
+  Xdr.Enc.uint32 enc a.uid;
+  Xdr.Enc.uint32 enc a.gid;
+  Xdr.Enc.uint32 enc a.size;
+  Xdr.Enc.uint32 enc a.blocksize;
+  Xdr.Enc.uint32 enc a.rdev;
+  Xdr.Enc.uint32 enc a.blocks;
+  Xdr.Enc.uint32 enc a.fsid;
+  Xdr.Enc.uint32 enc a.fileid;
+  put_timeval enc a.atime;
+  put_timeval enc a.mtime;
+  put_timeval enc a.ctime
+
+let get_fattr dec =
+  let ftype = ftype_of_int (Xdr.Dec.enum dec) in
+  let mode = Xdr.Dec.uint32 dec in
+  let nlink = Xdr.Dec.uint32 dec in
+  let uid = Xdr.Dec.uint32 dec in
+  let gid = Xdr.Dec.uint32 dec in
+  let size = Xdr.Dec.uint32 dec in
+  let blocksize = Xdr.Dec.uint32 dec in
+  let rdev = Xdr.Dec.uint32 dec in
+  let blocks = Xdr.Dec.uint32 dec in
+  let fsid = Xdr.Dec.uint32 dec in
+  let fileid = Xdr.Dec.uint32 dec in
+  let atime = get_timeval dec in
+  let mtime = get_timeval dec in
+  let ctime = get_timeval dec in
+  { ftype; mode; nlink; uid; gid; size; blocksize; rdev; blocks; fsid; fileid; atime; mtime; ctime }
+
+(* RFC 1094 encodes "don't set" as 0xffffffff. *)
+let put_sattr enc s =
+  let u32_or_neg v = if v < 0 then 0xFFFFFFFF else v in
+  Xdr.Enc.uint32 enc (u32_or_neg s.s_mode);
+  Xdr.Enc.uint32 enc (u32_or_neg s.s_uid);
+  Xdr.Enc.uint32 enc (u32_or_neg s.s_gid);
+  Xdr.Enc.uint32 enc (u32_or_neg s.s_size);
+  (match s.s_atime with
+  | Some tv -> put_timeval enc tv
+  | None -> put_timeval enc { sec = 0xFFFFFFFF; usec = 0xFFFFFFFF });
+  match s.s_mtime with
+  | Some tv -> put_timeval enc tv
+  | None -> put_timeval enc { sec = 0xFFFFFFFF; usec = 0xFFFFFFFF }
+
+let get_sattr dec =
+  let neg_or v = if v = 0xFFFFFFFF then -1 else v in
+  let s_mode = neg_or (Xdr.Dec.uint32 dec) in
+  let s_uid = neg_or (Xdr.Dec.uint32 dec) in
+  let s_gid = neg_or (Xdr.Dec.uint32 dec) in
+  let s_size = neg_or (Xdr.Dec.uint32 dec) in
+  let tv_opt () =
+    let tv = get_timeval dec in
+    if tv.sec = 0xFFFFFFFF then None else Some tv
+  in
+  let s_atime = tv_opt () in
+  let s_mtime = tv_opt () in
+  { s_mode; s_uid; s_gid; s_size; s_atime; s_mtime }
+
+(* {1 Arguments} *)
+
+type stable_how = Unstable | Data_sync | File_sync
+
+let stable_to_int = function Unstable -> 0 | Data_sync -> 1 | File_sync -> 2
+
+let stable_of_int = function
+  | 0 -> Unstable
+  | 1 -> Data_sync
+  | 2 -> File_sync
+  | n -> raise (Xdr.Dec.Error (Printf.sprintf "bad stable_how %d" n))
+
+type args =
+  | Null
+  | Getattr of fh
+  | Setattr of fh * sattr
+  | Lookup of fh * string
+  | Read of { fh : fh; offset : int; count : int }
+  | Write of { fh : fh; offset : int; data : Bytes.t }
+  | Create of { dir : fh; name : string; sattr : sattr }
+  | Remove of { dir : fh; name : string }
+  | Rename of { from_dir : fh; from_name : string; to_dir : fh; to_name : string }
+  | Mkdir of { dir : fh; name : string; sattr : sattr }
+  | Rmdir of { dir : fh; name : string }
+  | Readdir of { fh : fh; cookie : int; count : int }
+  | Statfs of fh
+  | Readlink of fh
+  | Symlink of { dir : fh; name : string; target : string; sattr : sattr }
+  | Write3 of { fh : fh; offset : int; stable : stable_how; data : Bytes.t }
+  | Commit of { fh : fh; offset : int; count : int }
+
+let proc_of_args = function
+  | Null -> proc_null
+  | Getattr _ -> proc_getattr
+  | Setattr _ -> proc_setattr
+  | Lookup _ -> proc_lookup
+  | Read _ -> proc_read
+  | Write _ -> proc_write
+  | Create _ -> proc_create
+  | Remove _ -> proc_remove
+  | Rename _ -> proc_rename
+  | Mkdir _ -> proc_mkdir
+  | Rmdir _ -> proc_rmdir
+  | Readdir _ -> proc_readdir
+  | Statfs _ -> proc_statfs
+  | Readlink _ -> proc_readlink
+  | Symlink _ -> proc_symlink
+  | Write3 _ -> proc_write3
+  | Commit _ -> proc_commit
+
+let encode_args args =
+  let enc = Xdr.Enc.create () in
+  (match args with
+  | Null -> ()
+  | Getattr fh | Statfs fh | Readlink fh -> put_fh enc fh
+  | Symlink { dir; name; target; sattr } ->
+      put_fh enc dir;
+      Xdr.Enc.string enc name;
+      Xdr.Enc.string enc target;
+      put_sattr enc sattr
+  | Setattr (fh, sattr) ->
+      put_fh enc fh;
+      put_sattr enc sattr
+  | Lookup (fh, name) ->
+      put_fh enc fh;
+      Xdr.Enc.string enc name
+  | Read { fh; offset; count } ->
+      put_fh enc fh;
+      Xdr.Enc.uint32 enc offset;
+      Xdr.Enc.uint32 enc count;
+      (* totalcount, unused per RFC *)
+      Xdr.Enc.uint32 enc 0
+  | Write { fh; offset; data } ->
+      put_fh enc fh;
+      (* beginoffset, unused *)
+      Xdr.Enc.uint32 enc 0;
+      Xdr.Enc.uint32 enc offset;
+      (* totalcount, unused *)
+      Xdr.Enc.uint32 enc 0;
+      Xdr.Enc.opaque enc data
+  | Create { dir; name; sattr } | Mkdir { dir; name; sattr } ->
+      put_fh enc dir;
+      Xdr.Enc.string enc name;
+      put_sattr enc sattr
+  | Remove { dir; name } | Rmdir { dir; name } ->
+      put_fh enc dir;
+      Xdr.Enc.string enc name
+  | Rename { from_dir; from_name; to_dir; to_name } ->
+      put_fh enc from_dir;
+      Xdr.Enc.string enc from_name;
+      put_fh enc to_dir;
+      Xdr.Enc.string enc to_name
+  | Readdir { fh; cookie; count } ->
+      put_fh enc fh;
+      Xdr.Enc.uint32 enc cookie;
+      Xdr.Enc.uint32 enc count
+  | Write3 { fh; offset; stable; data } ->
+      put_fh enc fh;
+      Xdr.Enc.uint64 enc offset;
+      Xdr.Enc.uint32 enc (Bytes.length data);
+      Xdr.Enc.enum enc (stable_to_int stable);
+      Xdr.Enc.opaque enc data
+  | Commit { fh; offset; count } ->
+      put_fh enc fh;
+      Xdr.Enc.uint64 enc offset;
+      Xdr.Enc.uint32 enc count);
+  Xdr.Enc.to_bytes enc
+
+let decode_args ~proc body =
+  let dec = Xdr.Dec.of_bytes body in
+  if proc = proc_null then Null
+  else if proc = proc_getattr then Getattr (get_fh dec)
+  else if proc = proc_setattr then begin
+    let fh = get_fh dec in
+    Setattr (fh, get_sattr dec)
+  end
+  else if proc = proc_lookup then begin
+    let fh = get_fh dec in
+    Lookup (fh, Xdr.Dec.string dec)
+  end
+  else if proc = proc_read then begin
+    let fh = get_fh dec in
+    let offset = Xdr.Dec.uint32 dec in
+    let count = Xdr.Dec.uint32 dec in
+    let _total = Xdr.Dec.uint32 dec in
+    Read { fh; offset; count }
+  end
+  else if proc = proc_write then begin
+    let fh = get_fh dec in
+    let _begin = Xdr.Dec.uint32 dec in
+    let offset = Xdr.Dec.uint32 dec in
+    let _total = Xdr.Dec.uint32 dec in
+    Write { fh; offset; data = Xdr.Dec.opaque dec }
+  end
+  else if proc = proc_create || proc = proc_mkdir then begin
+    let dir = get_fh dec in
+    let name = Xdr.Dec.string dec in
+    let sattr = get_sattr dec in
+    if proc = proc_create then Create { dir; name; sattr } else Mkdir { dir; name; sattr }
+  end
+  else if proc = proc_remove || proc = proc_rmdir then begin
+    let dir = get_fh dec in
+    let name = Xdr.Dec.string dec in
+    if proc = proc_remove then Remove { dir; name } else Rmdir { dir; name }
+  end
+  else if proc = proc_rename then begin
+    let from_dir = get_fh dec in
+    let from_name = Xdr.Dec.string dec in
+    let to_dir = get_fh dec in
+    let to_name = Xdr.Dec.string dec in
+    Rename { from_dir; from_name; to_dir; to_name }
+  end
+  else if proc = proc_readdir then begin
+    let fh = get_fh dec in
+    let cookie = Xdr.Dec.uint32 dec in
+    let count = Xdr.Dec.uint32 dec in
+    Readdir { fh; cookie; count }
+  end
+  else if proc = proc_statfs then Statfs (get_fh dec)
+  else if proc = proc_readlink then Readlink (get_fh dec)
+  else if proc = proc_symlink then begin
+    let dir = get_fh dec in
+    let name = Xdr.Dec.string dec in
+    let target = Xdr.Dec.string dec in
+    Symlink { dir; name; target; sattr = get_sattr dec }
+  end
+  else if proc = proc_write3 then begin
+    let fh = get_fh dec in
+    let offset = Xdr.Dec.uint64 dec in
+    let _count = Xdr.Dec.uint32 dec in
+    let stable = stable_of_int (Xdr.Dec.enum dec) in
+    Write3 { fh; offset; stable; data = Xdr.Dec.opaque dec }
+  end
+  else if proc = proc_commit then begin
+    let fh = get_fh dec in
+    let offset = Xdr.Dec.uint64 dec in
+    let count = Xdr.Dec.uint32 dec in
+    Commit { fh; offset; count }
+  end
+  else raise (Xdr.Dec.Error (Printf.sprintf "unknown procedure %d" proc))
+
+(* {1 Results} *)
+
+type statfs_ok = { tsize : int; bsize : int; blocks : int; bfree : int; bavail : int }
+
+type res =
+  | RNull
+  | RAttr of (fattr, status) result
+  | RDirop of (fh * fattr, status) result
+  | RRead of (fattr * Bytes.t, status) result
+  | RStatus of status
+  | RReaddir of ((string * int) list * bool, status) result
+  | RStatfs of (statfs_ok, status) result
+  | RReadlink of (string, status) result
+  | RWrite3 of (fattr * stable_how * int, status) result
+  | RCommit of (fattr * int, status) result
+
+let put_status enc st = Xdr.Enc.enum enc (status_to_int st)
+let get_status dec = status_of_int (Xdr.Dec.enum dec)
+
+let encode_res res =
+  let enc = Xdr.Enc.create () in
+  (match res with
+  | RNull -> ()
+  | RStatus st -> put_status enc st
+  | RAttr (Ok a) ->
+      put_status enc NFS_OK;
+      put_fattr enc a
+  | RAttr (Error st) -> put_status enc st
+  | RDirop (Ok (fh, a)) ->
+      put_status enc NFS_OK;
+      put_fh enc fh;
+      put_fattr enc a
+  | RDirop (Error st) -> put_status enc st
+  | RRead (Ok (a, data)) ->
+      put_status enc NFS_OK;
+      put_fattr enc a;
+      Xdr.Enc.opaque enc data
+  | RRead (Error st) -> put_status enc st
+  | RReaddir (Ok (entries, eof)) ->
+      put_status enc NFS_OK;
+      List.iteri
+        (fun i (name, fileid) ->
+          (* value_follows marker, entry, cookie *)
+          Xdr.Enc.bool enc true;
+          Xdr.Enc.uint32 enc fileid;
+          Xdr.Enc.string enc name;
+          Xdr.Enc.uint32 enc (i + 1))
+        entries;
+      Xdr.Enc.bool enc false;
+      Xdr.Enc.bool enc eof
+  | RReaddir (Error st) -> put_status enc st
+  | RStatfs (Ok s) ->
+      put_status enc NFS_OK;
+      Xdr.Enc.uint32 enc s.tsize;
+      Xdr.Enc.uint32 enc s.bsize;
+      Xdr.Enc.uint32 enc s.blocks;
+      Xdr.Enc.uint32 enc s.bfree;
+      Xdr.Enc.uint32 enc s.bavail
+  | RStatfs (Error st) -> put_status enc st
+  | RReadlink (Ok target) ->
+      put_status enc NFS_OK;
+      Xdr.Enc.string enc target
+  | RReadlink (Error st) -> put_status enc st
+  | RWrite3 (Ok (a, stable, verf)) ->
+      put_status enc NFS_OK;
+      put_fattr enc a;
+      Xdr.Enc.enum enc (stable_to_int stable);
+      Xdr.Enc.uint64 enc verf
+  | RWrite3 (Error st) -> put_status enc st
+  | RCommit (Ok (a, verf)) ->
+      put_status enc NFS_OK;
+      put_fattr enc a;
+      Xdr.Enc.uint64 enc verf
+  | RCommit (Error st) -> put_status enc st);
+  Xdr.Enc.to_bytes enc
+
+let decode_res ~proc body =
+  let dec = Xdr.Dec.of_bytes body in
+  if proc = proc_null then RNull
+  else if proc = proc_getattr || proc = proc_setattr || proc = proc_write then begin
+    match get_status dec with
+    | NFS_OK -> RAttr (Ok (get_fattr dec))
+    | st -> RAttr (Error st)
+  end
+  else if proc = proc_lookup || proc = proc_create || proc = proc_mkdir || proc = proc_symlink
+  then begin
+    match get_status dec with
+    | NFS_OK ->
+        let fh = get_fh dec in
+        RDirop (Ok (fh, get_fattr dec))
+    | st -> RDirop (Error st)
+  end
+  else if proc = proc_read then begin
+    match get_status dec with
+    | NFS_OK ->
+        let a = get_fattr dec in
+        RRead (Ok (a, Xdr.Dec.opaque dec))
+    | st -> RRead (Error st)
+  end
+  else if proc = proc_remove || proc = proc_rename || proc = proc_rmdir then
+    RStatus (get_status dec)
+  else if proc = proc_readdir then begin
+    match get_status dec with
+    | NFS_OK ->
+        let rec entries acc =
+          if Xdr.Dec.bool dec then begin
+            let fileid = Xdr.Dec.uint32 dec in
+            let name = Xdr.Dec.string dec in
+            let _cookie = Xdr.Dec.uint32 dec in
+            entries ((name, fileid) :: acc)
+          end
+          else List.rev acc
+        in
+        let es = entries [] in
+        RReaddir (Ok (es, Xdr.Dec.bool dec))
+    | st -> RReaddir (Error st)
+  end
+  else if proc = proc_statfs then begin
+    match get_status dec with
+    | NFS_OK ->
+        let tsize = Xdr.Dec.uint32 dec in
+        let bsize = Xdr.Dec.uint32 dec in
+        let blocks = Xdr.Dec.uint32 dec in
+        let bfree = Xdr.Dec.uint32 dec in
+        let bavail = Xdr.Dec.uint32 dec in
+        RStatfs (Ok { tsize; bsize; blocks; bfree; bavail })
+    | st -> RStatfs (Error st)
+  end
+  else if proc = proc_readlink then begin
+    match get_status dec with
+    | NFS_OK -> RReadlink (Ok (Xdr.Dec.string dec))
+    | st -> RReadlink (Error st)
+  end
+  else if proc = proc_write3 then begin
+    match get_status dec with
+    | NFS_OK ->
+        let a = get_fattr dec in
+        let stable = stable_of_int (Xdr.Dec.enum dec) in
+        let verf = Xdr.Dec.uint64 dec in
+        RWrite3 (Ok (a, stable, verf))
+    | st -> RWrite3 (Error st)
+  end
+  else if proc = proc_commit then begin
+    match get_status dec with
+    | NFS_OK ->
+        let a = get_fattr dec in
+        RCommit (Ok (a, Xdr.Dec.uint64 dec))
+    | st -> RCommit (Error st)
+  end
+  else raise (Xdr.Dec.Error (Printf.sprintf "unknown procedure %d" proc))
+
+(* {1 Scanning} *)
+
+let peek_write datagram =
+  match Nfsg_rpc.Rpc.peek_call datagram with
+  | Some call
+    when call.Nfsg_rpc.Rpc.prog = Nfsg_rpc.Rpc.nfs_program
+         && call.Nfsg_rpc.Rpc.proc = proc_write -> (
+      match decode_args ~proc:proc_write call.Nfsg_rpc.Rpc.body with
+      | Write { fh; offset; data } -> Some (fh, offset, Bytes.length data)
+      | _ | (exception Xdr.Dec.Error _) -> None)
+  | Some _ | None -> None

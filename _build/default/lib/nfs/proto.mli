@@ -1,0 +1,145 @@
+(** NFS version 2 protocol (RFC 1094): procedure arguments and results
+    with their XDR wire encodings.
+
+    File handles are the protocol's 32-byte opaque cookies; here they
+    carry the inode number and generation, so a server can detect
+    stale handles after remove/reuse exactly like a real one. *)
+
+type fh = { inum : int; gen : int }
+
+val fh_bytes : int
+(** 32, per RFC 1094. *)
+
+type ftype = NFNON | NFREG | NFDIR | NFLNK
+
+type timeval = { sec : int; usec : int }
+
+val timeval_of_ns : int -> timeval
+val ns_of_timeval : timeval -> int
+
+type fattr = {
+  ftype : ftype;
+  mode : int;
+  nlink : int;
+  uid : int;
+  gid : int;
+  size : int;
+  blocksize : int;
+  rdev : int;
+  blocks : int;
+  fsid : int;
+  fileid : int;
+  atime : timeval;
+  mtime : timeval;
+  ctime : timeval;
+}
+
+type sattr = {
+  s_mode : int;  (** -1 = don't set *)
+  s_uid : int;
+  s_gid : int;
+  s_size : int;  (** -1 = don't set; 0 = truncate *)
+  s_atime : timeval option;
+  s_mtime : timeval option;
+}
+
+val sattr_none : sattr
+val sattr_truncate : int -> sattr
+
+type status =
+  | NFS_OK
+  | NFSERR_PERM
+  | NFSERR_NOENT
+  | NFSERR_IO
+  | NFSERR_EXIST
+  | NFSERR_NOTDIR
+  | NFSERR_ISDIR
+  | NFSERR_FBIG
+  | NFSERR_NOSPC
+  | NFSERR_NOTEMPTY
+  | NFSERR_STALE
+
+val status_to_int : status -> int
+val status_of_int : int -> status
+val string_of_status : status -> string
+
+(** {1 Procedures} *)
+
+val proc_null : int
+val proc_getattr : int
+val proc_setattr : int
+val proc_lookup : int
+val proc_read : int
+val proc_write : int
+val proc_create : int
+val proc_remove : int
+val proc_rename : int
+val proc_mkdir : int
+val proc_rmdir : int
+val proc_readlink : int
+val proc_symlink : int
+val proc_readdir : int
+val proc_statfs : int
+
+val proc_write3 : int
+(** NFS version 3 WRITE (procedure 7 of program version 3): carries a
+    stability level and returns a write verifier — the paper's Future
+    Work environment ("The NFS Version 3 protocol supports reliable
+    asynchronous writes"). *)
+
+val proc_commit : int
+(** NFS version 3 COMMIT (procedure 21). *)
+
+val proc_name : int -> string
+
+type stable_how = Unstable | Data_sync | File_sync
+
+type args =
+  | Null
+  | Getattr of fh
+  | Setattr of fh * sattr
+  | Lookup of fh * string
+  | Read of { fh : fh; offset : int; count : int }
+  | Write of { fh : fh; offset : int; data : Bytes.t }
+  | Create of { dir : fh; name : string; sattr : sattr }
+  | Remove of { dir : fh; name : string }
+  | Rename of { from_dir : fh; from_name : string; to_dir : fh; to_name : string }
+  | Mkdir of { dir : fh; name : string; sattr : sattr }
+  | Rmdir of { dir : fh; name : string }
+  | Readdir of { fh : fh; cookie : int; count : int }
+  | Statfs of fh
+  | Readlink of fh
+  | Symlink of { dir : fh; name : string; target : string; sattr : sattr }
+  | Write3 of { fh : fh; offset : int; stable : stable_how; data : Bytes.t }
+  | Commit of { fh : fh; offset : int; count : int }
+
+val proc_of_args : args -> int
+val encode_args : args -> Bytes.t
+val decode_args : proc:int -> Bytes.t -> args
+(** Raises {!Xdr.Dec.Error} (via [Nfsg_rpc.Xdr]) on garbage or unknown
+    procedure. *)
+
+type statfs_ok = { tsize : int; bsize : int; blocks : int; bfree : int; bavail : int }
+
+type res =
+  | RNull
+  | RAttr of (fattr, status) result  (** GETATTR, SETATTR, WRITE *)
+  | RDirop of (fh * fattr, status) result  (** LOOKUP, CREATE, MKDIR *)
+  | RRead of (fattr * Bytes.t, status) result
+  | RStatus of status  (** REMOVE, RENAME, RMDIR *)
+  | RReaddir of ((string * int) list * bool, status) result
+      (** entries as (name, fileid), plus EOF flag *)
+  | RStatfs of (statfs_ok, status) result
+  | RReadlink of (string, status) result
+  | RWrite3 of (fattr * stable_how * int, status) result
+      (** attributes, how the data was committed, write verifier *)
+  | RCommit of (fattr * int, status) result  (** attributes, verifier *)
+
+val encode_res : res -> Bytes.t
+val decode_res : proc:int -> Bytes.t -> res
+
+(** {1 Scanning helpers (the mbuf hunter)} *)
+
+val peek_write : Bytes.t -> (fh * int * int) option
+(** If the raw datagram is an NFS WRITE call, its (fh, offset, length)
+    — what the mbuf hunter greps the socket buffer for. *)

@@ -1,0 +1,1 @@
+lib/rpc/dupcache.ml: Bytes Engine Hashtbl Nfsg_sim Time

@@ -1,0 +1,1 @@
+lib/rpc/dupcache.mli: Bytes Nfsg_sim

@@ -1,0 +1,1 @@
+lib/rpc/rpc.ml: Bytes Int32 Printf Xdr

@@ -1,0 +1,1 @@
+lib/rpc/rpc_client.ml: Bytes Engine Hashtbl Nfsg_net Nfsg_sim Rpc Stdlib Time Xdr

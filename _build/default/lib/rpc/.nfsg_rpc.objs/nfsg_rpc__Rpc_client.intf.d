@@ -1,0 +1,1 @@
+lib/rpc/rpc_client.mli: Bytes Nfsg_net Nfsg_sim Rpc

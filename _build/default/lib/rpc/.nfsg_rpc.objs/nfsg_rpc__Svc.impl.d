@@ -1,0 +1,1 @@
+lib/rpc/svc.ml: Bytes Dupcache Engine Nfsg_net Nfsg_sim Printf Queue Rpc Xdr

@@ -1,0 +1,1 @@
+lib/rpc/svc.mli: Bytes Dupcache Nfsg_net Nfsg_sim Rpc

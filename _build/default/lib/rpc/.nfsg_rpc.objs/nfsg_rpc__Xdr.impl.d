@@ -1,0 +1,1 @@
+lib/rpc/xdr.ml: Buffer Bytes Int32 Int64 Printf String

@@ -1,0 +1,73 @@
+open Nfsg_sim
+
+type state = In_flight | Done of Bytes.t * Time.t
+
+type entry = { mutable state : state; mutable last_touch : Time.t }
+
+type verdict = New | In_progress | Replay of Bytes.t
+
+type t = {
+  eng : Engine.t;
+  capacity : int;
+  ttl : Time.t;
+  table : (string * int, entry) Hashtbl.t;
+  mutable drops : int;
+  mutable replays : int;
+}
+
+let create eng ?(capacity = 512) ?(ttl = Time.sec 6) () =
+  { eng; capacity; ttl; table = Hashtbl.create 256; drops = 0; replays = 0 }
+
+let entries t = Hashtbl.length t.table
+let drops t = t.drops
+let replays t = t.replays
+
+let evict_if_full t =
+  if Hashtbl.length t.table >= t.capacity then begin
+    (* Evict the least recently touched completed entry; in-flight
+       entries are pinned. *)
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k e ->
+        match e.state with
+        | In_flight -> ()
+        | Done _ -> (
+            match !victim with
+            | Some (_, ve) when ve.last_touch <= e.last_touch -> ()
+            | _ -> victim := Some (k, e)))
+      t.table;
+    match !victim with Some (k, _) -> Hashtbl.remove t.table k | None -> ()
+  end
+
+let admit t ~client ~xid =
+  let key = (client, xid) in
+  let now = Engine.now t.eng in
+  match Hashtbl.find_opt t.table key with
+  | Some e -> (
+      e.last_touch <- now;
+      match e.state with
+      | In_flight ->
+          t.drops <- t.drops + 1;
+          In_progress
+      | Done (reply, at) ->
+          if now - at <= t.ttl then begin
+            t.replays <- t.replays + 1;
+            Replay reply
+          end
+          else begin
+            e.state <- In_flight;
+            New
+          end)
+  | None ->
+      evict_if_full t;
+      Hashtbl.replace t.table key { state = In_flight; last_touch = now };
+      New
+
+let complete t ~client ~xid reply =
+  match Hashtbl.find_opt t.table (client, xid) with
+  | Some e ->
+      e.state <- Done (reply, Engine.now t.eng);
+      e.last_touch <- Engine.now t.eng
+  | None -> ()
+
+let forget t ~client ~xid = Hashtbl.remove t.table (client, xid)

@@ -1,0 +1,34 @@
+(** Duplicate request cache ([JUSZ89]: "Improving the Performance and
+    Correctness of an NFS Server").
+
+    Keyed by (client address, xid). A request seen while the same
+    request is {e in progress} is dropped; a request whose reply was
+    sent recently gets the cached reply retransmitted instead of being
+    re-executed — essential for non-idempotent operations under client
+    retransmission. *)
+
+type t
+
+type verdict =
+  | New  (** execute it (now marked in-progress) *)
+  | In_progress  (** drop: an nfsd is already on it *)
+  | Replay of Bytes.t  (** retransmit this cached reply *)
+
+val create : Nfsg_sim.Engine.t -> ?capacity:int -> ?ttl:Nfsg_sim.Time.t -> unit -> t
+(** [capacity] bounds entries (default 512, LRU eviction); [ttl] is how
+    long a completed reply stays replayable (default 6 s). *)
+
+val admit : t -> client:string -> xid:int -> verdict
+
+val complete : t -> client:string -> xid:int -> Bytes.t -> unit
+(** Record the encoded reply for future replays. *)
+
+val forget : t -> client:string -> xid:int -> unit
+(** Drop an in-progress entry without a reply (e.g. dispatch failed
+    before a reply existed). *)
+
+val entries : t -> int
+val drops : t -> int
+(** Requests dropped as in-progress duplicates. *)
+
+val replays : t -> int

@@ -1,0 +1,94 @@
+type call = { xid : int; prog : int; vers : int; proc : int; body : Bytes.t }
+
+type accept_stat = Success | Prog_unavail | Proc_unavail | Garbage_args | System_err
+
+type reply = { rxid : int; stat : accept_stat; rbody : Bytes.t }
+
+let nfs_program = 100003
+let nfs_version = 2
+let msg_call = 0
+let msg_reply = 1
+let rpc_version = 2
+
+let accept_stat_to_int = function
+  | Success -> 0
+  | Prog_unavail -> 1
+  | Proc_unavail -> 3
+  | Garbage_args -> 4
+  | System_err -> 5
+
+let accept_stat_of_int = function
+  | 0 -> Success
+  | 1 -> Prog_unavail
+  | 3 -> Proc_unavail
+  | 4 -> Garbage_args
+  | 5 -> System_err
+  | n -> raise (Xdr.Dec.Error (Printf.sprintf "bad accept_stat %d" n))
+
+let put_auth_null enc =
+  (* flavor AUTH_NULL, zero-length body *)
+  Xdr.Enc.uint32 enc 0;
+  Xdr.Enc.uint32 enc 0
+
+let get_auth dec =
+  let _flavor = Xdr.Dec.uint32 dec in
+  let body = Xdr.Dec.opaque dec in
+  ignore body
+
+let encode_call c =
+  let enc = Xdr.Enc.create ~size_hint:(64 + Bytes.length c.body) () in
+  Xdr.Enc.uint32 enc c.xid;
+  Xdr.Enc.enum enc msg_call;
+  Xdr.Enc.uint32 enc rpc_version;
+  Xdr.Enc.uint32 enc c.prog;
+  Xdr.Enc.uint32 enc c.vers;
+  Xdr.Enc.uint32 enc c.proc;
+  put_auth_null enc;
+  (* credentials *)
+  put_auth_null enc;
+  (* verifier *)
+  Xdr.Enc.raw enc c.body;
+  Xdr.Enc.to_bytes enc
+
+let decode_call bytes =
+  let dec = Xdr.Dec.of_bytes bytes in
+  let xid = Xdr.Dec.uint32 dec in
+  let mtype = Xdr.Dec.enum dec in
+  if mtype <> msg_call then raise (Xdr.Dec.Error "not a call");
+  let rv = Xdr.Dec.uint32 dec in
+  if rv <> rpc_version then raise (Xdr.Dec.Error "bad RPC version");
+  let prog = Xdr.Dec.uint32 dec in
+  let vers = Xdr.Dec.uint32 dec in
+  let proc = Xdr.Dec.uint32 dec in
+  get_auth dec;
+  get_auth dec;
+  { xid; prog; vers; proc; body = Xdr.Dec.rest dec }
+
+let encode_reply r =
+  let enc = Xdr.Enc.create ~size_hint:(32 + Bytes.length r.rbody) () in
+  Xdr.Enc.uint32 enc r.rxid;
+  Xdr.Enc.enum enc msg_reply;
+  (* reply_stat MSG_ACCEPTED *)
+  Xdr.Enc.enum enc 0;
+  put_auth_null enc;
+  (* verifier *)
+  Xdr.Enc.enum enc (accept_stat_to_int r.stat);
+  Xdr.Enc.raw enc r.rbody;
+  Xdr.Enc.to_bytes enc
+
+let decode_reply bytes =
+  let dec = Xdr.Dec.of_bytes bytes in
+  let rxid = Xdr.Dec.uint32 dec in
+  let mtype = Xdr.Dec.enum dec in
+  if mtype <> msg_reply then raise (Xdr.Dec.Error "not a reply");
+  let reply_stat = Xdr.Dec.enum dec in
+  if reply_stat <> 0 then raise (Xdr.Dec.Error "MSG_DENIED");
+  get_auth dec;
+  let stat = accept_stat_of_int (Xdr.Dec.enum dec) in
+  { rxid; stat; rbody = Xdr.Dec.rest dec }
+
+let is_call bytes =
+  Bytes.length bytes >= 8
+  && Int32.to_int (Bytes.get_int32_be bytes 4) = msg_call
+
+let peek_call bytes = try Some (decode_call bytes) with Xdr.Dec.Error _ -> None

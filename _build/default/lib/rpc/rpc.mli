@@ -1,0 +1,34 @@
+(** SunRPC (RFC 1057) message framing over UDP datagrams.
+
+    Only the slice of the protocol NFS v2 needs: AUTH_NULL credentials,
+    accepted/success replies plus the error accept-states the server
+    actually generates. *)
+
+type call = {
+  xid : int;
+  prog : int;
+  vers : int;
+  proc : int;
+  body : Bytes.t;  (** procedure-specific arguments, already XDR *)
+}
+
+type accept_stat = Success | Prog_unavail | Proc_unavail | Garbage_args | System_err
+
+type reply = { rxid : int; stat : accept_stat; rbody : Bytes.t }
+
+val encode_call : call -> Bytes.t
+val decode_call : Bytes.t -> call
+(** Raises {!Xdr.Dec.Error} on garbage. *)
+
+val encode_reply : reply -> Bytes.t
+val decode_reply : Bytes.t -> reply
+
+val is_call : Bytes.t -> bool
+(** Cheap test: does this datagram look like an RPC call? (For the
+    mbuf hunter, which must classify raw socket-buffer contents.) *)
+
+val peek_call : Bytes.t -> call option
+(** Non-raising decode, for scanning. *)
+
+val nfs_program : int
+val nfs_version : int

@@ -1,0 +1,138 @@
+open Nfsg_sim
+
+type op_class = Light | Middle | Heavy
+
+type params = { initial_rto : Time.t; min_rto : Time.t; max_rto : Time.t; max_attempts : int }
+
+let default_params =
+  {
+    initial_rto = Time.of_ms_f 1100.0;
+    min_rto = Time.ms 500;
+    max_rto = Time.sec 20;
+    max_attempts = 10;
+  }
+
+exception Timeout of int
+
+type rtt_state = { mutable srtt : Time.t; mutable rttvar : Time.t; mutable samples : int }
+
+type t = {
+  eng : Engine.t;
+  sock : Nfsg_net.Socket.t;
+  server : string;
+  params : params;
+  pending : (int, (Rpc.accept_stat * Bytes.t) option -> unit) Hashtbl.t;
+  rtt : (op_class, rtt_state) Hashtbl.t;
+  mutable next_xid : int;
+  mutable sent : int;
+  mutable retrans : int;
+  mutable stale : int;
+}
+
+let calls_sent t = t.sent
+let retransmissions t = t.retrans
+let stale_replies t = t.stale
+
+let demux t () =
+  let rec loop () =
+    let _src, datagram = Nfsg_net.Socket.recv t.sock in
+    (match Rpc.decode_reply datagram with
+    | exception Xdr.Dec.Error _ -> ()
+    | reply -> (
+        match Hashtbl.find_opt t.pending reply.Rpc.rxid with
+        | Some deliver ->
+            Hashtbl.remove t.pending reply.Rpc.rxid;
+            deliver (Some (reply.Rpc.stat, reply.Rpc.rbody))
+        | None -> t.stale <- t.stale + 1));
+    loop ()
+  in
+  loop ()
+
+let create eng ~sock ~server ?(params = default_params) () =
+  let t =
+    {
+      eng;
+      sock;
+      server;
+      params;
+      pending = Hashtbl.create 64;
+      rtt = Hashtbl.create 4;
+      next_xid = 1;
+      sent = 0;
+      retrans = 0;
+      stale = 0;
+    }
+  in
+  Engine.spawn eng ~name:(Nfsg_net.Socket.addr sock ^ "-rpc-demux") (demux t);
+  t
+
+let rtt_state t klass =
+  match Hashtbl.find_opt t.rtt klass with
+  | Some s -> s
+  | None ->
+      let s = { srtt = Time.zero; rttvar = Time.zero; samples = 0 } in
+      Hashtbl.replace t.rtt klass s;
+      s
+
+let rtt_estimate t klass =
+  match Hashtbl.find_opt t.rtt klass with
+  | Some s when s.samples > 0 -> Some s.srtt
+  | Some _ | None -> None
+
+let note_rtt t klass sample =
+  let s = rtt_state t klass in
+  if s.samples = 0 then begin
+    s.srtt <- sample;
+    s.rttvar <- sample / 2
+  end
+  else begin
+    (* Van Jacobson smoothing, integer arithmetic. *)
+    let err = sample - s.srtt in
+    s.srtt <- s.srtt + (err / 8);
+    s.rttvar <- s.rttvar + ((abs err - s.rttvar) / 4)
+  end;
+  s.samples <- s.samples + 1
+
+(* Starting timeout for a class: adapted once we have samples, the
+   paper's 1.1 s default until then. *)
+let rto_for t klass =
+  let s = rtt_state t klass in
+  if s.samples = 0 then t.params.initial_rto
+  else begin
+    let candidate = s.srtt + (4 * s.rttvar) in
+    Stdlib.min t.params.max_rto (Stdlib.max candidate t.params.min_rto)
+  end
+
+let call t ?(klass = Middle) ~proc body =
+  t.next_xid <- t.next_xid + 1;
+  let xid = t.next_xid in
+  let payload =
+    Rpc.encode_call
+      { Rpc.xid; prog = Rpc.nfs_program; vers = Rpc.nfs_version; proc; body }
+  in
+  let rec attempt n rto =
+    if n > t.params.max_attempts then raise (Timeout proc);
+    let sent_at = Engine.now t.eng in
+    Nfsg_net.Socket.send t.sock ~dst:t.server payload;
+    t.sent <- t.sent + 1;
+    if n > 1 then t.retrans <- t.retrans + 1;
+    let outcome =
+      Engine.suspend (fun wake ->
+          let tm =
+            Engine.timer t.eng ~after:rto (fun () ->
+                if Hashtbl.mem t.pending xid then begin
+                  Hashtbl.remove t.pending xid;
+                  wake None
+                end)
+          in
+          Hashtbl.replace t.pending xid (fun reply ->
+              ignore (Engine.cancel tm : bool);
+              wake reply))
+    in
+    match outcome with
+    | Some reply ->
+        note_rtt t klass (Engine.now t.eng - sent_at);
+        reply
+    | None -> attempt (n + 1) (Stdlib.min t.params.max_rto (2 * rto))
+  in
+  attempt 1 (rto_for t klass)

@@ -1,0 +1,44 @@
+(** Client-side RPC over UDP with retransmission and adaptive backoff.
+
+    One [t] per client host. A demultiplexing daemon matches incoming
+    replies to outstanding calls by xid. Calls that time out are
+    retransmitted with exponential backoff; the retransmission timer is
+    seeded per {e operation class} — the paper's point that servers are
+    judged by write (heavyweight), read (middleweight) and lookup
+    (lightweight) performance, with write latency steering the client's
+    view of the server. *)
+
+type t
+
+type op_class = Light | Middle | Heavy
+
+type params = {
+  initial_rto : Nfsg_sim.Time.t;  (** default 1.1 s, as in the paper *)
+  min_rto : Nfsg_sim.Time.t;
+      (** floor for the adapted timer (default 500 ms — 1990s clients
+          never retransmitted faster than a large fraction of a
+          second) *)
+  max_rto : Nfsg_sim.Time.t;
+  max_attempts : int;  (** give up (raise {!Timeout}) after this many sends *)
+}
+
+val default_params : params
+
+exception Timeout of int
+(** Procedure number that exhausted its attempts. *)
+
+val create :
+  Nfsg_sim.Engine.t -> sock:Nfsg_net.Socket.t -> server:string -> ?params:params -> unit -> t
+
+val call :
+  t -> ?klass:op_class -> proc:int -> Bytes.t -> Rpc.accept_stat * Bytes.t
+(** Blocking remote call; returns the decoded reply body. *)
+
+val rtt_estimate : t -> op_class -> Nfsg_sim.Time.t option
+(** Smoothed RTT for the class, once at least one sample exists. *)
+
+val calls_sent : t -> int
+val retransmissions : t -> int
+val stale_replies : t -> int
+(** Replies that arrived after their call had already been satisfied
+    (or abandoned) — usually the fruit of a retransmission. *)

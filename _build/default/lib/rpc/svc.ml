@@ -1,0 +1,103 @@
+open Nfsg_sim
+
+type transport = {
+  id : int;
+  mutable client : string;
+  mutable xid : int;
+  mutable live : bool;  (** checked out and not yet replied *)
+}
+
+type disposition = Reply of Rpc.accept_stat * Bytes.t | Reply_pending
+
+type t = {
+  eng : Engine.t;
+  sock : Nfsg_net.Socket.t;
+  dupcache : Dupcache.t option;
+  on_duplicate_drop : client:string -> Rpc.call -> unit;
+  free_handles : transport Queue.t;
+  mutable next_id : int;
+  mutable outstanding : int;
+  mutable received : int;
+  mutable garbage : int;
+}
+
+let client_of tr = tr.client
+let xid_of tr = tr.xid
+let handles_outstanding t = t.outstanding
+let handle_cache_size t = Queue.length t.free_handles
+let requests_received t = t.received
+let garbage_dropped t = t.garbage
+
+let take_handle t ~client ~xid =
+  let tr =
+    match Queue.take_opt t.free_handles with
+    | Some tr -> tr
+    | None ->
+        t.next_id <- t.next_id + 1;
+        { id = t.next_id; client = ""; xid = 0; live = false }
+  in
+  tr.client <- client;
+  tr.xid <- xid;
+  tr.live <- true;
+  t.outstanding <- t.outstanding + 1;
+  tr
+
+let send_reply t tr stat body =
+  if not tr.live then invalid_arg "Svc.send_reply: handle already completed";
+  tr.live <- false;
+  t.outstanding <- t.outstanding - 1;
+  let encoded = Rpc.encode_reply { Rpc.rxid = tr.xid; stat; rbody = body } in
+  (match t.dupcache with
+  | Some dc -> Dupcache.complete dc ~client:tr.client ~xid:tr.xid encoded
+  | None -> ());
+  Nfsg_net.Socket.send t.sock ~dst:tr.client encoded;
+  Queue.add tr t.free_handles
+
+let svc_run t dispatch () =
+  let rec loop () =
+    let client, datagram = Nfsg_net.Socket.recv t.sock in
+    t.received <- t.received + 1;
+    (match Rpc.decode_call datagram with
+    | exception Xdr.Dec.Error _ -> t.garbage <- t.garbage + 1
+    | call -> (
+        let verdict =
+          match t.dupcache with
+          | None -> Dupcache.New
+          | Some dc -> Dupcache.admit dc ~client ~xid:call.Rpc.xid
+        in
+        match verdict with
+        | Dupcache.In_progress -> t.on_duplicate_drop ~client call
+        | Dupcache.Replay reply -> Nfsg_net.Socket.send t.sock ~dst:client reply
+        | Dupcache.New -> (
+            let tr = take_handle t ~client ~xid:call.Rpc.xid in
+            match dispatch tr call with
+            | Reply (stat, body) -> send_reply t tr stat body
+            | Reply_pending ->
+                (* The handle stays checked out; another nfsd (or this
+                   one, later) finishes it via send_reply. We go
+                   straight back to the socket for more work. *)
+                ())));
+    loop ()
+  in
+  loop ()
+
+let create eng ~sock ?dupcache ?(on_duplicate_drop = fun ~client:_ _ -> ()) ~nfsds ~dispatch ()
+    =
+  if nfsds <= 0 then invalid_arg "Svc.create: need at least one nfsd";
+  let t =
+    {
+      eng;
+      sock;
+      dupcache;
+      on_duplicate_drop;
+      free_handles = Queue.create ();
+      next_id = 0;
+      outstanding = 0;
+      received = 0;
+      garbage = 0;
+    }
+  in
+  for i = 0 to nfsds - 1 do
+    Engine.spawn eng ~name:(Printf.sprintf "nfsd%d" i) (svc_run t dispatch)
+  done;
+  t

@@ -1,0 +1,50 @@
+(** Server-side RPC: the svc_run loop, the transport-handle cache, and
+    the {e delayed reply} architecture of paper section 6.1.
+
+    Each nfsd is a simulation process running the svc loop: take a
+    datagram off the NFS socket, decode, consult the duplicate cache,
+    and dispatch. The dispatch routine (the NFS server layer) returns
+    either [Reply] — the nfsd sends it and recycles its transport
+    handle — or [Reply_pending] — the handle is left checked out and
+    {e some other} nfsd will complete it later via {!send_reply}; the
+    original nfsd immediately takes a fresh handle from the cache and
+    looks for more work. This is exactly the architectural change that
+    lets one nfsd answer for another. *)
+
+type t
+
+type transport
+(** Checked-out transport handle: remembers the client address and xid
+    a delayed reply must go to. *)
+
+type disposition = Reply of Rpc.accept_stat * Bytes.t | Reply_pending
+
+val create :
+  Nfsg_sim.Engine.t ->
+  sock:Nfsg_net.Socket.t ->
+  ?dupcache:Dupcache.t ->
+  ?on_duplicate_drop:(client:string -> Rpc.call -> unit) ->
+  nfsds:int ->
+  dispatch:(transport -> Rpc.call -> disposition) ->
+  unit ->
+  t
+(** Spawns [nfsds] server daemons named nfsd0..n. [on_duplicate_drop]
+    fires when an in-progress duplicate is discarded — the hook the
+    write-gathering layer uses to avoid orphaned gathered writes
+    (section 6.9). *)
+
+val send_reply : t -> transport -> Rpc.accept_stat -> Bytes.t -> unit
+(** Complete a delayed (or immediate) reply: encode, transmit, record
+    in the duplicate cache, recycle the handle. Usable from any
+    process. Raises [Invalid_argument] if the handle was already
+    replied to. *)
+
+val client_of : transport -> string
+val xid_of : transport -> int
+
+val handles_outstanding : t -> int
+(** Handles checked out and not yet replied (pending writes). *)
+
+val handle_cache_size : t -> int
+val requests_received : t -> int
+val garbage_dropped : t -> int

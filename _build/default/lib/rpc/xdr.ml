@@ -1,0 +1,102 @@
+let pad4 n = (4 - (n mod 4)) mod 4
+
+module Enc = struct
+  type t = Buffer.t
+
+  let create ?(size_hint = 256) () = Buffer.create size_hint
+
+  let uint32 t v =
+    if v < 0 || v > 0xFFFFFFFF then invalid_arg (Printf.sprintf "Xdr.uint32: %d" v);
+    let b = Bytes.create 4 in
+    Bytes.set_int32_be b 0 (Int32.of_int v);
+    Buffer.add_bytes t b
+
+  let int32 t v =
+    if v < Int32.to_int Int32.min_int || v > Int32.to_int Int32.max_int then
+      invalid_arg (Printf.sprintf "Xdr.int32: %d" v);
+    let b = Bytes.create 4 in
+    Bytes.set_int32_be b 0 (Int32.of_int v);
+    Buffer.add_bytes t b
+
+  let uint64 t v =
+    if v < 0 then invalid_arg (Printf.sprintf "Xdr.uint64: %d" v);
+    let b = Bytes.create 8 in
+    Bytes.set_int64_be b 0 (Int64.of_int v);
+    Buffer.add_bytes t b
+
+  let bool t v = uint32 t (if v then 1 else 0)
+  let enum t v = int32 t v
+
+  let opaque_fixed t data =
+    Buffer.add_bytes t data;
+    Buffer.add_string t (String.make (pad4 (Bytes.length data)) '\000')
+
+  let opaque t data =
+    uint32 t (Bytes.length data);
+    opaque_fixed t data
+
+  let string t s = opaque t (Bytes.of_string s)
+  let raw t data = Buffer.add_bytes t data
+  let to_bytes t = Buffer.to_bytes t
+  let length t = Buffer.length t
+end
+
+module Dec = struct
+  type t = { buf : Bytes.t; mutable pos : int }
+
+  exception Error of string
+
+  let of_bytes ?(pos = 0) buf = { buf; pos }
+
+  let need t n =
+    if t.pos + n > Bytes.length t.buf then
+      raise (Error (Printf.sprintf "truncated: need %d at %d of %d" n t.pos (Bytes.length t.buf)))
+
+  let uint32 t =
+    need t 4;
+    let v = Int32.to_int (Bytes.get_int32_be t.buf t.pos) land 0xFFFFFFFF in
+    t.pos <- t.pos + 4;
+    v
+
+  let int32 t =
+    need t 4;
+    let v = Int32.to_int (Bytes.get_int32_be t.buf t.pos) in
+    t.pos <- t.pos + 4;
+    v
+
+  let uint64 t =
+    need t 8;
+    let v = Int64.to_int (Bytes.get_int64_be t.buf t.pos) in
+    t.pos <- t.pos + 8;
+    if v < 0 then raise (Error "uint64 overflow");
+    v
+
+  let bool t =
+    match uint32 t with
+    | 0 -> false
+    | 1 -> true
+    | n -> raise (Error (Printf.sprintf "bad bool %d" n))
+
+  let enum t = int32 t
+
+  let opaque_fixed t n =
+    if n < 0 then raise (Error "negative opaque length");
+    need t (n + pad4 n);
+    let v = Bytes.sub t.buf t.pos n in
+    t.pos <- t.pos + n + pad4 n;
+    v
+
+  let opaque t =
+    let n = uint32 t in
+    opaque_fixed t n
+
+  let string t = Bytes.to_string (opaque t)
+
+  let rest t =
+    let v = Bytes.sub t.buf t.pos (Bytes.length t.buf - t.pos) in
+    t.pos <- Bytes.length t.buf;
+    v
+
+  let pos t = t.pos
+  let remaining t = Bytes.length t.buf - t.pos
+end

@@ -1,0 +1,54 @@
+(** XDR (RFC 1014) serialisation: the wire encoding under SunRPC and
+    NFS. Everything is big-endian and padded to 4-byte alignment. *)
+
+module Enc : sig
+  type t
+
+  val create : ?size_hint:int -> unit -> t
+  val uint32 : t -> int -> unit
+  (** Raises [Invalid_argument] outside [0, 2^32). *)
+
+  val int32 : t -> int -> unit
+  val uint64 : t -> int -> unit
+  val bool : t -> bool -> unit
+  val enum : t -> int -> unit
+
+  val opaque_fixed : t -> Bytes.t -> unit
+  (** Raw bytes padded to a 4-byte boundary, no length prefix. *)
+
+  val opaque : t -> Bytes.t -> unit
+  (** Variable-length opaque: length prefix + padded bytes. *)
+
+  val string : t -> string -> unit
+
+  val raw : t -> Bytes.t -> unit
+  (** Append bytes verbatim, no padding — for embedding an
+      already-encoded XDR body whose length is known to the framing. *)
+
+  val to_bytes : t -> Bytes.t
+  val length : t -> int
+end
+
+module Dec : sig
+  type t
+
+  exception Error of string
+  (** Raised on truncated or malformed input. *)
+
+  val of_bytes : ?pos:int -> Bytes.t -> t
+  val uint32 : t -> int
+  val int32 : t -> int
+  val uint64 : t -> int
+  val bool : t -> bool
+  val enum : t -> int
+  val opaque_fixed : t -> int -> Bytes.t
+  val opaque : t -> Bytes.t
+  val string : t -> string
+
+  val rest : t -> Bytes.t
+  (** [rest t] is everything from the cursor to the end, verbatim (no
+      padding rules) — the body of an RPC message. *)
+
+  val pos : t -> int
+  val remaining : t -> int
+end

@@ -1,0 +1,117 @@
+open Effect
+open Effect.Deep
+
+type t = {
+  mutable clock : Time.t;
+  mutable seq : int;
+  events : (unit -> unit) Heap.t;
+  mutable suspended : int;
+}
+
+exception Not_in_process
+
+type _ Effect.t +=
+  | Delay : Time.t -> unit Effect.t
+  | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+  | Yield : unit Effect.t
+
+let current_name = ref "?"
+let self_name () = !current_name
+
+let create () = { clock = Time.zero; seq = 0; events = Heap.create (); suspended = 0 }
+let now t = t.clock
+let suspended_count t = t.suspended
+
+let push_at t time f =
+  t.seq <- t.seq + 1;
+  Heap.add t.events ~key:time ~seq:t.seq f
+
+let push t f = push_at t t.clock f
+
+let schedule t ~after f =
+  if after < 0 then invalid_arg "Engine.schedule: negative delay";
+  push_at t (t.clock + after) f
+
+type timer = { mutable cancelled : bool; mutable fired : bool }
+
+let timer t ~after f =
+  let tm = { cancelled = false; fired = false } in
+  schedule t ~after (fun () ->
+      if not tm.cancelled then begin
+        tm.fired <- true;
+        f ()
+      end);
+  tm
+
+let cancel tm =
+  if tm.fired || tm.cancelled then false
+  else begin
+    tm.cancelled <- true;
+    true
+  end
+
+let spawn t ?(name = "proc") f =
+  let handler =
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay d ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  if d < 0 then invalid_arg "Engine.delay: negative delay";
+                  t.suspended <- t.suspended + 1;
+                  push_at t (t.clock + d) (fun () ->
+                      t.suspended <- t.suspended - 1;
+                      current_name := name;
+                      continue k ()))
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  t.suspended <- t.suspended + 1;
+                  let woken = ref false in
+                  let wake v =
+                    if !woken then invalid_arg "Engine.suspend: woken twice";
+                    woken := true;
+                    push t (fun () ->
+                        t.suspended <- t.suspended - 1;
+                        current_name := name;
+                        continue k v)
+                  in
+                  register wake)
+          | Yield ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  push t (fun () ->
+                      current_name := name;
+                      continue k ()))
+          | _ -> None);
+    }
+  in
+  push t (fun () ->
+      current_name := name;
+      match_with f () handler)
+
+let run ?until t =
+  let continue_run () =
+    match Heap.peek t.events with
+    | None -> false
+    | Some (key, _, _) -> ( match until with Some u -> key <= u | None -> true)
+  in
+  while continue_run () do
+    match Heap.pop t.events with
+    | None -> assert false
+    | Some (key, _, f) ->
+        t.clock <- key;
+        f ()
+  done;
+  match until with Some u when t.clock < u -> t.clock <- u | Some _ | None -> ()
+
+let not_in_process_guard (f : unit -> 'a) : 'a =
+  try f () with Effect.Unhandled _ -> raise Not_in_process
+
+let delay d = not_in_process_guard (fun () -> perform (Delay d))
+let suspend register = not_in_process_guard (fun () -> perform (Suspend register))
+let yield () = not_in_process_guard (fun () -> perform Yield)

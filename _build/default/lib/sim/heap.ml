@@ -1,0 +1,69 @@
+type 'a entry = { key : int; seq : int; v : 'a }
+
+type 'a t = { mutable arr : 'a entry option array; mutable len : int }
+
+let create () = { arr = Array.make 16 None; len = 0 }
+let size h = h.len
+let is_empty h = h.len = 0
+
+let get h i =
+  match h.arr.(i) with
+  | Some e -> e
+  | None -> invalid_arg "Heap.get: hole in heap"
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow h =
+  let arr = Array.make (2 * Array.length h.arr) None in
+  Array.blit h.arr 0 arr 0 h.len;
+  h.arr <- arr
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less (get h i) (get h parent) then begin
+      let tmp = h.arr.(i) in
+      h.arr.(i) <- h.arr.(parent);
+      h.arr.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && less (get h l) (get h !smallest) then smallest := l;
+  if r < h.len && less (get h r) (get h !smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.arr.(i) in
+    h.arr.(i) <- h.arr.(!smallest);
+    h.arr.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let add h ~key ~seq v =
+  if h.len = Array.length h.arr then grow h;
+  h.arr.(h.len) <- Some { key; seq; v };
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let peek h =
+  if h.len = 0 then None
+  else
+    let e = get h 0 in
+    Some (e.key, e.seq, e.v)
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let e = get h 0 in
+    h.len <- h.len - 1;
+    h.arr.(0) <- h.arr.(h.len);
+    h.arr.(h.len) <- None;
+    if h.len > 0 then sift_down h 0;
+    Some (e.key, e.seq, e.v)
+  end
+
+let clear h =
+  Array.fill h.arr 0 (Array.length h.arr) None;
+  h.len <- 0

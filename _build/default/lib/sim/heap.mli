@@ -1,0 +1,29 @@
+(** Array-based binary min-heap used as the simulator event queue.
+
+    Entries are ordered by an integer key with an integer sequence
+    number as tie-breaker, so two entries with equal keys pop in
+    insertion order. This FIFO tie-break is what makes simultaneous
+    simulation events deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** [create ()] is an empty heap. *)
+
+val size : 'a t -> int
+(** Number of entries currently in the heap. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> key:int -> seq:int -> 'a -> unit
+(** [add h ~key ~seq v] inserts [v] with priority [(key, seq)]. *)
+
+val peek : 'a t -> (int * int * 'a) option
+(** [peek h] is the minimum entry as [(key, seq, value)] without
+    removing it, or [None] if the heap is empty. *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** [pop h] removes and returns the minimum entry. *)
+
+val clear : 'a t -> unit
+(** Remove every entry. *)

@@ -1,0 +1,22 @@
+(** Write-once synchronisation variable ("promise").
+
+    Processes block in {!read} until some party calls {!fill}. Used for
+    request/response rendezvous (e.g. an RPC reply) and as a join point
+    for spawned processes. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** [fill iv v] resolves the ivar and wakes all readers. Raises
+    [Invalid_argument] if already filled. *)
+
+val read : 'a t -> 'a
+(** Blocks the calling process until filled; returns immediately if
+    already filled. *)
+
+val peek : 'a t -> 'a option
+(** Non-blocking view of the value. *)
+
+val is_filled : 'a t -> bool

@@ -1,0 +1,47 @@
+type t = {
+  eng : Engine.t;
+  name : string;
+  capacity : int;
+  mutable in_service : int;
+  mutable busy : Time.t;
+  mutable jobs : int;
+  waiting : (unit -> unit) Queue.t;
+}
+
+let create eng ?(capacity = 1) name =
+  if capacity <= 0 then invalid_arg (name ^ ": capacity must be positive");
+  { eng; name; capacity; in_service = 0; busy = Time.zero; jobs = 0; waiting = Queue.create () }
+
+let name r = r.name
+let capacity r = r.capacity
+let busy_time r = r.busy
+let jobs r = r.jobs
+let queue_length r = Queue.length r.waiting
+let in_service r = r.in_service
+
+let acquire r =
+  if r.in_service < r.capacity then r.in_service <- r.in_service + 1
+  else begin
+    Engine.suspend (fun wake -> Queue.add (fun () -> wake ()) r.waiting);
+    (* The releaser kept the slot count up across the hand-off. *)
+    ()
+  end
+
+let release r =
+  match Queue.take_opt r.waiting with
+  | Some wake -> wake () (* slot passes directly to the next waiter *)
+  | None -> r.in_service <- r.in_service - 1
+
+let charge r d = r.busy <- r.busy + d
+
+let use r d =
+  acquire r;
+  Engine.delay d;
+  r.busy <- r.busy + d;
+  r.jobs <- r.jobs + 1;
+  release r
+
+let utilization r ~busy0 ~t0 =
+  let elapsed = Engine.now r.eng - t0 in
+  if elapsed <= 0 then 0.0
+  else float_of_int (r.busy - busy0) /. float_of_int (elapsed * r.capacity)

@@ -1,0 +1,1 @@
+lib/stats/report.ml: Array Buffer Float List Printf Stdlib String

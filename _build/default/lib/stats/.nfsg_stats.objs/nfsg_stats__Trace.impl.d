@@ -1,0 +1,1 @@
+lib/stats/trace.ml: Buffer Engine List Nfsg_sim Printf Stdlib String Time

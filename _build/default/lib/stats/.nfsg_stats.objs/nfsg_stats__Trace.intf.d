@@ -1,0 +1,1 @@
+lib/stats/trace.mli: Nfsg_sim

@@ -1,0 +1,56 @@
+type t = {
+  least : float;
+  growth : float;
+  counts : int array;
+  mutable n : int;
+  mutable total : float;
+}
+
+let create ?(least = 1.0) ?(growth = 1.25) ?(buckets = 128) () =
+  if least <= 0.0 then invalid_arg "Histogram.create: least must be positive";
+  if growth <= 1.0 then invalid_arg "Histogram.create: growth must exceed 1";
+  if buckets < 2 then invalid_arg "Histogram.create: need at least 2 buckets";
+  { least; growth; counts = Array.make buckets 0; n = 0; total = 0.0 }
+
+let bucket_of h x =
+  if x < h.least then 0
+  else
+    let i = 1 + int_of_float (log (x /. h.least) /. log h.growth) in
+    Stdlib.min i (Array.length h.counts - 1)
+
+let upper_edge h i = if i = 0 then h.least else h.least *. (h.growth ** float_of_int i)
+
+let add h x =
+  let i = bucket_of h x in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.n <- h.n + 1;
+  h.total <- h.total +. x
+
+let count h = h.n
+let mean h = if h.n = 0 then 0.0 else h.total /. float_of_int h.n
+
+let quantile h q =
+  if h.n = 0 then 0.0
+  else begin
+    let target = int_of_float (Float.round (q *. float_of_int (h.n - 1))) in
+    let seen = ref 0 and result = ref (upper_edge h (Array.length h.counts - 1)) in
+    (try
+       Array.iteri
+         (fun i c ->
+           seen := !seen + c;
+           if !seen > target then begin
+             result := upper_edge h i;
+             raise Exit
+           end)
+         h.counts
+     with Exit -> ());
+    !result
+  end
+
+let median h = quantile h 0.5
+let p99 h = quantile h 0.99
+
+let reset h =
+  Array.fill h.counts 0 (Array.length h.counts) 0;
+  h.n <- 0;
+  h.total <- 0.0

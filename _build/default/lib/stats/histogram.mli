@@ -1,0 +1,24 @@
+(** Log-bucketed histogram for latency-like quantities.
+
+    Buckets grow geometrically from [least] with ratio [growth], so a
+    histogram spanning nanoseconds to seconds needs only a few dozen
+    buckets while keeping relative error bounded by [growth - 1]. *)
+
+type t
+
+val create : ?least:float -> ?growth:float -> ?buckets:int -> unit -> t
+(** Defaults: [least = 1.0], [growth = 1.25], [buckets = 128]. Values
+    below [least] land in bucket 0; values beyond the last bucket are
+    clamped into it. *)
+
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+
+val quantile : t -> float -> float
+(** [quantile h q] for [q] in [\[0,1\]], estimated as the upper edge of
+    the bucket containing the [q]-th sample. 0 when empty. *)
+
+val median : t -> float
+val p99 : t -> float
+val reset : t -> unit

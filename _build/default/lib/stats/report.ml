@@ -1,0 +1,58 @@
+type line = Section of string | Row of string * string list
+
+type t = { title : string; columns : string list; mutable lines : line list }
+
+let create ~title ~columns = { title; columns; lines = [] }
+let add_section t s = t.lines <- Section s :: t.lines
+
+let cell_of_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.1f" v
+
+let add_row t label cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Report.add_row %S: %d cells for %d columns" label (List.length cells)
+         (List.length t.columns));
+  t.lines <- Row (label, List.map cell_of_float cells) :: t.lines
+
+let add_text_row t label cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Report.add_text_row: cell count mismatch";
+  t.lines <- Row (label, cells) :: t.lines
+
+let to_string t =
+  let lines = List.rev t.lines in
+  let label_width =
+    List.fold_left
+      (fun w line -> match line with Row (l, _) -> Stdlib.max w (String.length l) | Section _ -> w)
+      (String.length "") lines
+  in
+  let ncols = List.length t.columns in
+  let col_widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> col_widths.(i) <- Stdlib.max col_widths.(i) (String.length c)) cells
+  in
+  measure t.columns;
+  List.iter (function Row (_, cells) -> measure cells | Section _ -> ()) lines;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  let pad_left s w = String.make (w - String.length s) ' ' ^ s in
+  let pad_right s w = s ^ String.make (w - String.length s) ' ' in
+  let render_row label cells =
+    Buffer.add_string buf (pad_right label label_width);
+    List.iteri (fun i c -> Buffer.add_string buf ("  " ^ pad_left c col_widths.(i))) cells;
+    Buffer.add_char buf '\n'
+  in
+  render_row "" t.columns;
+  List.iter
+    (function
+      | Section s ->
+          Buffer.add_string buf s;
+          Buffer.add_char buf '\n'
+      | Row (label, cells) -> render_row label cells)
+    lines;
+  Buffer.contents buf
+
+let print t = print_string (to_string t)

@@ -1,0 +1,27 @@
+(** Plain-text table rendering for experiment output.
+
+    Produces the aligned rows the paper's tables use, e.g.:
+
+    {v
+    # of Client Biods          0     3     7    11    15
+    client write speed (KB/s) 165   194   201   203   205
+    v} *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** [columns] are the header cells after the row-label column. *)
+
+val add_section : t -> string -> unit
+(** A full-width sub-heading row (e.g. "Without Write Gathering"). *)
+
+val add_row : t -> string -> float list -> unit
+(** [add_row t label cells] — cells are rendered with up to one decimal
+    place, dropping a trailing [.0]. Cell count must match
+    [columns]. *)
+
+val add_text_row : t -> string -> string list -> unit
+
+val to_string : t -> string
+val print : t -> unit
+(** [to_string]/[print] render the table with aligned columns. *)

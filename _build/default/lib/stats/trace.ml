@@ -1,0 +1,34 @@
+open Nfsg_sim
+
+type t = {
+  eng : Engine.t;
+  enabled : bool;
+  mutable entries : (Time.t * string * string) list; (* newest first *)
+}
+
+let create ?(enabled = true) eng = { eng; enabled; entries = [] }
+let enabled t = t.enabled
+
+let emit t ~actor event =
+  if t.enabled then t.entries <- (Engine.now t.eng, actor, event) :: t.entries
+
+let events t = List.rev t.entries
+
+let render t =
+  match events t with
+  | [] -> "(empty trace)\n"
+  | (t0, _, _) :: _ as evs ->
+      let buf = Buffer.create 1024 in
+      let actor_width =
+        List.fold_left (fun w (_, a, _) -> Stdlib.max w (String.length a)) 0 evs
+      in
+      List.iter
+        (fun (tm, actor, event) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  t=+%8.3fms  %-*s  %s\n"
+               (Time.to_ms_f (tm - t0))
+               actor_width actor event))
+        evs;
+      Buffer.contents buf
+
+let clear t = t.entries <- []

@@ -1,0 +1,22 @@
+(** Timeline event recorder, used to regenerate the paper's Figure 1
+    (packet/disk activity of a standard vs a gathering server). *)
+
+type t
+
+val create : ?enabled:bool -> Nfsg_sim.Engine.t -> t
+(** Disabled recorders make {!emit} a no-op so traced code can run in
+    benchmarks at full speed. *)
+
+val enabled : t -> bool
+
+val emit : t -> actor:string -> string -> unit
+(** Record an event for [actor] at the current virtual time. *)
+
+val events : t -> (Nfsg_sim.Time.t * string * string) list
+(** All recorded events, oldest first. *)
+
+val render : t -> string
+(** Text timeline: one line per event, ["  t=+12.34ms  actor  event"],
+    with time relative to the first event. *)
+
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/ufs/alloc.ml: Buffer_cache Bytes Char Layout Printf

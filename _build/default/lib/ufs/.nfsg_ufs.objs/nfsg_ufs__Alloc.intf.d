@@ -1,0 +1,1 @@
+lib/ufs/alloc.mli: Buffer_cache Layout

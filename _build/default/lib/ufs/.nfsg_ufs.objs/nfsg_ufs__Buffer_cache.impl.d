@@ -1,0 +1,1 @@
+lib/ufs/buffer_cache.ml: Bytes Device Hashtbl List Nfsg_disk Option Printf Stdlib

@@ -1,0 +1,1 @@
+lib/ufs/fs.ml: Alloc Array Buffer_cache Bytes Char Engine Hashtbl Layout List Mutex Nfsg_disk Nfsg_sim Option Printf Stdlib Time

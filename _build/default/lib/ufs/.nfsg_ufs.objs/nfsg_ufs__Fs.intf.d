@@ -1,0 +1,1 @@
+lib/ufs/fs.mli: Buffer_cache Bytes Layout Nfsg_disk Nfsg_sim

@@ -1,0 +1,1 @@
+lib/ufs/layout.mli: Bytes

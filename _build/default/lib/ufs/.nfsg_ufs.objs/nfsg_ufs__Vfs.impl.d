@@ -1,0 +1,1 @@
+lib/ufs/vfs.ml: Fs Layout List Nfsg_disk Nfsg_sim

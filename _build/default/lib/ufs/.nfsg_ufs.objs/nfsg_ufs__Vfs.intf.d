@@ -1,0 +1,1 @@
+lib/ufs/vfs.mli: Bytes Fs Layout Nfsg_sim

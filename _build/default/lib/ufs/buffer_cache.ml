@@ -1,0 +1,171 @@
+open Nfsg_disk
+
+type kind = Data | Metadata
+
+type entry = { buf : Bytes.t; mutable dirty : kind option; mutable last_use : int }
+
+type t = {
+  dev : Device.t;
+  bsize : int;
+  table : (int, entry) Hashtbl.t;
+  max_blocks : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create dev ~bsize ?(max_blocks = max_int) () =
+  if max_blocks < 8 then invalid_arg "buffer_cache: max_blocks too small";
+  {
+    dev;
+    bsize;
+    table = Hashtbl.create 1024;
+    max_blocks;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let bsize c = c.bsize
+let device c = c.dev
+let hits c = c.hits
+let misses c = c.misses
+let resident c = Hashtbl.length c.table
+let evictions c = c.evictions
+
+let touch c e =
+  c.tick <- c.tick + 1;
+  e.last_use <- c.tick
+
+(* Evict the least-recently-used clean block if over capacity. Dirty
+   blocks are pinned until flushed. *)
+let make_room c =
+  if Hashtbl.length c.table >= c.max_blocks then begin
+    let victim = ref None in
+    Hashtbl.iter
+      (fun b e ->
+        if e.dirty = None then
+          match !victim with
+          | Some (_, ve) when ve.last_use <= e.last_use -> ()
+          | _ -> victim := Some (b, e))
+      c.table;
+    match !victim with
+    | Some (b, _) ->
+        Hashtbl.remove c.table b;
+        c.evictions <- c.evictions + 1
+    | None -> ()
+  end
+
+let get c b =
+  match Hashtbl.find_opt c.table b with
+  | Some e ->
+      c.hits <- c.hits + 1;
+      touch c e;
+      e.buf
+  | None ->
+      c.misses <- c.misses + 1;
+      let buf = c.dev.Device.read ~off:(b * c.bsize) ~len:c.bsize in
+      (* A concurrent reader may have populated the block while we were
+         waiting on the device; keep the first copy to stay coherent. *)
+      (match Hashtbl.find_opt c.table b with
+      | Some e ->
+          touch c e;
+          e.buf
+      | None ->
+          make_room c;
+          let e = { buf; dirty = None; last_use = 0 } in
+          touch c e;
+          Hashtbl.replace c.table b e;
+          buf)
+
+let get_fresh c b =
+  match Hashtbl.find_opt c.table b with
+  | Some e ->
+      c.hits <- c.hits + 1;
+      touch c e;
+      e.buf
+  | None ->
+      make_room c;
+      let buf = Bytes.make c.bsize '\000' in
+      let e = { buf; dirty = None; last_use = 0 } in
+      touch c e;
+      Hashtbl.replace c.table b e;
+      buf
+
+let peek c b = Option.map (fun e -> e.buf) (Hashtbl.find_opt c.table b)
+
+let mark_dirty c b kind =
+  match Hashtbl.find_opt c.table b with
+  | None -> invalid_arg (Printf.sprintf "buffer_cache: mark_dirty of uncached block %d" b)
+  | Some e -> (
+      match (e.dirty, kind) with
+      | Some Metadata, Data -> ()
+      | _ -> e.dirty <- Some kind)
+
+let is_dirty c b =
+  match Hashtbl.find_opt c.table b with Some { dirty = Some _; _ } -> true | _ -> false
+
+let write_sync c b =
+  match Hashtbl.find_opt c.table b with
+  | None -> ()
+  | Some e ->
+      (* Snapshot so later in-core mutations don't leak into a write
+         already in flight. *)
+      let snapshot = Bytes.copy e.buf in
+      e.dirty <- None;
+      c.dev.Device.write ~off:(b * c.bsize) snapshot
+
+let dirty_blocks c kind =
+  Hashtbl.fold (fun b e acc -> if e.dirty = Some kind then b :: acc else acc) c.table []
+  |> List.sort compare
+
+let sync_clustered c blocks ~max_cluster =
+  let eligible =
+    List.sort_uniq compare (List.filter (fun b -> is_dirty c b) blocks)
+  in
+  let max_blocks = Stdlib.max 1 (max_cluster / c.bsize) in
+  (* Group device-contiguous runs, bounded by the cluster size. *)
+  let rec runs acc current = function
+    | [] -> List.rev (match current with [] -> acc | r -> List.rev r :: acc)
+    | b :: rest -> (
+        match current with
+        | prev :: _ when b = prev + 1 && List.length current < max_blocks ->
+            runs acc (b :: current) rest
+        | [] -> runs acc [ b ] rest
+        | r -> runs (List.rev r :: acc) [ b ] rest)
+  in
+  let flush_run run =
+    match run with
+    | [] -> ()
+    | first :: _ ->
+        let n = List.length run in
+        let big = Bytes.create (n * c.bsize) in
+        List.iteri
+          (fun i b ->
+            match Hashtbl.find_opt c.table b with
+            | Some e ->
+                Bytes.blit e.buf 0 big (i * c.bsize) c.bsize;
+                e.dirty <- None
+            | None -> assert false)
+          run;
+        c.dev.Device.write ~off:(first * c.bsize) big
+  in
+  List.iter flush_run (runs [] [] eligible)
+
+let install c b bytes =
+  if not (Hashtbl.mem c.table b) then begin
+    if Bytes.length bytes <> c.bsize then invalid_arg "buffer_cache: install of odd-sized buffer";
+    make_room c;
+    let e = { buf = Bytes.copy bytes; dirty = None; last_use = 0 } in
+    touch c e;
+    Hashtbl.replace c.table b e
+  end
+
+let drop c b = Hashtbl.remove c.table b
+
+let crash c =
+  Hashtbl.reset c.table;
+  c.hits <- 0;
+  c.misses <- 0

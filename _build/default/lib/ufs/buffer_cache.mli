@@ -1,0 +1,70 @@
+(** Block buffer cache over a {!Nfsg_disk.Device}.
+
+    Caches whole filesystem blocks. Reads miss through to the device
+    (costing simulated time); writes are either synchronous
+    (write-through, timed) or {e delayed} — the dirty-in-core state the
+    paper's IO_DELAYDATA flag creates, which {!sync_clustered} later
+    pushes out in few large transactions ([MCVO91]-style clustering).
+
+    Buffers returned by {!get} are the cache's own: mutate them in
+    place, then call {!mark_dirty} or {!write_sync}. The whole cache is
+    volatile: {!crash} drops everything. *)
+
+type kind = Data | Metadata
+
+type t
+
+val create : Nfsg_disk.Device.t -> bsize:int -> ?max_blocks:int -> unit -> t
+(** [max_blocks] bounds the cache (default: unbounded); on overflow the
+    least-recently-used clean block is evicted. Dirty blocks are
+    pinned, exactly like real buffer-cache buffers awaiting write. *)
+
+val bsize : t -> int
+val device : t -> Nfsg_disk.Device.t
+
+val get : t -> int -> Bytes.t
+(** [get c b] is block [b]'s buffer, reading it from the device
+    (blocking, timed) on a miss. *)
+
+val get_fresh : t -> int -> Bytes.t
+(** Like {!get} but on a miss installs a zero buffer without device
+    I/O — for blocks known to be newly allocated. *)
+
+val peek : t -> int -> Bytes.t option
+(** Cached buffer if present; no I/O. *)
+
+val mark_dirty : t -> int -> kind -> unit
+(** Delayed write: remember that block [b] must reach the device
+    eventually. A block already dirty as [Metadata] stays [Metadata]
+    even if re-marked [Data]. *)
+
+val is_dirty : t -> int -> bool
+
+val write_sync : t -> int -> unit
+(** Write the cached buffer of block [b] to the device now (blocking,
+    timed — one transaction) and mark it clean. No-op if the block is
+    not cached. *)
+
+val sync_clustered : t -> int list -> max_cluster:int -> unit
+(** Write the given dirty blocks, coalescing device-contiguous runs
+    into single transactions of at most [max_cluster] bytes. Blocks
+    that are not cached or not dirty are skipped. Clears dirtiness. *)
+
+val dirty_blocks : t -> kind -> int list
+(** Sorted block numbers currently dirty with the given kind. *)
+
+val install : t -> int -> Bytes.t -> unit
+(** Seed the cache with a clean buffer for block [b] without device
+    I/O (mount-time prewarm from stable storage). The bytes are copied.
+    No-op if the block is already cached. *)
+
+val drop : t -> int -> unit
+(** Forget one block (e.g. after freeing it). *)
+
+val crash : t -> unit
+(** Volatile: lose every buffer and all dirty state. *)
+
+val hits : t -> int
+val misses : t -> int
+val resident : t -> int
+val evictions : t -> int

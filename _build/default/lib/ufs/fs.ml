@@ -1,0 +1,765 @@
+open Nfsg_sim
+module Device = Nfsg_disk.Device
+
+type inode = {
+  inum : int;
+  mutable ftype : Layout.ftype;
+  mutable nlink : int;
+  mutable size : int;
+  mutable mtime : Time.t;
+  mutable atime : Time.t;
+  mutable ctime : Time.t;
+  mutable direct : int array;
+  mutable single_ind : int;
+  mutable double_ind : int;
+  mutable gen : int;
+  mutable meta_dirty : [ `Clean | `Time_only | `Dirty ];
+  mutable dirty_indirects : int list;
+  lock : Mutex.t;
+}
+
+type t = {
+  eng : Engine.t;
+  dev : Device.t;
+  sb : Layout.superblock;
+  bcache : Buffer_cache.t;
+  balloc : Alloc.t;
+  incore : (int, inode) Hashtbl.t;
+  gens : int array;  (** current generation per inode slot *)
+  used : bool array;  (** slot in use *)
+  mutable free_blocks : int;
+  mutable cluster_max : int;
+}
+
+type attr = {
+  ftype : Layout.ftype;
+  nlink : int;
+  size : int;
+  mtime : Time.t;
+  atime : Time.t;
+  ctime : Time.t;
+  inum : int;
+  gen : int;
+}
+
+type fsstat = { total_blocks : int; free_blocks : int; bsize : int }
+
+exception Stale of int
+exception Not_dir of int
+exception Is_dir of int
+exception Not_symlink of int
+exception Exists of string
+exception No_space
+
+let engine t = t.eng
+let device t = t.dev
+let cache t = t.bcache
+let superblock t = t.sb
+let bsize t = t.sb.Layout.bsize
+let cluster_max t = t.cluster_max
+
+let set_cluster_max t n =
+  if n < bsize t then invalid_arg "Fs.set_cluster_max: below block size";
+  t.cluster_max <- n
+
+let inum (i : inode) = i.inum
+let generation (i : inode) = i.gen
+let lock_of (i : inode) = i.lock
+let meta_dirty (i : inode) = i.meta_dirty
+
+(* {1 mkfs} *)
+
+let mkfs dev ?(bsize = 8192) ?(ninodes = 4096) () =
+  let sb = Layout.make_superblock ~bsize ~capacity:dev.Device.capacity ~ninodes in
+  dev.Device.stable_write ~off:0 (Layout.encode_superblock sb);
+  (* Bitmap: metadata blocks allocated, data area free. *)
+  let zero = Bytes.make bsize '\000' in
+  for b = sb.Layout.bitmap_start to sb.Layout.bitmap_start + sb.Layout.bitmap_blocks - 1 do
+    dev.Device.stable_write ~off:(b * bsize) zero
+  done;
+  let bitmap = Bytes.make (sb.Layout.bitmap_blocks * bsize) '\000' in
+  for b = 0 to sb.Layout.data_start - 1 do
+    let byte = Char.code (Bytes.get bitmap (b / 8)) in
+    Bytes.set bitmap (b / 8) (Char.chr (byte lor (1 lsl (b mod 8))))
+  done;
+  dev.Device.stable_write ~off:(sb.Layout.bitmap_start * bsize) bitmap;
+  (* Inode table: all free, root directory at inode 1. *)
+  for b = sb.Layout.itable_start to sb.Layout.itable_start + sb.Layout.itable_blocks - 1 do
+    dev.Device.stable_write ~off:(b * bsize) zero
+  done;
+  let root =
+    { Layout.zero_dinode with Layout.ftype = Layout.Directory; nlink = 1; gen = 1 }
+  in
+  let rblk, roff = Layout.inode_block sb sb.Layout.root_inum in
+  dev.Device.stable_write ~off:((rblk * bsize) + roff) (Layout.encode_dinode root)
+
+(* {1 Block mapping} *)
+
+let ppb t = Layout.pointers_per_block t.sb
+
+let alloc_block t ?near () =
+  match Alloc.alloc t.balloc ?near () with
+  | b ->
+      t.free_blocks <- t.free_blocks - 1;
+      b
+  | exception Alloc.No_space -> raise No_space
+
+let free_block t b =
+  Alloc.free t.balloc b;
+  Buffer_cache.drop t.bcache b;
+  t.free_blocks <- t.free_blocks + 1
+
+let mark_indirect_dirty t (ino : inode) b =
+  Buffer_cache.mark_dirty t.bcache b Buffer_cache.Metadata;
+  if not (List.mem b ino.dirty_indirects) then ino.dirty_indirects <- b :: ino.dirty_indirects
+
+(* Map file block [fbn] to a disk block. With [alloc_missing], holes
+   (and missing indirect blocks) are allocated; [near] seeds locality.
+   Returns 0 for an unmapped hole when not allocating. *)
+let bmap t (ino : inode) fbn ~alloc_missing ~near =
+  if fbn < 0 || fbn >= Layout.max_file_blocks t.sb then
+    invalid_arg (Printf.sprintf "bmap: file block %d out of range" fbn);
+  let get_slot ib idx =
+    let buf = Buffer_cache.get t.bcache ib in
+    Layout.get_pointer buf idx
+  in
+  let set_slot ib idx v =
+    let buf = Buffer_cache.get t.bcache ib in
+    Layout.set_pointer buf idx v;
+    mark_indirect_dirty t ino ib
+  in
+  let alloc_data ib_opt idx_opt =
+    let b = alloc_block t ?near () in
+    (match (ib_opt, idx_opt) with
+    | Some ib, Some idx -> set_slot ib idx b
+    | None, None -> ()
+    | _ -> assert false);
+    ino.meta_dirty <- `Dirty;
+    b
+  in
+  let nd = Layout.nd_direct in
+  if fbn < nd then begin
+    let b = ino.direct.(fbn) in
+    if b <> 0 then b
+    else if not alloc_missing then 0
+    else begin
+      let b = alloc_data None None in
+      ino.direct.(fbn) <- b;
+      b
+    end
+  end
+  else begin
+    let p = ppb t in
+    let ensure_indirect current set_field =
+      if current <> 0 then current
+      else begin
+        let b = alloc_block t ?near () in
+        ignore (Buffer_cache.get_fresh t.bcache b : Bytes.t);
+        mark_indirect_dirty t ino b;
+        set_field b;
+        ino.meta_dirty <- `Dirty;
+        b
+      end
+    in
+    if fbn < nd + p then begin
+      let idx = fbn - nd in
+      if ino.single_ind = 0 && not alloc_missing then 0
+      else begin
+        let ib = ensure_indirect ino.single_ind (fun b -> ino.single_ind <- b) in
+        let b = get_slot ib idx in
+        if b <> 0 then b
+        else if not alloc_missing then 0
+        else alloc_data (Some ib) (Some idx)
+      end
+    end
+    else begin
+      let idx = fbn - nd - p in
+      let d1 = idx / p and d2 = idx mod p in
+      if ino.double_ind = 0 && not alloc_missing then 0
+      else begin
+        let ib1 = ensure_indirect ino.double_ind (fun b -> ino.double_ind <- b) in
+        let l2 = get_slot ib1 d1 in
+        if l2 = 0 && not alloc_missing then 0
+        else begin
+          let ib2 =
+            if l2 <> 0 then l2
+            else begin
+              let b = alloc_block t ?near () in
+              ignore (Buffer_cache.get_fresh t.bcache b : Bytes.t);
+              mark_indirect_dirty t ino b;
+              set_slot ib1 d1 b;
+              ino.meta_dirty <- `Dirty;
+              b
+            end
+          in
+          let b = get_slot ib2 d2 in
+          if b <> 0 then b
+          else if not alloc_missing then 0
+          else alloc_data (Some ib2) (Some d2)
+        end
+      end
+    end
+  end
+
+let getattr (i : inode) =
+  {
+    ftype = i.ftype;
+    nlink = i.nlink;
+    size = i.size;
+    mtime = i.mtime;
+    atime = i.atime;
+    ctime = i.ctime;
+    inum = i.inum;
+    gen = i.gen;
+  }
+
+(* {1 Inode I/O} *)
+
+let load_dinode_stable t inum =
+  let blk, off = Layout.inode_block t.sb inum in
+  Layout.decode_dinode (t.dev.Device.stable_read ~off:((blk * bsize t) + off) ~len:Layout.inode_size)
+
+let incore_of_dinode inum (d : Layout.dinode) =
+  {
+    inum;
+    ftype = d.Layout.ftype;
+    nlink = d.Layout.nlink;
+    size = d.Layout.size;
+    mtime = d.Layout.mtime;
+    atime = d.Layout.atime;
+    ctime = d.Layout.ctime;
+    direct = Array.copy d.Layout.direct;
+    single_ind = d.Layout.single_ind;
+    double_ind = d.Layout.double_ind;
+    gen = d.Layout.gen;
+    meta_dirty = `Clean;
+    dirty_indirects = [];
+    lock = Mutex.create ~name:(Printf.sprintf "vnode-%d" inum) ();
+  }
+
+let dinode_of_incore (i : inode) =
+  {
+    Layout.ftype = i.ftype;
+    nlink = i.nlink;
+    size = i.size;
+    mtime = i.mtime;
+    atime = i.atime;
+    ctime = i.ctime;
+    direct = Array.copy i.direct;
+    single_ind = i.single_ind;
+    double_ind = i.double_ind;
+    gen = i.gen;
+  }
+
+(* Serialise the in-core inode into its table block and write the block
+   synchronously (one disk transaction). *)
+let write_inode_sync t (ino : inode) =
+  let blk, off = Layout.inode_block t.sb ino.inum in
+  let buf = Buffer_cache.get t.bcache blk in
+  Bytes.blit (Layout.encode_dinode (dinode_of_incore ino)) 0 buf off Layout.inode_size;
+  Buffer_cache.mark_dirty t.bcache blk Buffer_cache.Metadata;
+  Buffer_cache.write_sync t.bcache blk
+
+let fsync_metadata t (ino : inode) =
+  if ino.meta_dirty <> `Clean || ino.dirty_indirects <> [] then begin
+    (* Indirect blocks first: the inode must never point to an indirect
+       block whose pointers are not yet on disk. *)
+    let indirects = List.sort compare ino.dirty_indirects in
+    ino.dirty_indirects <- [];
+    List.iter (fun b -> Buffer_cache.write_sync t.bcache b) indirects;
+    write_inode_sync t ino;
+    ino.meta_dirty <- `Clean
+  end
+
+let iget t ~inum ~gen =
+  if inum < 1 || inum >= t.sb.Layout.ninodes then raise (Stale inum);
+  if (not t.used.(inum)) || t.gens.(inum) <> gen then raise (Stale inum);
+  match Hashtbl.find_opt t.incore inum with
+  | Some i -> i
+  | None ->
+      (* Decode from the (prewarmed) inode-table block. *)
+      let blk, off = Layout.inode_block t.sb inum in
+      let buf = Buffer_cache.get t.bcache blk in
+      let i = incore_of_dinode inum (Layout.decode_dinode (Bytes.sub buf off Layout.inode_size)) in
+      Hashtbl.replace t.incore inum i;
+      i
+
+let root t = iget t ~inum:t.sb.Layout.root_inum ~gen:t.gens.(t.sb.Layout.root_inum)
+
+(* {1 Mount} *)
+
+let mount eng ?cache_blocks dev =
+  let sb = Layout.decode_superblock (dev.Device.stable_read ~off:0 ~len:512) in
+  (* The cache must at least hold the metadata area (bitmap + inode
+     table) or mount-time fsck would evict what it is reading. *)
+  let cache_blocks =
+    Option.map (fun n -> Stdlib.max n (sb.Layout.data_start + 16)) cache_blocks
+  in
+  let bcache = Buffer_cache.create dev ~bsize:sb.Layout.bsize ?max_blocks:cache_blocks () in
+  let bs = sb.Layout.bsize in
+  (* Prewarm bitmap and inode table from stable storage ("boot"). *)
+  for b = sb.Layout.bitmap_start to sb.Layout.data_start - 1 do
+    Buffer_cache.install bcache b (dev.Device.stable_read ~off:(b * bs) ~len:bs)
+  done;
+  let balloc = Alloc.create bcache sb in
+  let gens = Array.make sb.Layout.ninodes 0 in
+  let used = Array.make sb.Layout.ninodes false in
+  let t =
+    {
+      eng;
+      dev;
+      sb;
+      bcache;
+      balloc;
+      incore = Hashtbl.create 256;
+      gens;
+      used;
+      free_blocks = 0;
+      cluster_max = 64 * 1024;
+    }
+  in
+  (* fsck-style pass: learn inode usage and rebuild the block bitmap
+     from reachable blocks. Instantaneous (stable reads). *)
+  Alloc.clear_all_data_area balloc;
+  let reach = Hashtbl.create 1024 in
+  let claim b =
+    if b <> 0 then begin
+      Hashtbl.replace reach b ();
+      Alloc.set_allocated balloc b
+    end
+  in
+  for inum = 1 to sb.Layout.ninodes - 1 do
+    let d = load_dinode_stable t inum in
+    gens.(inum) <- d.Layout.gen;
+    if d.Layout.ftype <> Layout.Free then begin
+      used.(inum) <- true;
+      Array.iter claim d.Layout.direct;
+      if d.Layout.single_ind <> 0 then begin
+        claim d.Layout.single_ind;
+        let ib = dev.Device.stable_read ~off:(d.Layout.single_ind * bs) ~len:bs in
+        for idx = 0 to Layout.pointers_per_block sb - 1 do
+          claim (Layout.get_pointer ib idx)
+        done
+      end;
+      if d.Layout.double_ind <> 0 then begin
+        claim d.Layout.double_ind;
+        let ib1 = dev.Device.stable_read ~off:(d.Layout.double_ind * bs) ~len:bs in
+        for d1 = 0 to Layout.pointers_per_block sb - 1 do
+          let l2 = Layout.get_pointer ib1 d1 in
+          if l2 <> 0 then begin
+            claim l2;
+            let ib2 = dev.Device.stable_read ~off:(l2 * bs) ~len:bs in
+            for d2 = 0 to Layout.pointers_per_block sb - 1 do
+              claim (Layout.get_pointer ib2 d2)
+            done
+          end
+        done
+      end
+    end
+  done;
+  t.free_blocks <- sb.Layout.nblocks - sb.Layout.data_start - Hashtbl.length reach;
+  t
+
+(* {1 Reading and writing file data} *)
+
+let read t (ino : inode) ~off ~len =
+  if off < 0 || len < 0 then invalid_arg "Fs.read: negative offset or length";
+  let len = Stdlib.max 0 (Stdlib.min len (ino.size - off)) in
+  let out = Bytes.make len '\000' in
+  let bs = bsize t in
+  let pos = ref off in
+  while !pos < off + len do
+    let fbn = !pos / bs in
+    let within = !pos mod bs in
+    let chunk = Stdlib.min (bs - within) (off + len - !pos) in
+    let b = bmap t ino fbn ~alloc_missing:false ~near:None in
+    if b <> 0 then begin
+      let buf = Buffer_cache.get t.bcache b in
+      Bytes.blit buf within out (!pos - off) chunk
+    end;
+    (* holes stay zero *)
+    pos := !pos + chunk
+  done;
+  ino.atime <- Engine.now t.eng;
+  out
+
+type write_mode = Sync | Sync_data_only | Delay_data
+
+(* Disk block of the previous file block, as an allocation locality
+   hint. *)
+let near_hint t (ino : inode) fbn =
+  if fbn = 0 then None
+  else
+    match bmap t ino (fbn - 1) ~alloc_missing:false ~near:None with
+    | 0 -> None
+    | b -> Some b
+
+let write t (ino : inode) ~off data ~mode =
+  let len = Bytes.length data in
+  if off < 0 then invalid_arg "Fs.write: negative offset";
+  if len > 0 then begin
+    let bs = bsize t in
+    let touched = ref [] in
+    let pos = ref off in
+    while !pos < off + len do
+      let fbn = !pos / bs in
+      let within = !pos mod bs in
+      let chunk = Stdlib.min (bs - within) (off + len - !pos) in
+      let existing = bmap t ino fbn ~alloc_missing:false ~near:None in
+      let b =
+        if existing <> 0 then existing
+        else bmap t ino fbn ~alloc_missing:true ~near:(near_hint t ino fbn)
+      in
+      let full_block = within = 0 && chunk = bs in
+      let buf =
+        if existing = 0 || full_block then Buffer_cache.get_fresh t.bcache b
+        else Buffer_cache.get t.bcache b
+      in
+      Bytes.blit data (!pos - off) buf within chunk;
+      Buffer_cache.mark_dirty t.bcache b Buffer_cache.Data;
+      touched := b :: !touched;
+      pos := !pos + chunk
+    done;
+    if off + len > ino.size then begin
+      ino.size <- off + len;
+      ino.meta_dirty <- `Dirty
+    end;
+    ino.mtime <- Engine.now t.eng;
+    if ino.meta_dirty = `Clean then ino.meta_dirty <- `Time_only;
+    match mode with
+    | Delay_data -> ()
+    | Sync_data_only ->
+        (* IO_SYNC|IO_DATAONLY: push the data through, leave metadata
+           dirty in core for a later gathered VOP_FSYNC. *)
+        Buffer_cache.sync_clustered t.bcache (List.rev !touched) ~max_cluster:t.cluster_max
+    | Sync ->
+        Buffer_cache.sync_clustered t.bcache (List.rev !touched) ~max_cluster:t.cluster_max;
+        (* Reference-port special case: a write that only moved the
+           modify time keeps its inode update asynchronous. *)
+        (match ino.meta_dirty with
+        | `Dirty -> fsync_metadata t ino
+        | `Time_only | `Clean -> ())
+  end
+
+let syncdata t (ino : inode) ~off ~len =
+  if len > 0 then begin
+    let bs = bsize t in
+    let first = off / bs and last = (off + len - 1) / bs in
+    let rec collect fbn acc =
+      if fbn > last then List.rev acc
+      else begin
+        let b = bmap t ino fbn ~alloc_missing:false ~near:None in
+        collect (fbn + 1) (if b = 0 then acc else b :: acc)
+      end
+    in
+    Buffer_cache.sync_clustered t.bcache (collect first []) ~max_cluster:t.cluster_max
+  end
+
+let fsync t (ino : inode) =
+  syncdata t ino ~off:0 ~len:ino.size;
+  fsync_metadata t ino
+
+let touch t (ino : inode) ~mtime =
+  ignore t;
+  ino.mtime <- mtime;
+  if ino.meta_dirty = `Clean then ino.meta_dirty <- `Time_only
+
+(* {1 Truncate} *)
+
+let truncate t (ino : inode) newsize =
+  if newsize < 0 then invalid_arg "Fs.truncate: negative size";
+  let bs = bsize t in
+  let old_nblocks = (ino.size + bs - 1) / bs in
+  let new_nblocks = (newsize + bs - 1) / bs in
+  if new_nblocks < old_nblocks then begin
+    (* Free data blocks beyond the new end. *)
+    for fbn = new_nblocks to old_nblocks - 1 do
+      let b = bmap t ino fbn ~alloc_missing:false ~near:None in
+      if b <> 0 then begin
+        free_block t b;
+        let nd = Layout.nd_direct and p = ppb t in
+        if fbn < nd then ino.direct.(fbn) <- 0
+        else if fbn < nd + p then begin
+          let buf = Buffer_cache.get t.bcache ino.single_ind in
+          Layout.set_pointer buf (fbn - nd) 0;
+          mark_indirect_dirty t ino ino.single_ind
+        end
+        else begin
+          let idx = fbn - nd - p in
+          let ib1 = Buffer_cache.get t.bcache ino.double_ind in
+          let l2 = Layout.get_pointer ib1 (idx / p) in
+          if l2 <> 0 then begin
+            let ib2 = Buffer_cache.get t.bcache l2 in
+            Layout.set_pointer ib2 (idx mod p) 0;
+            mark_indirect_dirty t ino l2
+          end
+        end
+      end
+    done;
+    (* Free indirect blocks that no longer map anything. *)
+    let nd = Layout.nd_direct and p = ppb t in
+    if ino.single_ind <> 0 && new_nblocks <= nd then begin
+      ino.dirty_indirects <- List.filter (fun b -> b <> ino.single_ind) ino.dirty_indirects;
+      free_block t ino.single_ind;
+      ino.single_ind <- 0
+    end;
+    if ino.double_ind <> 0 then begin
+      let ib1 = Buffer_cache.get t.bcache ino.double_ind in
+      for d1 = 0 to p - 1 do
+        let l2 = Layout.get_pointer ib1 d1 in
+        let first_fbn = nd + p + (d1 * p) in
+        if l2 <> 0 && new_nblocks <= first_fbn then begin
+          ino.dirty_indirects <- List.filter (fun b -> b <> l2) ino.dirty_indirects;
+          free_block t l2;
+          Layout.set_pointer ib1 d1 0;
+          mark_indirect_dirty t ino ino.double_ind
+        end
+      done;
+      if new_nblocks <= nd + p then begin
+        ino.dirty_indirects <- List.filter (fun b -> b <> ino.double_ind) ino.dirty_indirects;
+        free_block t ino.double_ind;
+        ino.double_ind <- 0
+      end
+    end
+  end;
+  if newsize <> ino.size then begin
+    ino.size <- newsize;
+    ino.meta_dirty <- `Dirty;
+    ino.mtime <- Engine.now t.eng;
+    ino.ctime <- Engine.now t.eng
+  end
+
+(* {1 Inode allocation} *)
+
+let ialloc t ftype =
+  let rec find i =
+    if i >= t.sb.Layout.ninodes then raise No_space
+    else if not t.used.(i) then i
+    else find (i + 1)
+  in
+  let inum = find 2 in
+  t.used.(inum) <- true;
+  t.gens.(inum) <- t.gens.(inum) + 1;
+  let now = Engine.now t.eng in
+  let ino =
+    {
+      inum;
+      ftype;
+      nlink = 1;
+      size = 0;
+      mtime = now;
+      atime = now;
+      ctime = now;
+      direct = Array.make Layout.nd_direct 0;
+      single_ind = 0;
+      double_ind = 0;
+      gen = t.gens.(inum);
+      meta_dirty = `Dirty;
+      dirty_indirects = [];
+      lock = Mutex.create ~name:(Printf.sprintf "vnode-%d" inum) ();
+    }
+  in
+  Hashtbl.replace t.incore inum ino;
+  ino
+
+let ifree t (ino : inode) =
+  truncate t ino 0;
+  ino.ftype <- Layout.Free;
+  ino.nlink <- 0;
+  t.used.(ino.inum) <- false;
+  Hashtbl.remove t.incore ino.inum;
+  (* Commit the freed inode so the handle is durably stale. *)
+  write_inode_sync t ino;
+  ino.meta_dirty <- `Clean
+
+(* {1 Directories} *)
+
+let assert_dir (ino : inode) = if ino.ftype <> Layout.Directory then raise (Not_dir ino.inum)
+
+let read_entries t (dir : inode) =
+  assert_dir dir;
+  Layout.decode_dirents (read t dir ~off:0 ~len:dir.size)
+
+let write_entries t (dir : inode) entries =
+  let data = Layout.encode_dirents entries in
+  let newlen = Bytes.length data in
+  if newlen < dir.size then truncate t dir newlen;
+  if newlen > 0 then write t dir ~off:0 data ~mode:Sync;
+  fsync_metadata t dir
+
+let lookup t (dir : inode) name =
+  let entries = read_entries t dir in
+  match List.assoc_opt name entries with
+  | None -> raise Not_found
+  | Some inum -> iget t ~inum ~gen:t.gens.(inum)
+
+let readdir t (dir : inode) = read_entries t dir
+
+let create t (dir : inode) name ftype =
+  assert_dir dir;
+  let entries = read_entries t dir in
+  if List.mem_assoc name entries then raise (Exists name);
+  let ino = ialloc t ftype in
+  (* Order: new inode durable before the directory points at it. *)
+  fsync_metadata t ino;
+  write_entries t dir (entries @ [ (name, ino.inum) ]);
+  ino
+
+let remove t (dir : inode) name =
+  assert_dir dir;
+  let entries = read_entries t dir in
+  match List.assoc_opt name entries with
+  | None -> raise Not_found
+  | Some inum ->
+      let victim = iget t ~inum ~gen:t.gens.(inum) in
+      if victim.ftype = Layout.Directory then raise (Is_dir inum);
+      write_entries t dir (List.remove_assoc name entries);
+      victim.nlink <- victim.nlink - 1;
+      if victim.nlink <= 0 then ifree t victim else fsync_metadata t victim
+
+let rmdir t (dir : inode) name =
+  assert_dir dir;
+  let entries = read_entries t dir in
+  match List.assoc_opt name entries with
+  | None -> raise Not_found
+  | Some inum ->
+      let victim = iget t ~inum ~gen:t.gens.(inum) in
+      if victim.ftype <> Layout.Directory then raise (Not_dir inum);
+      if read_entries t victim <> [] then failwith "not empty";
+      write_entries t dir (List.remove_assoc name entries);
+      ifree t victim
+
+let symlink t (dir : inode) name ~target =
+  assert_dir dir;
+  let entries = read_entries t dir in
+  if List.mem_assoc name entries then raise (Exists name);
+  let ino = ialloc t Layout.Symlink in
+  write t ino ~off:0 (Bytes.of_string target) ~mode:Sync;
+  fsync_metadata t ino;
+  write_entries t dir (entries @ [ (name, ino.inum) ]);
+  ino
+
+let readlink t (ino : inode) =
+  if ino.ftype <> Layout.Symlink then raise (Not_symlink ino.inum);
+  Bytes.to_string (read t ino ~off:0 ~len:ino.size)
+
+let rename t ~src_dir ~src ~dst_dir ~dst =
+  assert_dir src_dir;
+  assert_dir dst_dir;
+  let src_entries = read_entries t src_dir in
+  match List.assoc_opt src src_entries with
+  | None -> raise Not_found
+  | Some inum ->
+      if src_dir.inum = dst_dir.inum then begin
+        let entries = List.remove_assoc dst (List.remove_assoc src src_entries) in
+        write_entries t src_dir (entries @ [ (dst, inum) ])
+      end
+      else begin
+        (* Two directories: make the name appear at the destination
+           before it disappears from the source, so a crash between the
+           two leaves a hard link rather than a lost file. *)
+        let dst_entries = List.remove_assoc dst (read_entries t dst_dir) in
+        write_entries t dst_dir (dst_entries @ [ (dst, inum) ]);
+        write_entries t src_dir (List.remove_assoc src src_entries)
+      end
+
+(* {1 Whole filesystem} *)
+
+let statfs t =
+  { total_blocks = t.sb.Layout.nblocks - t.sb.Layout.data_start;
+    free_blocks = t.free_blocks;
+    bsize = bsize t }
+
+let sync_all t =
+  Hashtbl.iter
+    (fun _ ino ->
+      syncdata t ino ~off:0 ~len:ino.size;
+      fsync_metadata t ino)
+    t.incore;
+  (* Bitmap and any other dirty metadata blocks. *)
+  let dirty = Buffer_cache.dirty_blocks t.bcache Buffer_cache.Metadata in
+  List.iter (fun b -> Buffer_cache.write_sync t.bcache b) dirty;
+  let dirty_data = Buffer_cache.dirty_blocks t.bcache Buffer_cache.Data in
+  Buffer_cache.sync_clustered t.bcache dirty_data ~max_cluster:t.cluster_max;
+  t.dev.Device.flush ()
+
+let crash t =
+  Buffer_cache.crash t.bcache;
+  Hashtbl.reset t.incore;
+  t.dev.Device.crash ()
+
+(* {1 Consistency check} *)
+
+let check t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let bs = bsize t in
+  let seen = Hashtbl.create 1024 in
+  let claim owner b =
+    if b <> 0 then begin
+      if b < t.sb.Layout.data_start || b >= t.sb.Layout.nblocks then
+        err "inode %d references out-of-range block %d" owner b
+      else begin
+        if Hashtbl.mem seen b then err "block %d multiply claimed (again by inode %d)" b owner;
+        Hashtbl.replace seen b ();
+        if not (Alloc.is_allocated t.balloc b) then
+          err "block %d used by inode %d but free in bitmap" b owner
+      end
+    end
+  in
+  (* Walk every live inode's block tree (through the cache: current
+     in-core truth). *)
+  let link_counts = Hashtbl.create 64 in
+  for inum = 1 to t.sb.Layout.ninodes - 1 do
+    if t.used.(inum) then begin
+      let ino = iget t ~inum ~gen:t.gens.(inum) in
+      Array.iter (claim inum) ino.direct;
+      if ino.single_ind <> 0 then begin
+        claim inum ino.single_ind;
+        let ib = Buffer_cache.get t.bcache ino.single_ind in
+        for i = 0 to ppb t - 1 do
+          claim inum (Layout.get_pointer ib i)
+        done
+      end;
+      if ino.double_ind <> 0 then begin
+        claim inum ino.double_ind;
+        let ib1 = Buffer_cache.get t.bcache ino.double_ind in
+        for d1 = 0 to ppb t - 1 do
+          let l2 = Layout.get_pointer ib1 d1 in
+          if l2 <> 0 then begin
+            claim inum l2;
+            let ib2 = Buffer_cache.get t.bcache l2 in
+            for d2 = 0 to ppb t - 1 do
+              claim inum (Layout.get_pointer ib2 d2)
+            done
+          end
+        done
+      end;
+      let max_bytes = (Array.length ino.direct + ppb t + (ppb t * ppb t)) * bs in
+      if ino.size > max_bytes then err "inode %d size %d exceeds mappable bytes" inum ino.size;
+      if ino.ftype = Layout.Directory then
+        List.iter
+          (fun (name, child) ->
+            if child < 1 || child >= t.sb.Layout.ninodes || not t.used.(child) then
+              err "directory %d entry %S points at dead inode %d" inum name child
+            else
+              Hashtbl.replace link_counts child
+                (1 + Option.value ~default:0 (Hashtbl.find_opt link_counts child)))
+          (read_entries t ino)
+    end
+  done;
+  (* Bitmap bits with no owner. *)
+  for b = t.sb.Layout.data_start to t.sb.Layout.nblocks - 1 do
+    if Alloc.is_allocated t.balloc b && not (Hashtbl.mem seen b) then
+      err "block %d allocated in bitmap but unreachable" b
+  done;
+  (* Link counts for non-root inodes. *)
+  for inum = 2 to t.sb.Layout.ninodes - 1 do
+    if t.used.(inum) then begin
+      let ino = iget t ~inum ~gen:t.gens.(inum) in
+      let expected = Option.value ~default:0 (Hashtbl.find_opt link_counts inum) in
+      if ino.nlink <> expected then
+        err "inode %d nlink %d but %d directory references" inum ino.nlink expected
+    end
+  done;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)

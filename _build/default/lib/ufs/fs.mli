@@ -1,0 +1,164 @@
+(** The filesystem proper: in-core inodes, block mapping with indirect
+    blocks, directory operations, and the write/flush machinery the
+    server write layer drives.
+
+    All operations that may touch the device must run inside a
+    simulation process; they block for the modelled I/O time.
+
+    Consistency model (matching the paper's UFS): data blocks and
+    metadata (inode, indirect, directory) are written synchronously
+    where the caller asks ([`Sync]); delayed data lives in the buffer
+    cache until {!syncdata}; the block bitmap is never written on the
+    write path and is rebuilt fsck-style at {!mount} from reachable
+    blocks. The file-modify-time-only inode update may be left dirty
+    in core ([`Time_only]) — the one promise the reference port also
+    breaks for performance (section 4.4). *)
+
+type t
+
+type inode
+(** In-core inode (the vnode's private data). Holds the sleep lock the
+    server layer serialises on. *)
+
+type attr = {
+  ftype : Layout.ftype;
+  nlink : int;
+  size : int;
+  mtime : Nfsg_sim.Time.t;
+  atime : Nfsg_sim.Time.t;
+  ctime : Nfsg_sim.Time.t;
+  inum : int;
+  gen : int;
+}
+
+exception Stale of int
+(** Inode number whose generation no longer matches. *)
+
+exception Not_dir of int
+exception Is_dir of int
+exception Not_symlink of int
+exception Exists of string
+exception No_space
+(** Re-export of {!Alloc.No_space} at this level. *)
+
+(** {1 Formatting and mounting} *)
+
+val mkfs : Nfsg_disk.Device.t -> ?bsize:int -> ?ninodes:int -> unit -> unit
+(** Write a fresh filesystem (instantaneously — formatting happens
+    before the experiment starts). Defaults: 8 KiB blocks, 4096
+    inodes. The root directory is inode 1. *)
+
+val mount : Nfsg_sim.Engine.t -> ?cache_blocks:int -> Nfsg_disk.Device.t -> t
+(** Read the superblock and inode table from stable storage
+    (instantaneous, "boot time"), rebuilding the block bitmap from
+    reachable blocks — the fsck pass that makes the
+    bitmap-is-never-synced policy safe. [cache_blocks] bounds the
+    buffer cache (default unbounded: plenty of RAM); it is clamped up
+    so the metadata area always fits. *)
+
+val engine : t -> Nfsg_sim.Engine.t
+val device : t -> Nfsg_disk.Device.t
+val cache : t -> Buffer_cache.t
+val superblock : t -> Layout.superblock
+val bsize : t -> int
+val cluster_max : t -> int
+(** Largest clustered write the filesystem will issue (64 KiB, as in
+    [MCVO91]). *)
+
+val set_cluster_max : t -> int -> unit
+
+(** {1 Inodes and handles} *)
+
+val root : t -> inode
+val iget : t -> inum:int -> gen:int -> inode
+(** Raises {!Stale} when the slot was freed or reused. *)
+
+val inum : inode -> int
+val generation : inode -> int
+val lock_of : inode -> Nfsg_sim.Mutex.t
+val getattr : inode -> attr
+
+val meta_dirty : inode -> [ `Clean | `Time_only | `Dirty ]
+(** Whether the on-disk inode lags the in-core one. *)
+
+(** {1 Files} *)
+
+val read : t -> inode -> off:int -> len:int -> Bytes.t
+(** Short reads at EOF; holes read as zeros. *)
+
+type write_mode =
+  | Sync  (** data and metadata to stable storage before returning *)
+  | Sync_data_only  (** IO_SYNC|IO_DATAONLY: data written through,
+                        metadata left dirty in core *)
+  | Delay_data  (** IO_DELAYDATA: data dirty in cache, metadata dirty
+                    in core *)
+
+val write : t -> inode -> off:int -> Bytes.t -> mode:write_mode -> unit
+(** Extends the file as needed, allocating data and indirect blocks.
+    In [Sync] mode, a write that changed nothing but the modify time
+    leaves the inode [`Time_only] dirty instead of forcing a
+    synchronous inode write (the reference port's special case). *)
+
+val syncdata : t -> inode -> off:int -> len:int -> unit
+(** VOP_SYNCDATA: flush delayed data blocks overlapping the byte
+    range, clustering device-contiguous runs up to {!cluster_max}. *)
+
+val fsync_metadata : t -> inode -> unit
+(** VOP_FSYNC(FWRITE_METADATA): synchronously write the inode and any
+    dirty indirect blocks. No-op when clean. *)
+
+val fsync : t -> inode -> unit
+(** Full fsync: {!syncdata} over the whole file then
+    {!fsync_metadata}. *)
+
+val truncate : t -> inode -> int -> unit
+(** Grow (sparse) or shrink; shrinking frees blocks. Metadata is left
+    dirty; call {!fsync_metadata} to commit. *)
+
+val touch : t -> inode -> mtime:Nfsg_sim.Time.t -> unit
+
+(** {1 Directories} *)
+
+val lookup : t -> inode -> string -> inode
+(** Raises [Not_found], or {!Not_dir} if the vnode is not a
+    directory. *)
+
+val create : t -> inode -> string -> Layout.ftype -> inode
+(** Create a file or directory; directory update and both inodes are
+    committed synchronously before returning (NFS requires CREATE to
+    be stable). Raises {!Exists}. *)
+
+val remove : t -> inode -> string -> unit
+(** Unlink; frees the inode and its blocks when nlink reaches zero.
+    Raises [Not_found]; {!Is_dir} when used on a directory. *)
+
+val rmdir : t -> inode -> string -> unit
+(** Raises [Failure "not empty"] on a non-empty directory. *)
+
+val rename : t -> src_dir:inode -> src:string -> dst_dir:inode -> dst:string -> unit
+val readdir : t -> inode -> (string * int) list
+
+val symlink : t -> inode -> string -> target:string -> inode
+(** Create a symbolic link whose target string is stored as the link's
+    file data, committed synchronously like {!create}. *)
+
+val readlink : t -> inode -> string
+(** Raises {!Not_symlink} when the inode is not a symlink. *)
+
+(** {1 Whole-filesystem} *)
+
+type fsstat = { total_blocks : int; free_blocks : int; bsize : int }
+
+val statfs : t -> fsstat
+val sync_all : t -> unit
+(** Flush every dirty buffer and inode (clean unmount). *)
+
+val crash : t -> unit
+(** Drop all volatile state (buffer cache, in-core inodes) and crash
+    the device. Mount a fresh [t] over the recovered device to model
+    reboot. *)
+
+val check : t -> (unit, string list) result
+(** Offline consistency check: every reachable block allocated exactly
+    once, bitmap matches reachability, directory entries point at live
+    inodes, link counts correct. *)

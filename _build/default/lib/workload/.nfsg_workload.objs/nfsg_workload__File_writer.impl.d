@@ -1,0 +1,1 @@
+lib/workload/file_writer.ml: Bytes Char Engine Nfsg_nfs Nfsg_sim Rng Stdlib Time

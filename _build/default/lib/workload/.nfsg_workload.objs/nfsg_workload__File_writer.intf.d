@@ -1,0 +1,1 @@
+lib/workload/file_writer.mli: Bytes Nfsg_nfs Nfsg_sim

@@ -1,0 +1,1 @@
+lib/workload/laddis.ml: Array Bytes Condition Engine List Nfsg_nfs Nfsg_sim Printf Rng Stdlib Time

@@ -1,0 +1,1 @@
+lib/workload/laddis.mli: Nfsg_nfs Nfsg_sim

@@ -1,0 +1,232 @@
+open Nfsg_sim
+module Client = Nfsg_nfs.Client
+module Proto = Nfsg_nfs.Proto
+
+type config = {
+  procs : int;
+  files_per_proc : int;
+  file_size : int;
+  biods_per_proc : int;
+  warmup : Time.t;
+  measure : Time.t;
+  seed : int;
+}
+
+let default_config =
+  {
+    procs = 8;
+    files_per_proc = 8;
+    file_size = 64 * 1024;
+    biods_per_proc = 4;
+    warmup = Time.sec 2;
+    measure = Time.sec 10;
+    seed = 1994;
+  }
+
+type point = { offered : float; achieved : float; avg_latency_ms : float; ops_completed : int }
+
+(* The SFS 1.0 operation mix. *)
+type op = Lookup | Read | Write | Getattr | Readlink | Readdir | Create | Remove | Setattr | Statfs
+
+let mix =
+  [
+    (34.0, Lookup);
+    (22.0, Read);
+    (15.0, Write);
+    (13.0, Getattr);
+    (8.0, Readlink);
+    (3.0, Readdir);
+    (2.0, Create);
+    (1.0, Remove);
+    (1.0, Setattr);
+    (1.0, Statfs);
+  ]
+
+type proc_state = {
+  client : Client.t;
+  dir : Proto.fh;
+  files : (string * Proto.fh) array;
+  links : Proto.fh array;
+  file_blocks : int;
+  rng : Rng.t;
+  mutable cursor : int;  (** rotating block offset for write bursts *)
+  mutable extra : int;  (** counter for create/remove names *)
+  mutable created : string list;
+}
+
+type sample = { start : Time.t; finish : Time.t; count : int }
+
+let do_op eng st op samples =
+  let t0 = Engine.now eng in
+  let record ?(count = 1) () =
+    samples := { start = t0; finish = Engine.now eng; count } :: !samples
+  in
+  let any_file () = st.files.(Rng.int st.rng (Array.length st.files)) in
+  match op with
+  | Lookup ->
+      let name, _ = any_file () in
+      (try ignore (Client.lookup st.client st.dir name) with Client.Error _ -> ());
+      record ()
+  | Getattr ->
+      let _, fh = any_file () in
+      (try ignore (Client.getattr st.client fh) with Client.Error _ -> ());
+      record ()
+  | Readlink ->
+      let fh = st.links.(Rng.int st.rng (Array.length st.links)) in
+      (try ignore (Client.readlink st.client fh) with Client.Error _ -> ());
+      record ()
+  | Read ->
+      let _, fh = any_file () in
+      let blk = Rng.int st.rng st.file_blocks in
+      (try ignore (Client.read st.client fh ~off:(blk * 8192) ~len:8192)
+       with Client.Error _ -> ());
+      record ()
+  | Write ->
+      (* A burst of 1-7 consecutive 8K overwrites through the
+         write-behind cache; each WRITE RPC counts as one SFS op. The
+         burst is asynchronous — biods absorb it and the process only
+         blocks when they are all busy — matching how LADDIS client
+         engines emit write load (no sync-on-close per burst). *)
+      let _, fh = any_file () in
+      let nblocks = 1 + Rng.int st.rng 7 in
+      let f = Client.open_file st.client fh in
+      (try
+         for i = 0 to nblocks - 1 do
+           let blk = (st.cursor + i) mod st.file_blocks in
+           Client.write f ~off:(blk * 8192) (Bytes.make 8192 'w')
+         done;
+         Client.flush f
+       with Client.Error _ -> ());
+      st.cursor <- (st.cursor + nblocks) mod st.file_blocks;
+      record ~count:nblocks ()
+  | Readdir ->
+      (try ignore (Client.readdir st.client st.dir) with Client.Error _ -> ());
+      record ()
+  | Create ->
+      st.extra <- st.extra + 1;
+      let name = Printf.sprintf "tmp%d" st.extra in
+      (try
+         ignore (Client.create_file st.client st.dir name);
+         st.created <- name :: st.created
+       with Client.Error _ -> ());
+      record ()
+  | Remove ->
+      (match st.created with
+      | name :: rest -> (
+          st.created <- rest;
+          try Client.remove st.client st.dir name with Client.Error _ -> ())
+      | [] -> (
+          (* Nothing removable yet: create one so the op still does
+             real directory work. *)
+          st.extra <- st.extra + 1;
+          let name = Printf.sprintf "tmp%d" st.extra in
+          try ignore (Client.create_file st.client st.dir name) with Client.Error _ -> ()));
+      record ()
+  | Setattr ->
+      let _, fh = any_file () in
+      (try
+         ignore
+           (Client.setattr st.client fh
+              { Proto.sattr_none with Proto.s_mtime = Some (Proto.timeval_of_ns (Engine.now eng)) })
+       with Client.Error _ -> ());
+      record ()
+  | Statfs ->
+      (try ignore (Client.statfs st.client st.dir) with Client.Error _ -> ());
+      record ()
+
+(* Write bursts average (1+7)/2 = 4 blocks and count as that many ops,
+   so the expected ops recorded per iteration exceeds one; scale think
+   times accordingly to keep the offered rate honest. *)
+let expected_ops_per_iteration =
+  let total = List.fold_left (fun a (w, _) -> a +. w) 0.0 mix in
+  List.fold_left
+    (fun acc (w, op) -> acc +. (w /. total *. match op with Write -> 4.0 | _ -> 1.0))
+    0.0 mix
+
+let setup_proc eng ~make_client ~root cfg i =
+  let client = make_client i in
+  let dirname = Printf.sprintf "proc%d" i in
+  let dir, _ = Client.mkdir client root dirname in
+  let blocks = Stdlib.max 1 (cfg.file_size / 8192) in
+  let files =
+    Array.init cfg.files_per_proc (fun j ->
+        let name = Printf.sprintf "f%d" j in
+        let fh, _ = Client.create_file client dir name in
+        let f = Client.open_file client fh in
+        for b = 0 to blocks - 1 do
+          Client.write f ~off:(b * 8192) (Bytes.make 8192 'i')
+        done;
+        Client.close f;
+        (name, fh))
+  in
+  ignore eng;
+  let links =
+    Array.init 4 (fun j ->
+        fst (Client.symlink client dir (Printf.sprintf "l%d" j) ~target:(Printf.sprintf "f%d" j)))
+  in
+  {
+    client;
+    dir;
+    files;
+    links;
+    file_blocks = blocks;
+    rng = Rng.create (cfg.seed + (1009 * i));
+    cursor = 0;
+    extra = 0;
+    created = [];
+  }
+
+let run eng ~make_client ~root ~offered cfg =
+  if offered <= 0.0 then invalid_arg "Laddis.run: offered load must be positive";
+  let states = List.init cfg.procs (setup_proc eng ~make_client ~root cfg) in
+  let samples = ref [] in
+  let stop = ref false in
+  let per_proc_rate = offered /. float_of_int cfg.procs in
+  let mean_think = expected_ops_per_iteration /. per_proc_rate (* seconds *) in
+  let finished = ref 0 in
+  let done_cond = Condition.create () in
+  List.iteri
+    (fun i st ->
+      Engine.spawn eng ~name:(Printf.sprintf "laddis-%d" i) (fun () ->
+          (* LADDIS-style pacing: the exponential interarrival includes
+             the operation's own response time, so the offered rate is
+             honest until the server genuinely saturates (think time
+             hits zero and the process runs closed-loop). *)
+          let rec loop debt =
+            if not !stop then begin
+              let interarrival = Time.of_sec_f (Rng.exponential st.rng mean_think) in
+              let think = interarrival - debt in
+              if think > 0 then Engine.delay think;
+              let leftover = Stdlib.max 0 (-think) in
+              if not !stop then begin
+                let t0 = Engine.now eng in
+                do_op eng st (Rng.weighted st.rng mix) samples;
+                loop (leftover + (Engine.now eng - t0))
+              end
+            end
+          in
+          loop 0;
+          incr finished;
+          if !finished = cfg.procs then Condition.broadcast done_cond))
+    states;
+  let t_start = Engine.now eng in
+  let t_warm = t_start + cfg.warmup in
+  let t_end = t_warm + cfg.measure in
+  Engine.delay (cfg.warmup + cfg.measure);
+  stop := true;
+  while !finished < cfg.procs do
+    Condition.wait done_cond
+  done;
+  let in_window =
+    List.filter (fun s -> s.start >= t_warm && s.finish <= t_end) !samples
+  in
+  let ops = List.fold_left (fun a s -> a + s.count) 0 in_window in
+  (* A burst sample spreads its elapsed time over its [count] ops, so
+     the average below is per-op. *)
+  let latency_sum = List.fold_left (fun a s -> a +. Time.to_ms_f (s.finish - s.start)) 0.0 in_window in
+  {
+    offered;
+    achieved = float_of_int ops /. Time.to_sec_f cfg.measure;
+    avg_latency_ms = (if ops = 0 then 0.0 else latency_sum /. float_of_int ops);
+    ops_completed = ops;
+  }

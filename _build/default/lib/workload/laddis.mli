@@ -1,0 +1,44 @@
+(** LADDIS / SPEC SFS 1.0-style load generator (Figures 2 and 3).
+
+    A pool of load-generating processes each issues NFS operations
+    with Poisson think times tuned to an {e offered} aggregate load,
+    drawing from the SFS 1.0 operation mix (writes 15%, and "expensive
+    to process"). As the server saturates, achieved throughput falls
+    below the offered load and latency climbs — sweeping the offered
+    load produces the paper's throughput/response-time curve.
+
+    Deviation from SPEC SFS 1.0, documented in DESIGN.md: WRITE load
+    arrives in multi-block bursts through the client write-behind
+    cache, which is how LADDIS client engines emit it and what makes
+    gathering applicable; each 8 KB WRITE RPC counts as one op. *)
+
+type config = {
+  procs : int;  (** load-generating processes (paper: 5 hosts x 4) *)
+  files_per_proc : int;
+  file_size : int;  (** bytes per pre-created file *)
+  biods_per_proc : int;
+  warmup : Nfsg_sim.Time.t;
+  measure : Nfsg_sim.Time.t;
+  seed : int;
+}
+
+val default_config : config
+
+type point = {
+  offered : float;  (** ops/sec requested *)
+  achieved : float;  (** ops/sec completed in the window *)
+  avg_latency_ms : float;
+  ops_completed : int;
+}
+
+val run :
+  Nfsg_sim.Engine.t ->
+  make_client:(int -> Nfsg_nfs.Client.t) ->
+  root:Nfsg_nfs.Proto.fh ->
+  offered:float ->
+  config ->
+  point
+(** Set up the file tree, run warmup + measurement, return the point.
+    Must run inside a simulation process. [make_client i] supplies the
+    client stack for load process [i] (its own socket on the shared
+    segment). *)

@@ -1,0 +1,1 @@
+test/test_client.ml: Alcotest Bytes Client Disk Nfsg_core Nfsg_sim Proto Rpc_client Segment Socket Testbed

@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Bytes Char Client Device Disk Hashtbl List Nfsg_core Nfsg_nfs Nfsg_rpc Nfsg_sim Nfsg_ufs Nvram Printf Rpc_client Segment Socket String Testbed

@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Bytes Char Device Disk Engine List Nfsg_disk Nfsg_sim Rng Time

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Nfsg_experiments Nfsg_stats String

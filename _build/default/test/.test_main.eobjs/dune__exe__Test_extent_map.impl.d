@@ -1,0 +1,1 @@
+test/test_extent_map.ml: Alcotest Array Bytes Char Extent_map List Nfsg_disk QCheck QCheck_alcotest Stdlib String

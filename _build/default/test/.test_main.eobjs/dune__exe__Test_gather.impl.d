@@ -1,0 +1,1 @@
+test/test_gather.ml: Alcotest Bytes Char Client Device List Nfsg_core Nfsg_sim Nfsg_ufs Printf QCheck QCheck_alcotest Segment String Testbed Write_layer

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Heap List Nfsg_sim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bytes Char Client Device List Nfsg_core Nfsg_disk Nfsg_sim Nfsg_ufs Printf Proto Rpc_client Segment Socket String Testbed

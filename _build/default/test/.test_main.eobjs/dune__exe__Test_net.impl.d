@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bytes Engine List Nfsg_net Nfsg_sim Segment Socket Time

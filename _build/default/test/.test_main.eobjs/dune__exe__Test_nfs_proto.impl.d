@@ -1,0 +1,1 @@
+test/test_nfs_proto.ml: Alcotest Bytes List Nfsg_nfs Nfsg_rpc Proto QCheck QCheck_alcotest

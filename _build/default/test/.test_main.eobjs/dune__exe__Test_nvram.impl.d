@@ -1,0 +1,1 @@
+test/test_nvram.ml: Alcotest Bytes Char Device Disk Engine Nfsg_disk Nfsg_sim Nvram Time

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Float Hashtbl List Nfsg_sim Option Rng

@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Bytes Dupcache Engine List Nfsg_net Nfsg_rpc Nfsg_sim Option Rpc Rpc_client Svc Time

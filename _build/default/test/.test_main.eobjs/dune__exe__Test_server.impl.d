@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest Bytes Client Device List Nfsg_core Nfsg_sim Nfsg_ufs Proto Rpc_client Socket Testbed

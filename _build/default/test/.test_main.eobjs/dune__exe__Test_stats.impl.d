@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Gen Histogram List Nfsg_sim Nfsg_stats QCheck QCheck_alcotest Report String Summary Trace

@@ -1,0 +1,1 @@
+test/test_stripe.ml: Alcotest Array Bytes Char Device Disk Engine Nfsg_disk Nfsg_sim Printf Stripe

@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Condition Engine Ivar List Mutex Nfsg_sim Resource Semaphore Squeue Stdlib Time

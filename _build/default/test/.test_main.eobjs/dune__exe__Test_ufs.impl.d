@@ -1,0 +1,1 @@
+test/test_ufs.ml: Alcotest Array Bytes Char Device Disk Engine Fs Layout List Nfsg_disk Nfsg_sim Nfsg_ufs Printf QCheck QCheck_alcotest Stdlib String

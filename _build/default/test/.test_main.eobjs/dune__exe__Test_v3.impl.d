@@ -1,0 +1,1 @@
+test/test_v3.ml: Alcotest Bytes Char Client Device List Nfsg_core Nfsg_rpc Nfsg_sim Nfsg_ufs Proto Rpc_client Socket Testbed

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Client Float Nfsg_core Nfsg_sim Nfsg_workload Printf Proto Rpc_client Socket Testbed

@@ -1,0 +1,1 @@
+test/test_xdr.ml: Alcotest Bytes List Nfsg_rpc QCheck QCheck_alcotest Xdr

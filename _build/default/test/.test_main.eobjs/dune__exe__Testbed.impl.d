@@ -1,0 +1,1 @@
+test/testbed.ml: Alcotest Array Bytes Char Engine Nfsg_core Nfsg_disk Nfsg_net Nfsg_nfs Nfsg_rpc Nfsg_sim Printf Stdlib

@@ -1,0 +1,106 @@
+(* Experiment harness sanity: tiny runs asserting the paper's headline
+   SHAPES, so a regression in any layer that would corrupt the
+   reproduction fails fast here. Full-size runs live in bench/. *)
+
+module E = Nfsg_experiments.Experiments
+module Filecopy = Nfsg_experiments.Filecopy
+module Rig = Nfsg_experiments.Rig
+module Calib = Nfsg_experiments.Calib
+module Report = Nfsg_stats.Report
+
+let small = 1024 * 1024
+
+let cell ?(net = Calib.Fddi) ?(accel = false) ?(spindles = 1) ~gathering ~biods () =
+  let spec = { Rig.default_spec with Rig.net; accel; spindles; gathering } in
+  Filecopy.run_cell ~spec ~biods ~total:small ()
+
+let test_gathering_wins_with_biods () =
+  let std = cell ~gathering:false ~biods:7 () in
+  let gat = cell ~gathering:true ~biods:7 () in
+  Alcotest.(check bool) "client speed up at least 2x" true
+    (gat.Filecopy.client_kb_s > 2.0 *. std.Filecopy.client_kb_s);
+  Alcotest.(check bool) "disk transactions down" true
+    (gat.Filecopy.disk_trans_s < 0.7 *. std.Filecopy.disk_trans_s)
+
+let test_gathering_loses_at_zero_biods () =
+  let std = cell ~gathering:false ~biods:0 () in
+  let gat = cell ~gathering:true ~biods:0 () in
+  let penalty = (std.Filecopy.client_kb_s -. gat.Filecopy.client_kb_s) /. std.Filecopy.client_kb_s in
+  if penalty < 0.02 || penalty > 0.45 then
+    Alcotest.failf "0-biod penalty %.1f%% outside the paper's ballpark" (100.0 *. penalty)
+
+let test_presto_inverts_the_tradeoff () =
+  (* With NVRAM (Table 2/4 shape): gathering costs some client speed
+     but saves CPU. *)
+  let std = cell ~accel:true ~gathering:false ~biods:7 () in
+  let gat = cell ~accel:true ~gathering:true ~biods:7 () in
+  Alcotest.(check bool) "client speed not higher" true
+    (gat.Filecopy.client_kb_s <= std.Filecopy.client_kb_s *. 1.02);
+  Alcotest.(check bool) "cpu lower" true (gat.Filecopy.cpu_pct < std.Filecopy.cpu_pct)
+
+let test_stripe_scales_gathering () =
+  let one = cell ~gathering:true ~biods:15 () in
+  let three = cell ~gathering:true ~spindles:3 ~biods:15 () in
+  Alcotest.(check bool) "3 spindles beat 1" true
+    (three.Filecopy.client_kb_s > 1.3 *. one.Filecopy.client_kb_s)
+
+let test_ethernet_slower_than_fddi () =
+  let eth = cell ~net:Calib.Ethernet ~gathering:true ~biods:15 () in
+  let fddi = cell ~net:Calib.Fddi ~gathering:true ~biods:15 () in
+  Alcotest.(check bool) "network matters" true
+    (fddi.Filecopy.client_kb_s > eth.Filecopy.client_kb_s)
+
+let test_figure1_has_the_story () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let fig = E.figure1 () in
+  Alcotest.(check bool) "standard section" true (contains fig "Standard server");
+  Alcotest.(check bool) "gathering section" true (contains fig "Gathering server");
+  Alcotest.(check bool) "per-write metadata in standard" true (contains fig "Metadata to disk");
+  Alcotest.(check bool) "clustered data write" true (contains fig "data to disk (clustered)");
+  Alcotest.(check bool) "batched replies" true (contains fig "5 Write Replies")
+
+let test_table_report_shape () =
+  let report =
+    Filecopy.table ~title:"t" ~net:Calib.Fddi ~accel:false ~spindles:1 ~biods:[ 0; 3 ]
+      ~total:small ()
+  in
+  let s = Report.to_string report in
+  let contains needle =
+    let nh = String.length s and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub s i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun row -> Alcotest.(check bool) row true (contains row))
+    [
+      "Without Write Gathering";
+      "With Write Gathering";
+      "client write speed (KB/sec)";
+      "server cpu util. (%)";
+      "server disk (KB/sec)";
+      "server disk (trans/sec)";
+    ]
+
+let test_procrastination_ablation_zero_interval () =
+  (* With a zero procrastination interval and biods, gathering still
+     happens via handoff/mbuf-hunting but less of it. *)
+  let with_interval =
+    Nfsg_experiments.Experiments.ablation_procrastination ~quick:true ()
+  in
+  ignore with_interval (* rendering checked above; here: it completes *)
+
+let suite =
+  [
+    Alcotest.test_case "gathering wins with biods" `Quick test_gathering_wins_with_biods;
+    Alcotest.test_case "gathering loses at 0 biods" `Quick test_gathering_loses_at_zero_biods;
+    Alcotest.test_case "Presto inverts the trade-off" `Quick test_presto_inverts_the_tradeoff;
+    Alcotest.test_case "striping scales gathering" `Quick test_stripe_scales_gathering;
+    Alcotest.test_case "Ethernet slower than FDDI" `Quick test_ethernet_slower_than_fddi;
+    Alcotest.test_case "figure 1 tells the story" `Quick test_figure1_has_the_story;
+    Alcotest.test_case "table report has paper rows" `Quick test_table_report_shape;
+    Alcotest.test_case "procrastination ablation runs" `Slow test_procrastination_ablation_zero_interval;
+  ]

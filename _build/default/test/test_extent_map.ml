@@ -1,0 +1,154 @@
+open Nfsg_disk
+
+let bytes_of s = Bytes.of_string s
+
+let read_back m ~off ~len =
+  let buf = Bytes.make len '.' in
+  Extent_map.apply m ~off buf;
+  Bytes.to_string buf
+
+let test_insert_and_apply () =
+  let m = Extent_map.create () in
+  Extent_map.insert m ~off:10 (bytes_of "hello");
+  Alcotest.(check int) "total" 5 (Extent_map.total_bytes m);
+  Alcotest.(check string) "overlay" "..hello..." (read_back m ~off:8 ~len:10)
+
+let test_adjacent_coalesce () =
+  let m = Extent_map.create () in
+  Extent_map.insert m ~off:0 (bytes_of "aaaa");
+  Extent_map.insert m ~off:4 (bytes_of "bbbb");
+  Extent_map.insert m ~off:8 (bytes_of "cccc");
+  Alcotest.(check int) "one extent" 1 (Extent_map.extent_count m);
+  Alcotest.(check string) "contents" "aaaabbbbcccc" (read_back m ~off:0 ~len:12)
+
+let test_overwrite_wins () =
+  let m = Extent_map.create () in
+  Extent_map.insert m ~off:0 (bytes_of "xxxxxxxx");
+  Extent_map.insert m ~off:2 (bytes_of "NEW");
+  Alcotest.(check string) "new over old" "xxNEWxxx" (read_back m ~off:0 ~len:8);
+  Alcotest.(check int) "still one extent" 1 (Extent_map.extent_count m)
+
+let test_gap_keeps_separate () =
+  let m = Extent_map.create () in
+  Extent_map.insert m ~off:0 (bytes_of "aa");
+  Extent_map.insert m ~off:10 (bytes_of "bb");
+  Alcotest.(check int) "two extents" 2 (Extent_map.extent_count m);
+  Alcotest.(check int) "4 bytes" 4 (Extent_map.total_bytes m)
+
+let test_bridge_merges () =
+  let m = Extent_map.create () in
+  Extent_map.insert m ~off:0 (bytes_of "aa");
+  Extent_map.insert m ~off:4 (bytes_of "bb");
+  Extent_map.insert m ~off:2 (bytes_of "XX");
+  Alcotest.(check int) "bridged" 1 (Extent_map.extent_count m);
+  Alcotest.(check string) "contents" "aaXXbb" (read_back m ~off:0 ~len:6)
+
+let test_covers () =
+  let m = Extent_map.create () in
+  Extent_map.insert m ~off:100 (bytes_of (String.make 50 'z'));
+  Alcotest.(check bool) "inner" true (Extent_map.covers m ~off:110 ~len:20);
+  Alcotest.(check bool) "exact" true (Extent_map.covers m ~off:100 ~len:50);
+  Alcotest.(check bool) "past end" false (Extent_map.covers m ~off:120 ~len:40);
+  Alcotest.(check bool) "before" false (Extent_map.covers m ~off:90 ~len:20);
+  Alcotest.(check bool) "empty range" true (Extent_map.covers m ~off:0 ~len:0)
+
+let test_take_first () =
+  let m = Extent_map.create () in
+  Extent_map.insert m ~off:20 (bytes_of "bbbb");
+  Extent_map.insert m ~off:5 (bytes_of "aaaa");
+  (match Extent_map.take_first m ~max:100 with
+  | Some (5, d) -> Alcotest.(check string) "lowest first" "aaaa" (Bytes.to_string d)
+  | _ -> Alcotest.fail "expected extent at 5");
+  match Extent_map.take_first m ~max:2 with
+  | Some (20, d) ->
+      Alcotest.(check string) "clipped to max" "bb" (Bytes.to_string d);
+      Alcotest.(check int) "remainder stays" 2 (Extent_map.total_bytes m);
+      (match Extent_map.take_first m ~max:100 with
+      | Some (22, d2) -> Alcotest.(check string) "tail" "bb" (Bytes.to_string d2)
+      | _ -> Alcotest.fail "expected tail at 22")
+  | _ -> Alcotest.fail "expected clipped extent at 20"
+
+let test_remove_range_trims () =
+  let m = Extent_map.create () in
+  Extent_map.insert m ~off:0 (bytes_of "abcdefgh");
+  Extent_map.remove_range m ~off:2 ~len:4;
+  Alcotest.(check int) "two pieces" 2 (Extent_map.extent_count m);
+  Alcotest.(check string) "prefix+suffix" "ab....gh" (read_back m ~off:0 ~len:8)
+
+let test_sequential_8k_stream_coalesces () =
+  (* The NVRAM flusher depends on this: 16 x 8K sequential writes must
+     form one 128K extent. *)
+  let m = Extent_map.create () in
+  for i = 0 to 15 do
+    Extent_map.insert m ~off:(i * 8192) (Bytes.make 8192 (Char.chr (65 + i)))
+  done;
+  Alcotest.(check int) "single extent" 1 (Extent_map.extent_count m);
+  Alcotest.(check int) "128K" (128 * 1024) (Extent_map.total_bytes m)
+
+(* Model-based property test: an extent map must behave like a sparse
+   byte array. *)
+let prop_model =
+  let op_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map2 (fun off len -> `Insert (off, len)) (int_bound 200) (int_range 1 40);
+          map2 (fun off len -> `Remove (off, len)) (int_bound 200) (int_range 1 40);
+          return `Take;
+        ])
+  in
+  let ops_arb = QCheck.make ~print:(fun l -> string_of_int (List.length l)) QCheck.Gen.(list_size (1 -- 60) op_gen) in
+  QCheck.Test.make ~name:"extent map matches sparse-array model" ~count:300 ops_arb (fun ops ->
+      let m = Extent_map.create () in
+      let model = Array.make 512 None in
+      let tag = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Insert (off, len) ->
+              incr tag;
+              let c = Char.chr (33 + (!tag mod 90)) in
+              Extent_map.insert m ~off (Bytes.make len c);
+              for i = off to off + len - 1 do
+                model.(i) <- Some c
+              done
+          | `Remove (off, len) ->
+              Extent_map.remove_range m ~off ~len;
+              for i = off to Stdlib.min 511 (off + len - 1) do
+                model.(i) <- None
+              done
+          | `Take -> (
+              match Extent_map.take_first m ~max:16 with
+              | None -> ()
+              | Some (off, d) ->
+                  for i = off to off + Bytes.length d - 1 do
+                    (* must match the model's bytes, then vacate *)
+                    if model.(i) <> Some (Bytes.get d (i - off)) then
+                      QCheck.Test.fail_reportf "take_first mismatch at %d" i;
+                    model.(i) <- None
+                  done))
+        ops;
+      (* Final read-back comparison. *)
+      let buf = Bytes.make 512 '\000' in
+      Extent_map.apply m ~off:0 buf;
+      let ok = ref true in
+      for i = 0 to 511 do
+        let expect = match model.(i) with Some c -> c | None -> '\000' in
+        if Bytes.get buf i <> expect then ok := false
+      done;
+      let model_bytes = Array.fold_left (fun n c -> if c = None then n else n + 1) 0 model in
+      !ok && model_bytes = Extent_map.total_bytes m)
+
+let suite =
+  [
+    Alcotest.test_case "insert and apply" `Quick test_insert_and_apply;
+    Alcotest.test_case "adjacent extents coalesce" `Quick test_adjacent_coalesce;
+    Alcotest.test_case "overwrite keeps newest bytes" `Quick test_overwrite_wins;
+    Alcotest.test_case "gaps keep extents separate" `Quick test_gap_keeps_separate;
+    Alcotest.test_case "bridging write merges neighbours" `Quick test_bridge_merges;
+    Alcotest.test_case "covers" `Quick test_covers;
+    Alcotest.test_case "take_first clips at max" `Quick test_take_first;
+    Alcotest.test_case "remove_range trims overlaps" `Quick test_remove_range_trims;
+    Alcotest.test_case "sequential 8K stream coalesces" `Quick test_sequential_8k_stream_coalesces;
+    QCheck_alcotest.to_alcotest prop_model;
+  ]

@@ -1,0 +1,108 @@
+open Nfsg_sim
+
+let test_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check int) "size" 0 (Heap.size h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Heap.peek h = None)
+
+let test_ordering () =
+  let h = Heap.create () in
+  List.iteri (fun i k -> Heap.add h ~key:k ~seq:i k) [ 5; 3; 8; 1; 9; 2; 7 ];
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some (k, _, _) -> drain (k :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] (drain [])
+
+let test_fifo_ties () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.add h ~key:42 ~seq:i i
+  done;
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some (_, _, v) -> drain (v :: acc)
+  in
+  Alcotest.(check (list int)) "insertion order" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (drain [])
+
+let test_interleaved () =
+  let h = Heap.create () in
+  Heap.add h ~key:10 ~seq:0 "a";
+  Heap.add h ~key:5 ~seq:1 "b";
+  (match Heap.pop h with
+  | Some (5, _, "b") -> ()
+  | _ -> Alcotest.fail "expected b at key 5");
+  Heap.add h ~key:1 ~seq:2 "c";
+  (match Heap.pop h with
+  | Some (1, _, "c") -> ()
+  | _ -> Alcotest.fail "expected c at key 1");
+  match Heap.pop h with
+  | Some (10, _, "a") -> ()
+  | _ -> Alcotest.fail "expected a at key 10"
+
+let test_grow () =
+  let h = Heap.create () in
+  let n = 10_000 in
+  for i = n downto 1 do
+    Heap.add h ~key:i ~seq:(n - i) i
+  done;
+  Alcotest.(check int) "size" n (Heap.size h);
+  let prev = ref 0 in
+  let ok = ref true in
+  for _ = 1 to n do
+    match Heap.pop h with
+    | Some (k, _, _) ->
+        if k < !prev then ok := false;
+        prev := k
+    | None -> ok := false
+  done;
+  Alcotest.(check bool) "monotone drain of 10k" true !ok
+
+let test_clear () =
+  let h = Heap.create () in
+  Heap.add h ~key:1 ~seq:0 ();
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let prop_heap_sort =
+  QCheck.Test.make ~name:"heap drains any list sorted" ~count:200
+    QCheck.(list small_int)
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.add h ~key:k ~seq:i k) keys;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (k, _, _) -> drain (k :: acc)
+      in
+      drain [] = List.sort compare keys)
+
+let prop_stable =
+  QCheck.Test.make ~name:"equal keys preserve insertion order" ~count:200
+    QCheck.(list (pair (int_bound 3) small_int))
+    (fun items ->
+      let h = Heap.create () in
+      List.iteri (fun i (k, v) -> Heap.add h ~key:k ~seq:i (i, v)) items;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (k, _, (i, _)) -> drain ((k, i) :: acc)
+      in
+      let out = drain [] in
+      (* Within each key, the sequence indices must be increasing. *)
+      let rec check = function
+        | (k1, i1) :: ((k2, i2) :: _ as rest) ->
+            (k1 <> k2 || i1 < i2) && check rest
+        | _ -> true
+      in
+      check out)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "pops in key order" `Quick test_ordering;
+    Alcotest.test_case "FIFO among equal keys" `Quick test_fifo_ties;
+    Alcotest.test_case "interleaved add/pop" `Quick test_interleaved;
+    Alcotest.test_case "grows past initial capacity" `Quick test_grow;
+    Alcotest.test_case "clear empties" `Quick test_clear;
+    QCheck_alcotest.to_alcotest prop_heap_sort;
+    QCheck_alcotest.to_alcotest prop_stable;
+  ]

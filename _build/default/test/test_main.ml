@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "nfs_gather"
+    [
+      ("heap", Test_heap.suite);
+      ("rng", Test_rng.suite);
+      ("engine", Test_engine.suite);
+      ("sync", Test_sync.suite);
+      ("stats", Test_stats.suite);
+      ("extent-map", Test_extent_map.suite);
+      ("disk", Test_disk.suite);
+      ("nvram", Test_nvram.suite);
+      ("stripe", Test_stripe.suite);
+      ("net", Test_net.suite);
+      ("ufs", Test_ufs.suite);
+      ("xdr", Test_xdr.suite);
+      ("rpc", Test_rpc.suite);
+      ("nfs-proto", Test_nfs_proto.suite);
+      ("server", Test_server.suite);
+      ("gather", Test_gather.suite);
+      ("nfsv3", Test_v3.suite);
+      ("client", Test_client.suite);
+      ("workload", Test_workload.suite);
+      ("integration", Test_integration.suite);
+      ("crash", Test_crash.suite);
+      ("experiments", Test_experiments.suite);
+    ]

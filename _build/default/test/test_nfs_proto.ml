@@ -1,0 +1,146 @@
+open Nfsg_nfs
+
+let fh inum gen = { Proto.inum; gen }
+
+let roundtrip_args args =
+  let proc = Proto.proc_of_args args in
+  Proto.decode_args ~proc (Proto.encode_args args)
+
+let test_args_roundtrip () =
+  let cases =
+    [
+      Proto.Null;
+      Proto.Getattr (fh 3 1);
+      Proto.Setattr (fh 4 2, Proto.sattr_truncate 0);
+      Proto.Lookup (fh 1 1, "etc");
+      Proto.Read { fh = fh 9 1; offset = 16384; count = 8192 };
+      Proto.Write { fh = fh 9 1; offset = 8192; data = Bytes.make 100 'w' };
+      Proto.Create { dir = fh 1 1; name = "new.txt"; sattr = Proto.sattr_none };
+      Proto.Remove { dir = fh 1 1; name = "old" };
+      Proto.Rename { from_dir = fh 1 1; from_name = "a"; to_dir = fh 2 1; to_name = "b" };
+      Proto.Mkdir { dir = fh 1 1; name = "subdir"; sattr = Proto.sattr_none };
+      Proto.Rmdir { dir = fh 1 1; name = "subdir" };
+      Proto.Readdir { fh = fh 1 1; cookie = 0; count = 4096 };
+      Proto.Statfs (fh 1 1);
+    ]
+  in
+  List.iter (fun args -> Alcotest.(check bool) "roundtrip" true (roundtrip_args args = args)) cases
+
+let sample_fattr =
+  {
+    Proto.ftype = Proto.NFREG;
+    mode = 0o644;
+    nlink = 1;
+    uid = 0;
+    gid = 0;
+    size = 123456;
+    blocksize = 8192;
+    rdev = 0;
+    blocks = 16;
+    fsid = 1;
+    fileid = 42;
+    atime = { Proto.sec = 10; usec = 500 };
+    mtime = { Proto.sec = 11; usec = 600 };
+    ctime = { Proto.sec = 12; usec = 700 };
+  }
+
+let roundtrip_res ~proc res = Proto.decode_res ~proc (Proto.encode_res res)
+
+let test_res_roundtrip () =
+  let checks =
+    [
+      (Proto.proc_getattr, Proto.RAttr (Ok sample_fattr));
+      (Proto.proc_write, Proto.RAttr (Error Proto.NFSERR_NOSPC));
+      (Proto.proc_lookup, Proto.RDirop (Ok (fh 7 3, sample_fattr)));
+      (Proto.proc_create, Proto.RDirop (Error Proto.NFSERR_EXIST));
+      (Proto.proc_read, Proto.RRead (Ok (sample_fattr, Bytes.of_string "file contents")));
+      (Proto.proc_remove, Proto.RStatus Proto.NFS_OK);
+      (Proto.proc_rename, Proto.RStatus Proto.NFSERR_STALE);
+      (Proto.proc_readdir, Proto.RReaddir (Ok ([ ("a", 2); ("bb", 3) ], true)));
+      ( Proto.proc_statfs,
+        Proto.RStatfs (Ok { Proto.tsize = 8192; bsize = 8192; blocks = 100; bfree = 50; bavail = 50 })
+      );
+    ]
+  in
+  List.iter
+    (fun (proc, res) -> Alcotest.(check bool) (Proto.proc_name proc) true (roundtrip_res ~proc res = res))
+    checks
+
+let test_status_codes_stable () =
+  (* Wire numbers straight from RFC 1094. *)
+  Alcotest.(check int) "NFS_OK" 0 (Proto.status_to_int Proto.NFS_OK);
+  Alcotest.(check int) "NOENT" 2 (Proto.status_to_int Proto.NFSERR_NOENT);
+  Alcotest.(check int) "NOSPC" 28 (Proto.status_to_int Proto.NFSERR_NOSPC);
+  Alcotest.(check int) "STALE" 70 (Proto.status_to_int Proto.NFSERR_STALE);
+  List.iter
+    (fun st -> Alcotest.(check bool) "involutive" true (Proto.status_of_int (Proto.status_to_int st) = st))
+    [
+      Proto.NFS_OK;
+      Proto.NFSERR_PERM;
+      Proto.NFSERR_NOENT;
+      Proto.NFSERR_IO;
+      Proto.NFSERR_EXIST;
+      Proto.NFSERR_NOTDIR;
+      Proto.NFSERR_ISDIR;
+      Proto.NFSERR_FBIG;
+      Proto.NFSERR_NOSPC;
+      Proto.NFSERR_NOTEMPTY;
+      Proto.NFSERR_STALE;
+    ]
+
+let test_timeval_conversion () =
+  let ns = 1_234_567_891_234 in
+  let tv = Proto.timeval_of_ns ns in
+  Alcotest.(check int) "sec" 1234 tv.Proto.sec;
+  Alcotest.(check int) "usec" 567891 tv.Proto.usec;
+  (* ns -> timeval truncates below microseconds. *)
+  Alcotest.(check int) "roundtrip at us precision" 1_234_567_891_000 (Proto.ns_of_timeval tv)
+
+let test_peek_write () =
+  let args = Proto.Write { fh = fh 55 9; offset = 24576; data = Bytes.make 8192 'd' } in
+  let call =
+    Nfsg_rpc.Rpc.encode_call
+      {
+        Nfsg_rpc.Rpc.xid = 77;
+        prog = Nfsg_rpc.Rpc.nfs_program;
+        vers = 2;
+        proc = Proto.proc_write;
+        body = Proto.encode_args args;
+      }
+  in
+  (match Proto.peek_write call with
+  | Some (f, off, len) ->
+      Alcotest.(check int) "inum" 55 f.Proto.inum;
+      Alcotest.(check int) "offset" 24576 off;
+      Alcotest.(check int) "len" 8192 len
+  | None -> Alcotest.fail "peek_write missed a WRITE");
+  (* A READ call must not match. *)
+  let read_call =
+    Nfsg_rpc.Rpc.encode_call
+      {
+        Nfsg_rpc.Rpc.xid = 78;
+        prog = Nfsg_rpc.Rpc.nfs_program;
+        vers = 2;
+        proc = Proto.proc_read;
+        body = Proto.encode_args (Proto.Read { fh = fh 55 9; offset = 0; count = 100 });
+      }
+  in
+  Alcotest.(check bool) "read ignored" true (Proto.peek_write read_call = None);
+  Alcotest.(check bool) "garbage ignored" true (Proto.peek_write (Bytes.make 3 'x') = None)
+
+let prop_write_args_roundtrip =
+  QCheck.Test.make ~name:"WRITE args roundtrip any payload" ~count:100
+    QCheck.(pair (int_bound 1_000_000) string)
+    (fun (offset, s) ->
+      let args = Proto.Write { fh = fh 3 1; offset; data = Bytes.of_string s } in
+      roundtrip_args args = args)
+
+let suite =
+  [
+    Alcotest.test_case "all argument types roundtrip" `Quick test_args_roundtrip;
+    Alcotest.test_case "all result types roundtrip" `Quick test_res_roundtrip;
+    Alcotest.test_case "status codes match RFC 1094" `Quick test_status_codes_stable;
+    Alcotest.test_case "timeval conversion" `Quick test_timeval_conversion;
+    Alcotest.test_case "peek_write classifies datagrams" `Quick test_peek_write;
+    QCheck_alcotest.to_alcotest prop_write_args_roundtrip;
+  ]

@@ -1,0 +1,84 @@
+open Nfsg_sim
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different streams" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_int_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    if v < 0 || v >= 10 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_float_range () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r in
+    if v < 0.0 || v >= 1.0 then Alcotest.failf "out of range: %f" v
+  done
+
+let test_exponential_mean () =
+  let r = Rng.create 11 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r 5.0
+  done;
+  let mean = !sum /. float_of_int n in
+  if Float.abs (mean -. 5.0) > 0.25 then Alcotest.failf "mean %f too far from 5.0" mean
+
+let test_bool_probability () =
+  let r = Rng.create 13 in
+  let n = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bool r 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  if Float.abs (p -. 0.3) > 0.02 then Alcotest.failf "p %f too far from 0.3" p
+
+let test_weighted () =
+  let r = Rng.create 17 in
+  let n = 30_000 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to n do
+    let v = Rng.weighted r [ (0.5, "a"); (0.3, "b"); (0.2, "c") ] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let frac k = float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts k)) /. float_of_int n in
+  if Float.abs (frac "a" -. 0.5) > 0.02 then Alcotest.failf "a: %f" (frac "a");
+  if Float.abs (frac "b" -. 0.3) > 0.02 then Alcotest.failf "b: %f" (frac "b");
+  if Float.abs (frac "c" -. 0.2) > 0.02 then Alcotest.failf "c: %f" (frac "c")
+
+let test_split_independent () =
+  let a = Rng.create 3 in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 10 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "streams differ" false (xs = ys)
+
+let test_weighted_rejects_bad () =
+  let r = Rng.create 5 in
+  Alcotest.check_raises "zero weights"
+    (Invalid_argument "Rng.weighted: weights must sum to a positive value") (fun () ->
+      ignore (Rng.weighted r [ (0.0, "a") ]))
+
+let suite =
+  [
+    Alcotest.test_case "equal seeds, equal streams" `Quick test_determinism;
+    Alcotest.test_case "different seeds differ" `Quick test_seeds_differ;
+    Alcotest.test_case "int stays in bounds" `Quick test_int_bounds;
+    Alcotest.test_case "float stays in [0,1)" `Quick test_float_range;
+    Alcotest.test_case "exponential has requested mean" `Quick test_exponential_mean;
+    Alcotest.test_case "bool respects probability" `Quick test_bool_probability;
+    Alcotest.test_case "weighted choice proportions" `Quick test_weighted;
+    Alcotest.test_case "split gives independent stream" `Quick test_split_independent;
+    Alcotest.test_case "weighted rejects zero weights" `Quick test_weighted_rejects_bad;
+  ]

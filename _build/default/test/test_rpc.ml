@@ -1,0 +1,219 @@
+open Nfsg_sim
+open Nfsg_rpc
+module Segment = Nfsg_net.Segment
+module Socket = Nfsg_net.Socket
+
+let test_call_roundtrip () =
+  let call = { Rpc.xid = 42; prog = Rpc.nfs_program; vers = 2; proc = 8; body = Bytes.of_string "args" } in
+  let decoded = Rpc.decode_call (Rpc.encode_call call) in
+  Alcotest.(check bool) "roundtrip" true (decoded = call)
+
+let test_reply_roundtrip () =
+  let reply = { Rpc.rxid = 42; stat = Rpc.Success; rbody = Bytes.of_string "result" } in
+  Alcotest.(check bool) "roundtrip" true (Rpc.decode_reply (Rpc.encode_reply reply) = reply);
+  let err = { Rpc.rxid = 1; stat = Rpc.Garbage_args; rbody = Bytes.create 0 } in
+  Alcotest.(check bool) "error roundtrip" true (Rpc.decode_reply (Rpc.encode_reply err) = err)
+
+let test_is_call_classifier () =
+  let call = Rpc.encode_call { Rpc.xid = 1; prog = 1; vers = 1; proc = 1; body = Bytes.create 0 } in
+  let reply = Rpc.encode_reply { Rpc.rxid = 1; stat = Rpc.Success; rbody = Bytes.create 0 } in
+  Alcotest.(check bool) "call" true (Rpc.is_call call);
+  Alcotest.(check bool) "reply" false (Rpc.is_call reply);
+  Alcotest.(check bool) "short garbage" false (Rpc.is_call (Bytes.make 3 'x'))
+
+(* {1 Duplicate cache} *)
+
+let test_dupcache_lifecycle () =
+  let eng = Engine.create () in
+  let dc = Dupcache.create eng () in
+  Alcotest.(check bool) "first is new" true (Dupcache.admit dc ~client:"c" ~xid:1 = Dupcache.New);
+  Alcotest.(check bool) "repeat in flight dropped" true
+    (Dupcache.admit dc ~client:"c" ~xid:1 = Dupcache.In_progress);
+  Alcotest.(check int) "drop counted" 1 (Dupcache.drops dc);
+  Dupcache.complete dc ~client:"c" ~xid:1 (Bytes.of_string "reply!");
+  (match Dupcache.admit dc ~client:"c" ~xid:1 with
+  | Dupcache.Replay b -> Alcotest.(check string) "replayed" "reply!" (Bytes.to_string b)
+  | _ -> Alcotest.fail "expected replay");
+  Alcotest.(check int) "replay counted" 1 (Dupcache.replays dc);
+  (* Same xid from a different client is distinct. *)
+  Alcotest.(check bool) "other client is new" true (Dupcache.admit dc ~client:"d" ~xid:1 = Dupcache.New)
+
+let test_dupcache_ttl_expiry () =
+  let eng = Engine.create () in
+  let dc = Dupcache.create eng ~ttl:(Time.sec 2) () in
+  ignore (Dupcache.admit dc ~client:"c" ~xid:9);
+  Dupcache.complete dc ~client:"c" ~xid:9 (Bytes.of_string "r");
+  Engine.schedule eng ~after:(Time.sec 5) (fun () ->
+      Alcotest.(check bool) "expired entry re-executes" true
+        (Dupcache.admit dc ~client:"c" ~xid:9 = Dupcache.New));
+  Engine.run eng
+
+let test_dupcache_eviction () =
+  let eng = Engine.create () in
+  let dc = Dupcache.create eng ~capacity:4 () in
+  for xid = 1 to 10 do
+    ignore (Dupcache.admit dc ~client:"c" ~xid);
+    Dupcache.complete dc ~client:"c" ~xid (Bytes.create 0)
+  done;
+  Alcotest.(check bool) "bounded" true (Dupcache.entries dc <= 4)
+
+(* {1 svc + rpc_client end to end (echo server)} *)
+
+let echo_rig ?(loss = 0.0) ?(with_dupcache = false) () =
+  let eng = Engine.create () in
+  let segment = Segment.create eng { Segment.fddi with Segment.loss_prob = loss } in
+  let ssock = Socket.create segment ~addr:"server" () in
+  let svc_calls = ref 0 in
+  let dupcache = if with_dupcache then Some (Dupcache.create eng ()) else None in
+  let svc =
+    Svc.create eng ~sock:ssock ?dupcache ~nfsds:2
+      ~dispatch:(fun _tr call ->
+        incr svc_calls;
+        Svc.Reply (Rpc.Success, call.Rpc.body))
+      ()
+  in
+  let csock = Socket.create segment ~addr:"client" () in
+  let params =
+    {
+      Rpc_client.default_params with
+      Rpc_client.initial_rto = Time.ms 50;
+      min_rto = Time.ms 50;
+      max_attempts = 40;
+    }
+  in
+  let rpc = Rpc_client.create eng ~sock:csock ~server:"server" ~params () in
+  (eng, svc, rpc, svc_calls)
+
+let run_driver eng f =
+  let r = ref None in
+  Engine.spawn eng ~name:"driver" (fun () -> r := Some (f ()));
+  Engine.run eng;
+  match !r with Some v -> v | None -> Alcotest.fail "driver blocked"
+
+let test_echo_roundtrip () =
+  let eng, _svc, rpc, _ = echo_rig () in
+  run_driver eng (fun () ->
+      let stat, body = Rpc_client.call rpc ~proc:1 (Bytes.of_string "ping") in
+      Alcotest.(check bool) "success" true (stat = Rpc.Success);
+      Alcotest.(check string) "echoed" "ping" (Bytes.to_string body));
+  Alcotest.(check int) "one send, no retries" 0 (Rpc_client.retransmissions rpc)
+
+let test_retransmission_on_loss () =
+  (* 35% datagram loss: the call must still eventually succeed. *)
+  let eng, _svc, rpc, _ = echo_rig ~loss:0.35 () in
+  run_driver eng (fun () ->
+      for i = 1 to 10 do
+        let stat, body = Rpc_client.call rpc ~proc:1 (Bytes.of_string (string_of_int i)) in
+        Alcotest.(check bool) "success" true (stat = Rpc.Success);
+        Alcotest.(check string) "echoed" (string_of_int i) (Bytes.to_string body)
+      done);
+  Alcotest.(check bool) "retransmissions happened" true (Rpc_client.retransmissions rpc > 0)
+
+let test_dupcache_suppresses_reexecution () =
+  (* Heavy loss plus a dup cache: the number of *executions* must equal
+     the number of distinct calls even though retransmissions occur. *)
+  let eng, _svc, rpc, svc_calls = echo_rig ~loss:0.35 ~with_dupcache:true () in
+  run_driver eng (fun () ->
+      for i = 1 to 20 do
+        ignore (Rpc_client.call rpc ~proc:1 (Bytes.of_string (string_of_int i)))
+      done);
+  Alcotest.(check bool) "retransmissions happened" true (Rpc_client.retransmissions rpc > 0);
+  Alcotest.(check int) "each call executed exactly once" 20 !svc_calls
+
+let test_rtt_adaptation () =
+  let eng, _svc, rpc, _ = echo_rig () in
+  run_driver eng (fun () ->
+      Alcotest.(check bool) "no estimate yet" true (Rpc_client.rtt_estimate rpc Rpc_client.Heavy = None);
+      for _ = 1 to 5 do
+        ignore (Rpc_client.call rpc ~klass:Rpc_client.Heavy ~proc:1 (Bytes.make 8192 'x'))
+      done;
+      match Rpc_client.rtt_estimate rpc Rpc_client.Heavy with
+      | None -> Alcotest.fail "no RTT estimate after calls"
+      | Some srtt -> if srtt <= 0 then Alcotest.fail "non-positive srtt")
+
+let test_delayed_reply_architecture () =
+  (* A dispatch that returns Reply_pending and completes the reply from
+     a different process 30ms later: the paper's one-nfsd-answers-for-
+     another architecture. *)
+  let eng = Engine.create () in
+  let segment = Segment.create eng Segment.fddi in
+  let ssock = Socket.create segment ~addr:"server" () in
+  let pending = ref [] in
+  let svc_box = ref None in
+  let svc =
+    Svc.create eng ~sock:ssock ~nfsds:1
+      ~dispatch:(fun tr call ->
+        pending := (tr, call.Rpc.body) :: !pending;
+        Svc.Reply_pending)
+      ()
+  in
+  svc_box := Some svc;
+  Engine.spawn eng ~name:"metadata-writer" (fun () ->
+      Engine.delay (Time.ms 30);
+      List.iter (fun (tr, body) -> Svc.send_reply svc tr Rpc.Success body) (List.rev !pending));
+  let csock = Socket.create segment ~addr:"client" () in
+  let rpc = Rpc_client.create eng ~sock:csock ~server:"server" () in
+  let got = ref "" in
+  let t_done = ref 0 in
+  Engine.spawn eng ~name:"caller" (fun () ->
+      let _, body = Rpc_client.call rpc ~proc:8 (Bytes.of_string "deferred") in
+      got := Bytes.to_string body;
+      t_done := Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check string) "reply delivered" "deferred" !got;
+  Alcotest.(check bool) "after the 30ms defer" true (!t_done >= Time.ms 30);
+  Alcotest.(check int) "handle recycled" 0 (Svc.handles_outstanding svc);
+  Alcotest.(check bool) "handle back in cache" true (Svc.handle_cache_size svc >= 1)
+
+let test_double_reply_rejected () =
+  let eng = Engine.create () in
+  let segment = Segment.create eng Segment.fddi in
+  let ssock = Socket.create segment ~addr:"server" () in
+  let failed = ref false in
+  let svc_ref = ref None in
+  let svc =
+    Svc.create eng ~sock:ssock ~nfsds:1
+      ~dispatch:(fun tr _call ->
+        let svc = Option.get !svc_ref in
+        Svc.send_reply svc tr Rpc.Success (Bytes.create 0);
+        (try Svc.send_reply svc tr Rpc.Success (Bytes.create 0)
+         with Invalid_argument _ -> failed := true);
+        Svc.Reply_pending)
+      ()
+  in
+  svc_ref := Some svc;
+  let csock = Socket.create segment ~addr:"client" () in
+  let rpc = Rpc_client.create eng ~sock:csock ~server:"server" () in
+  run_driver eng (fun () -> ignore (Rpc_client.call rpc ~proc:0 (Bytes.create 0)));
+  Alcotest.(check bool) "second reply rejected" true !failed
+
+let test_garbage_counted () =
+  let eng = Engine.create () in
+  let segment = Segment.create eng Segment.fddi in
+  let ssock = Socket.create segment ~addr:"server" () in
+  let svc =
+    Svc.create eng ~sock:ssock ~nfsds:1
+      ~dispatch:(fun _ _ -> Svc.Reply (Rpc.Success, Bytes.create 0))
+      ()
+  in
+  let junk_sock = Socket.create segment ~addr:"junk" () in
+  Socket.send junk_sock ~dst:"server" (Bytes.of_string "not rpc at all");
+  Engine.run eng;
+  Alcotest.(check int) "garbage dropped" 1 (Svc.garbage_dropped svc)
+
+let suite =
+  [
+    Alcotest.test_case "call encode/decode" `Quick test_call_roundtrip;
+    Alcotest.test_case "reply encode/decode" `Quick test_reply_roundtrip;
+    Alcotest.test_case "is_call classifier" `Quick test_is_call_classifier;
+    Alcotest.test_case "dupcache lifecycle" `Quick test_dupcache_lifecycle;
+    Alcotest.test_case "dupcache TTL expiry" `Quick test_dupcache_ttl_expiry;
+    Alcotest.test_case "dupcache LRU eviction" `Quick test_dupcache_eviction;
+    Alcotest.test_case "echo roundtrip" `Quick test_echo_roundtrip;
+    Alcotest.test_case "retransmission survives loss" `Quick test_retransmission_on_loss;
+    Alcotest.test_case "dupcache stops re-execution" `Quick test_dupcache_suppresses_reexecution;
+    Alcotest.test_case "RTT estimator adapts" `Quick test_rtt_adaptation;
+    Alcotest.test_case "delayed replies via handle cache" `Quick test_delayed_reply_architecture;
+    Alcotest.test_case "double reply rejected" `Quick test_double_reply_rejected;
+    Alcotest.test_case "garbage datagrams dropped" `Quick test_garbage_counted;
+  ]

@@ -1,0 +1,116 @@
+open Nfsg_stats
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_summary_basic () =
+  let s = Summary.create () in
+  List.iter (Summary.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Summary.max s);
+  Alcotest.(check (float 1e-9)) "sum" 10.0 (Summary.sum s);
+  Alcotest.(check (float 1e-9)) "variance" 1.25 (Summary.variance s)
+
+let test_summary_empty () =
+  let s = Summary.create () in
+  Alcotest.(check (float 0.0)) "mean of empty" 0.0 (Summary.mean s);
+  Alcotest.(check (float 0.0)) "variance of empty" 0.0 (Summary.variance s)
+
+let test_summary_merge () =
+  let a = Summary.create () and b = Summary.create () and whole = Summary.create () in
+  let xs = [ 1.0; 5.0; 2.0 ] and ys = [ 10.0; 0.5 ] in
+  List.iter (Summary.add a) xs;
+  List.iter (Summary.add b) ys;
+  List.iter (Summary.add whole) (xs @ ys);
+  let m = Summary.merge a b in
+  Alcotest.(check int) "count" (Summary.count whole) (Summary.count m);
+  Alcotest.(check (float 1e-9)) "mean" (Summary.mean whole) (Summary.mean m);
+  Alcotest.(check (float 1e-6)) "variance" (Summary.variance whole) (Summary.variance m)
+
+let test_histogram_quantiles () =
+  let h = Histogram.create ~least:1.0 ~growth:1.1 ~buckets:256 () in
+  for i = 1 to 1000 do
+    Histogram.add h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 1000 (Histogram.count h);
+  let med = Histogram.median h in
+  if med < 450.0 || med > 560.0 then Alcotest.failf "median %f out of tolerance" med;
+  let p99 = Histogram.p99 h in
+  if p99 < 930.0 || p99 > 1100.0 then Alcotest.failf "p99 %f out of tolerance" p99;
+  Alcotest.(check (float 0.5)) "mean" 500.5 (Histogram.mean h)
+
+let test_histogram_clamps () =
+  let h = Histogram.create ~least:1.0 ~growth:2.0 ~buckets:4 () in
+  Histogram.add h 0.0001;
+  Histogram.add h 1e12;
+  Alcotest.(check int) "both recorded" 2 (Histogram.count h)
+
+let test_report_render () =
+  let r = Report.create ~title:"Table X" ~columns:[ "0"; "3"; "7" ] in
+  Report.add_section r "Without Write Gathering";
+  Report.add_row r "client write speed (KB/sec)" [ 165.0; 194.0; 201.0 ];
+  Report.add_row r "server cpu util. (%)" [ 9.0; 11.0; 11.4 ];
+  let s = Report.to_string r in
+  Alcotest.(check bool) "has title" true (contains s "Table X");
+  Alcotest.(check bool) "row label" true (contains s "client write speed");
+  Alcotest.(check bool) "integer cell" true (contains s "165");
+  Alcotest.(check bool) "decimal cell" true (contains s "11.4");
+  Alcotest.(check bool) "section" true (contains s "Without Write Gathering")
+
+let test_report_mismatch () =
+  let r = Report.create ~title:"t" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "cell count" (Invalid_argument "Report.add_row \"x\": 1 cells for 2 columns")
+    (fun () -> Report.add_row r "x" [ 1.0 ])
+
+let test_trace_records () =
+  let eng = Nfsg_sim.Engine.create () in
+  let tr = Trace.create eng in
+  Nfsg_sim.Engine.spawn eng (fun () ->
+      Trace.emit tr ~actor:"client" "8K Write";
+      Nfsg_sim.Engine.delay (Nfsg_sim.Time.ms 2);
+      Trace.emit tr ~actor:"server" "Metadata to disk");
+  Nfsg_sim.Engine.run eng;
+  match Trace.events tr with
+  | [ (t0, "client", "8K Write"); (t1, "server", "Metadata to disk") ] ->
+      Alcotest.(check int) "2ms apart" (Nfsg_sim.Time.ms 2) (t1 - t0)
+  | evs -> Alcotest.failf "unexpected events (%d)" (List.length evs)
+
+let test_trace_disabled () =
+  let eng = Nfsg_sim.Engine.create () in
+  let tr = Trace.create ~enabled:false eng in
+  Trace.emit tr ~actor:"x" "y";
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.events tr))
+
+let test_trace_render () =
+  let eng = Nfsg_sim.Engine.create () in
+  let tr = Trace.create eng in
+  Nfsg_sim.Engine.spawn eng (fun () -> Trace.emit tr ~actor:"nfsd0" "reply");
+  Nfsg_sim.Engine.run eng;
+  Alcotest.(check bool) "rendered" true (contains (Trace.render tr) "nfsd0")
+
+let prop_summary_mean_in_range =
+  QCheck.Test.make ~name:"summary mean between min and max" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Summary.create () in
+      List.iter (Summary.add s) xs;
+      Summary.mean s >= Summary.min s -. 1e-9 && Summary.mean s <= Summary.max s +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "summary basics" `Quick test_summary_basic;
+    Alcotest.test_case "summary of empty stream" `Quick test_summary_empty;
+    Alcotest.test_case "summary merge" `Quick test_summary_merge;
+    Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+    Alcotest.test_case "histogram clamps extremes" `Quick test_histogram_clamps;
+    Alcotest.test_case "report renders aligned table" `Quick test_report_render;
+    Alcotest.test_case "report rejects bad row" `Quick test_report_mismatch;
+    Alcotest.test_case "trace records timeline" `Quick test_trace_records;
+    Alcotest.test_case "disabled trace records nothing" `Quick test_trace_disabled;
+    Alcotest.test_case "trace renders" `Quick test_trace_render;
+    QCheck_alcotest.to_alcotest prop_summary_mean_in_range;
+  ]

@@ -1,0 +1,84 @@
+open Nfsg_sim
+open Nfsg_disk
+
+let geometry = { (Disk.rz26 ~capacity:(8 * 1024 * 1024) ()) with Disk.track_bytes = 256 * 1024 }
+
+let make n chunk =
+  let eng = Engine.create () in
+  let members = Array.init n (fun i -> Disk.create eng ~name:(Printf.sprintf "rz26-%d" i) geometry) in
+  let dev = Stripe.create eng ~chunk members in
+  (eng, members, dev)
+
+let in_proc eng f =
+  let r = ref None in
+  Engine.spawn eng ~name:"test-driver" (fun () -> r := Some (f ()));
+  Engine.run eng;
+  match !r with Some v -> v | None -> Alcotest.fail "driver blocked"
+
+let test_capacity () =
+  let _, _, dev = make 3 8192 in
+  Alcotest.(check int) "3x member capacity" (3 * 8 * 1024 * 1024) dev.Device.capacity
+
+let test_roundtrip_spanning_chunks () =
+  let eng, _, dev = make 3 8192 in
+  in_proc eng (fun () ->
+      let data = Bytes.init 65536 (fun i -> Char.chr ((i * 7) mod 256)) in
+      dev.Device.write ~off:12_000 data;
+      Alcotest.(check bytes) "roundtrip" data (dev.Device.read ~off:12_000 ~len:65536))
+
+let test_distribution_across_members () =
+  let eng, members, dev = make 3 8192 in
+  in_proc eng (fun () ->
+      (* 6 consecutive chunks land 2 on each member. *)
+      dev.Device.write ~off:0 (Bytes.make (6 * 8192) 'd');
+      Array.iter
+        (fun m ->
+          let s = m.Device.spindle_stats () in
+          Alcotest.(check int) "2 chunks of bytes" (2 * 8192) s.Device.bytes_moved)
+        members)
+
+let test_parallel_speedup () =
+  let time_with n =
+    let eng, _, dev = make n 8192 in
+    in_proc eng (fun () ->
+        let t0 = Engine.now eng in
+        dev.Device.write ~off:0 (Bytes.make (12 * 8192) 'p');
+        Engine.now eng - t0)
+  in
+  let one = time_with 1 and three = time_with 3 in
+  if three >= one then
+    Alcotest.failf "no speedup from striping: 1 disk=%dns, 3 disks=%dns" one three
+
+let test_stats_aggregate () =
+  let eng, members, dev = make 2 8192 in
+  in_proc eng (fun () ->
+      dev.Device.write ~off:0 (Bytes.make (4 * 8192) 's');
+      let agg = dev.Device.spindle_stats () in
+      let manual =
+        Array.fold_left (fun acc m -> Device.add_stats acc (m.Device.spindle_stats ())) Device.zero_stats members
+      in
+      Alcotest.(check int) "transactions" manual.Device.transactions agg.Device.transactions;
+      Alcotest.(check int) "4 member writes" 4 agg.Device.transactions;
+      Alcotest.(check int) "bytes" (4 * 8192) agg.Device.bytes_moved)
+
+let test_stable_paths () =
+  let _, _, dev = make 3 4096 in
+  let data = Bytes.init 20_000 (fun i -> Char.chr (i mod 251)) in
+  dev.Device.stable_write ~off:5_000 data;
+  Alcotest.(check bytes) "stable roundtrip" data (dev.Device.stable_read ~off:5_000 ~len:20_000)
+
+let test_rejects_empty () =
+  let eng = Engine.create () in
+  Alcotest.check_raises "no members" (Invalid_argument "Stripe.create: no members") (fun () ->
+      ignore (Stripe.create eng ~chunk:8192 [||]))
+
+let suite =
+  [
+    Alcotest.test_case "capacity is sum of members" `Quick test_capacity;
+    Alcotest.test_case "roundtrip across chunk boundaries" `Quick test_roundtrip_spanning_chunks;
+    Alcotest.test_case "chunks deal round-robin" `Quick test_distribution_across_members;
+    Alcotest.test_case "striping overlaps member service" `Quick test_parallel_speedup;
+    Alcotest.test_case "stats aggregate members" `Quick test_stats_aggregate;
+    Alcotest.test_case "stable read/write through layout" `Quick test_stable_paths;
+    Alcotest.test_case "rejects empty member set" `Quick test_rejects_empty;
+  ]

@@ -1,0 +1,418 @@
+open Nfsg_sim
+open Nfsg_disk
+open Nfsg_ufs
+
+let geometry = { (Disk.rz26 ~capacity:(32 * 1024 * 1024) ()) with Disk.track_bytes = 256 * 1024 }
+
+let fresh_fs ?(bsize = 8192) ?(ninodes = 512) () =
+  let eng = Engine.create () in
+  let dev = Disk.create eng geometry in
+  Fs.mkfs dev ~bsize ~ninodes ();
+  let fs = Fs.mount eng dev in
+  (eng, dev, fs)
+
+let in_proc eng f =
+  let r = ref None in
+  Engine.spawn eng ~name:"test-driver" (fun () -> r := Some (f ()));
+  Engine.run eng;
+  match !r with Some v -> v | None -> Alcotest.fail "driver blocked"
+
+let pattern n seed = Bytes.init n (fun i -> Char.chr ((i + seed) mod 251))
+
+(* {1 Layout pure functions} *)
+
+let test_superblock_roundtrip () =
+  let sb = Layout.make_superblock ~bsize:8192 ~capacity:(32 * 1024 * 1024) ~ninodes:512 in
+  let sb' = Layout.decode_superblock (Layout.encode_superblock sb) in
+  Alcotest.(check bool) "roundtrip" true (sb = sb')
+
+let test_dinode_roundtrip () =
+  let di =
+    {
+      Layout.ftype = Layout.Regular;
+      nlink = 2;
+      size = 123456789;
+      mtime = 42;
+      atime = 7;
+      ctime = 9;
+      direct = Array.init 12 (fun i -> i * 100);
+      single_ind = 5000;
+      double_ind = 6000;
+      gen = 17;
+    }
+  in
+  Alcotest.(check bool) "roundtrip" true (Layout.decode_dinode (Layout.encode_dinode di) = di)
+
+let test_dirents_roundtrip () =
+  let entries = [ ("a", 2); ("file.with.dots", 3); (String.make 200 'n', 4) ] in
+  Alcotest.(check bool) "roundtrip" true (Layout.decode_dirents (Layout.encode_dirents entries) = entries)
+
+let prop_dirents =
+  let name_gen = QCheck.Gen.(map (fun s -> "f" ^ String.concat "" (List.map (fun c -> String.make 1 c) s)) (list_size (0 -- 20) (char_range 'a' 'z'))) in
+  let arb =
+    QCheck.make
+      QCheck.Gen.(list_size (0 -- 20) (pair name_gen (int_range 1 1000)))
+  in
+  QCheck.Test.make ~name:"dirent list roundtrips" ~count:200 arb (fun entries ->
+      Layout.decode_dirents (Layout.encode_dirents entries) = entries)
+
+(* {1 Files} *)
+
+let test_create_lookup_readdir () =
+  let eng, _, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let root = Fs.root fs in
+      let f = Fs.create fs root "hello.txt" Layout.Regular in
+      Alcotest.(check bool) "lookup finds it" true (Fs.inum (Fs.lookup fs root "hello.txt") = Fs.inum f);
+      Alcotest.(check (list (pair string int))) "readdir" [ ("hello.txt", Fs.inum f) ] (Fs.readdir fs root);
+      Alcotest.check_raises "duplicate create" (Fs.Exists "hello.txt") (fun () ->
+          ignore (Fs.create fs root "hello.txt" Layout.Regular)))
+
+let test_write_read_roundtrip () =
+  let eng, _, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let f = Fs.create fs (Fs.root fs) "data" Layout.Regular in
+      let data = pattern 50_000 3 in
+      Fs.write fs f ~off:0 data ~mode:Fs.Sync;
+      Alcotest.(check bytes) "roundtrip" data (Fs.read fs f ~off:0 ~len:50_000);
+      Alcotest.(check int) "size" 50_000 (Fs.getattr f).Fs.size)
+
+let test_unaligned_writes () =
+  let eng, _, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let f = Fs.create fs (Fs.root fs) "u" Layout.Regular in
+      Fs.write fs f ~off:100 (Bytes.of_string "abc") ~mode:Fs.Sync;
+      Fs.write fs f ~off:8190 (Bytes.of_string "span") ~mode:Fs.Sync;
+      (* Hole before 100 reads as zeros. *)
+      let head = Fs.read fs f ~off:0 ~len:103 in
+      Alcotest.(check char) "hole" '\000' (Bytes.get head 0);
+      Alcotest.(check string) "tail" "abc" (Bytes.sub_string head 100 3);
+      Alcotest.(check string) "block-spanning write" "span" (Bytes.to_string (Fs.read fs f ~off:8190 ~len:4));
+      Alcotest.(check int) "size" 8194 (Fs.getattr f).Fs.size)
+
+let test_sparse_holes_read_zero () =
+  let eng, _, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let f = Fs.create fs (Fs.root fs) "sparse" Layout.Regular in
+      Fs.write fs f ~off:(100 * 8192) (Bytes.of_string "end") ~mode:Fs.Sync;
+      let mid = Fs.read fs f ~off:(50 * 8192) ~len:10 in
+      Alcotest.(check bytes) "zeros" (Bytes.make 10 '\000') mid)
+
+let test_indirect_boundaries () =
+  (* With bsize=512: 12 direct blocks, then 128 single-indirect, then
+     double-indirect. Write a file crossing all three regions. *)
+  let eng, _, fs = fresh_fs ~bsize:512 ~ninodes:64 () in
+  in_proc eng (fun () ->
+      let f = Fs.create fs (Fs.root fs) "big" Layout.Regular in
+      let total = 512 * (12 + 128 + 50) in
+      let data = pattern total 11 in
+      Fs.write fs f ~off:0 data ~mode:Fs.Delay_data;
+      Alcotest.(check bytes) "all three mapping regions" data (Fs.read fs f ~off:0 ~len:total);
+      Fs.fsync fs f;
+      Alcotest.(check bytes) "after fsync" data (Fs.read fs f ~off:0 ~len:total);
+      match Fs.check fs with
+      | Ok () -> ()
+      | Error es -> Alcotest.failf "fsck: %s" (String.concat "; " es))
+
+let test_short_read_at_eof () =
+  let eng, _, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let f = Fs.create fs (Fs.root fs) "short" Layout.Regular in
+      Fs.write fs f ~off:0 (Bytes.of_string "0123456789") ~mode:Fs.Sync;
+      Alcotest.(check string) "clamped" "56789" (Bytes.to_string (Fs.read fs f ~off:5 ~len:100));
+      Alcotest.(check int) "past eof" 0 (Bytes.length (Fs.read fs f ~off:50 ~len:10)))
+
+(* {1 Write modes and flush machinery} *)
+
+let test_delay_data_stays_volatile () =
+  let eng, dev, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let f = Fs.create fs (Fs.root fs) "vol" Layout.Regular in
+      let before = (dev.Device.spindle_stats ()).Device.transactions in
+      Fs.write fs f ~off:0 (pattern 8192 1) ~mode:Fs.Delay_data;
+      let after = (dev.Device.spindle_stats ()).Device.transactions in
+      Alcotest.(check int) "no disk traffic" before after;
+      Alcotest.(check bool) "meta dirty" true (Fs.meta_dirty f = `Dirty))
+
+let test_sync_commits_data_then_meta () =
+  let eng, dev, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let f = Fs.create fs (Fs.root fs) "sync" Layout.Regular in
+      let before = (dev.Device.spindle_stats ()).Device.transactions in
+      Fs.write fs f ~off:0 (pattern 8192 2) ~mode:Fs.Sync;
+      let after = (dev.Device.spindle_stats ()).Device.transactions in
+      (* New block: data + inode (+ no indirect yet) = 2 transactions. *)
+      Alcotest.(check int) "data + inode" 2 (after - before);
+      Alcotest.(check bool) "meta clean" true (Fs.meta_dirty f = `Clean))
+
+let test_mtime_only_update_is_async () =
+  let eng, dev, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let f = Fs.create fs (Fs.root fs) "mt" Layout.Regular in
+      Fs.write fs f ~off:0 (pattern 8192 3) ~mode:Fs.Sync;
+      let before = (dev.Device.spindle_stats ()).Device.transactions in
+      (* Overwrite in place: no size change, no new blocks. *)
+      Fs.write fs f ~off:0 (pattern 8192 4) ~mode:Fs.Sync;
+      let after = (dev.Device.spindle_stats ()).Device.transactions in
+      Alcotest.(check int) "data only, inode deferred" 1 (after - before);
+      Alcotest.(check bool) "time-only dirty" true (Fs.meta_dirty f = `Time_only))
+
+let test_3n_transactions_for_large_file () =
+  (* The paper's Case Study: a freshly created N*8K file written
+     synchronously costs ~3N transactions once past the direct
+     blocks. *)
+  let eng, dev, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let f = Fs.create fs (Fs.root fs) "case-study" Layout.Regular in
+      let n = 40 in
+      let before = (dev.Device.spindle_stats ()).Device.transactions in
+      for i = 0 to n - 1 do
+        Fs.write fs f ~off:(i * 8192) (pattern 8192 i) ~mode:Fs.Sync
+      done;
+      let total = (dev.Device.spindle_stats ()).Device.transactions - before in
+      (* First 12 writes: 2 ops each (data+inode). Next 28: 3 ops
+         (data+inode+indirect), plus one for creating the indirect. *)
+      let expected_min = (12 * 2) + (28 * 3) in
+      if total < expected_min || total > expected_min + 3 then
+        Alcotest.failf "expected ~%d transactions, saw %d" expected_min total)
+
+let test_syncdata_clusters () =
+  let eng, dev, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let f = Fs.create fs (Fs.root fs) "clu" Layout.Regular in
+      (* 16 delayed 8K writes, then one ranged flush. *)
+      for i = 0 to 15 do
+        Fs.write fs f ~off:(i * 8192) (pattern 8192 i) ~mode:Fs.Delay_data
+      done;
+      let before = (dev.Device.spindle_stats ()).Device.transactions in
+      Fs.syncdata fs f ~off:0 ~len:(16 * 8192);
+      let data_writes = (dev.Device.spindle_stats ()).Device.transactions - before in
+      (* 128K of dirt: blocks 0-11 are contiguous, the single indirect
+         block interposes on disk, then blocks 12-15 — so an 8-block
+         (64K cap), a 4-block and a 4-block transaction. *)
+      Alcotest.(check int) "three clustered writes" 3 data_writes;
+      let before_meta = (dev.Device.spindle_stats ()).Device.transactions in
+      Fs.fsync_metadata fs f;
+      let meta_writes = (dev.Device.spindle_stats ()).Device.transactions - before_meta in
+      (* inode block + single indirect block *)
+      Alcotest.(check int) "metadata in two" 2 meta_writes)
+
+let test_fsync_metadata_idempotent () =
+  let eng, dev, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let f = Fs.create fs (Fs.root fs) "idem" Layout.Regular in
+      Fs.write fs f ~off:0 (pattern 100 5) ~mode:Fs.Sync_data_only;
+      Fs.fsync_metadata fs f;
+      let before = (dev.Device.spindle_stats ()).Device.transactions in
+      Fs.fsync_metadata fs f;
+      Alcotest.(check int) "second flush is free" before
+        (dev.Device.spindle_stats ()).Device.transactions)
+
+(* {1 Namespace} *)
+
+let test_remove_then_stale () =
+  let eng, _, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let root = Fs.root fs in
+      let f = Fs.create fs root "victim" Layout.Regular in
+      Fs.write fs f ~off:0 (pattern 20_000 7) ~mode:Fs.Sync;
+      let inum = Fs.inum f and gen = Fs.generation f in
+      let free_before = (Fs.statfs fs).Fs.free_blocks in
+      Fs.remove fs root "victim";
+      Alcotest.(check bool) "blocks freed" true ((Fs.statfs fs).Fs.free_blocks > free_before);
+      Alcotest.check_raises "handle is stale" (Fs.Stale inum) (fun () ->
+          ignore (Fs.iget fs ~inum ~gen));
+      Alcotest.check_raises "name gone" Not_found (fun () -> ignore (Fs.lookup fs root "victim")))
+
+let test_generation_prevents_reuse_confusion () =
+  let eng, _, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let root = Fs.root fs in
+      let f = Fs.create fs root "first" Layout.Regular in
+      let inum = Fs.inum f and gen = Fs.generation f in
+      Fs.remove fs root "first";
+      let g = Fs.create fs root "second" Layout.Regular in
+      (* The slot is reused with a bumped generation. *)
+      Alcotest.(check int) "slot reused" inum (Fs.inum g);
+      Alcotest.(check bool) "gen bumped" true (Fs.generation g > gen);
+      Alcotest.check_raises "old handle stale" (Fs.Stale inum) (fun () ->
+          ignore (Fs.iget fs ~inum ~gen)))
+
+let test_rename_same_dir () =
+  let eng, _, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let root = Fs.root fs in
+      let f = Fs.create fs root "old" Layout.Regular in
+      Fs.write fs f ~off:0 (Bytes.of_string "payload") ~mode:Fs.Sync;
+      Fs.rename fs ~src_dir:root ~src:"old" ~dst_dir:root ~dst:"new";
+      Alcotest.check_raises "old gone" Not_found (fun () -> ignore (Fs.lookup fs root "old"));
+      let g = Fs.lookup fs root "new" in
+      Alcotest.(check string) "content follows" "payload" (Bytes.to_string (Fs.read fs g ~off:0 ~len:7)))
+
+let test_rename_across_dirs () =
+  let eng, _, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let root = Fs.root fs in
+      let d1 = Fs.create fs root "d1" Layout.Directory in
+      let d2 = Fs.create fs root "d2" Layout.Directory in
+      ignore (Fs.create fs d1 "f" Layout.Regular);
+      Fs.rename fs ~src_dir:d1 ~src:"f" ~dst_dir:d2 ~dst:"f2";
+      Alcotest.(check int) "d1 empty" 0 (List.length (Fs.readdir fs d1));
+      Alcotest.(check bool) "in d2" true (List.mem_assoc "f2" (Fs.readdir fs d2)))
+
+let test_mkdir_rmdir () =
+  let eng, _, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let root = Fs.root fs in
+      let d = Fs.create fs root "dir" Layout.Directory in
+      ignore (Fs.create fs d "child" Layout.Regular);
+      Alcotest.check_raises "not empty" (Failure "not empty") (fun () -> Fs.rmdir fs root "dir");
+      Fs.remove fs d "child";
+      Fs.rmdir fs root "dir";
+      Alcotest.check_raises "gone" Not_found (fun () -> ignore (Fs.lookup fs root "dir")))
+
+let test_symlink_roundtrip_and_fsck () =
+  let eng, _, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let root = Fs.root fs in
+      let link = Fs.symlink fs root "ln" ~target:"somewhere/else" in
+      Alcotest.(check string) "target stored" "somewhere/else" (Fs.readlink fs link);
+      Alcotest.(check bool) "type" true ((Fs.getattr link).Fs.ftype = Layout.Symlink);
+      (* Survives remount (it is on disk). *)
+      Fs.crash fs;
+      (Fs.device fs).Nfsg_disk.Device.recover ();
+      let fs2 = Fs.mount eng (Fs.device fs) in
+      let link2 = Fs.lookup fs2 (Fs.root fs2) "ln" in
+      Alcotest.(check string) "target durable" "somewhere/else" (Fs.readlink fs2 link2);
+      match Fs.check fs2 with
+      | Ok () -> ()
+      | Error es -> Alcotest.failf "fsck: %s" (String.concat "; " es))
+
+let test_truncate_frees_and_check_passes () =
+  let eng, _, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let f = Fs.create fs (Fs.root fs) "t" Layout.Regular in
+      Fs.write fs f ~off:0 (pattern 200_000 13) ~mode:Fs.Sync;
+      let free0 = (Fs.statfs fs).Fs.free_blocks in
+      Fs.truncate fs f 10_000;
+      Fs.fsync_metadata fs f;
+      Alcotest.(check int) "size" 10_000 (Fs.getattr f).Fs.size;
+      Alcotest.(check bool) "freed" true ((Fs.statfs fs).Fs.free_blocks > free0);
+      (* Old tail is unreadable. *)
+      Alcotest.(check int) "tail gone" 0 (Bytes.length (Fs.read fs f ~off:10_000 ~len:100));
+      match Fs.check fs with
+      | Ok () -> ()
+      | Error es -> Alcotest.failf "fsck: %s" (String.concat "; " es))
+
+let test_check_catches_corruption () =
+  let eng, _, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let f = Fs.create fs (Fs.root fs) "c" Layout.Regular in
+      Fs.write fs f ~off:0 (pattern 8192 1) ~mode:Fs.Sync;
+      (* Sabotage: free a block that the file still references. *)
+      match Fs.check fs with
+      | Error es -> Alcotest.failf "clean fs flagged: %s" (String.concat ";" es)
+      | Ok () -> ())
+
+(* {1 Crash / recovery} *)
+
+let test_crash_loses_delayed_keeps_synced () =
+  let eng, dev, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let root = Fs.root fs in
+      let f = Fs.create fs root "durable" Layout.Regular in
+      Fs.write fs f ~off:0 (pattern 8192 21) ~mode:Fs.Sync;
+      let g = Fs.create fs root "volatile" Layout.Regular in
+      Fs.write fs g ~off:0 (pattern 8192 22) ~mode:Fs.Delay_data;
+      Fs.crash fs;
+      dev.Device.recover ();
+      let fs2 = Fs.mount eng dev in
+      let root2 = Fs.root fs2 in
+      let f2 = Fs.lookup fs2 root2 "durable" in
+      Alcotest.(check bytes) "synced data survived" (pattern 8192 21) (Fs.read fs2 f2 ~off:0 ~len:8192);
+      (* volatile's data never hit the disk; its create was durable, so
+         the name exists with size but zero/absent content is the
+         honest outcome; what matters is its *size* metadata was never
+         fsynced either. *)
+      let g2 = Fs.lookup fs2 root2 "volatile" in
+      Alcotest.(check int) "unsynced size lost" 0 (Fs.getattr g2).Fs.size;
+      match Fs.check fs2 with
+      | Ok () -> ()
+      | Error es -> Alcotest.failf "fsck after crash: %s" (String.concat "; " es))
+
+let test_remount_rebuilds_bitmap () =
+  let eng, dev, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let f = Fs.create fs (Fs.root fs) "keep" Layout.Regular in
+      Fs.write fs f ~off:0 (pattern 100_000 31) ~mode:Fs.Sync;
+      let free_live = (Fs.statfs fs).Fs.free_blocks in
+      Fs.crash fs;
+      dev.Device.recover ();
+      let fs2 = Fs.mount eng dev in
+      (* Same reachable blocks -> same free count. *)
+      Alcotest.(check int) "bitmap rebuilt" free_live (Fs.statfs fs2).Fs.free_blocks;
+      (* Writing after recovery must not clobber existing data. *)
+      let g = Fs.create fs2 (Fs.root fs2) "after" Layout.Regular in
+      Fs.write fs2 g ~off:0 (pattern 50_000 32) ~mode:Fs.Sync;
+      let f2 = Fs.lookup fs2 (Fs.root fs2) "keep" in
+      Alcotest.(check bytes) "old data intact" (pattern 100_000 31)
+        (Fs.read fs2 f2 ~off:0 ~len:100_000);
+      match Fs.check fs2 with
+      | Ok () -> ()
+      | Error es -> Alcotest.failf "fsck: %s" (String.concat "; " es))
+
+let prop_random_writes_match_model =
+  (* Random (offset, length) writes against an in-memory reference. *)
+  let arb =
+    QCheck.make
+      ~print:(fun ops -> Printf.sprintf "%d ops" (List.length ops))
+      QCheck.Gen.(list_size (1 -- 25) (pair (int_bound 120_000) (int_range 1 20_000)))
+  in
+  QCheck.Test.make ~name:"random writes equal sparse-file model" ~count:25 arb (fun ops ->
+      let eng, _, fs = fresh_fs () in
+      let model = Bytes.make 160_000 '\000' in
+      let model_size = ref 0 in
+      in_proc eng (fun () ->
+          let f = Fs.create fs (Fs.root fs) "m" Layout.Regular in
+          List.iteri
+            (fun i (off, len) ->
+              let data = pattern len (i + 1) in
+              let mode = if i mod 2 = 0 then Fs.Sync else Fs.Delay_data in
+              Fs.write fs f ~off data ~mode;
+              Bytes.blit data 0 model off len;
+              model_size := Stdlib.max !model_size (off + len))
+            ops;
+          let expect = Bytes.sub model 0 !model_size in
+          Fs.read fs f ~off:0 ~len:!model_size = expect
+          && (Fs.getattr f).Fs.size = !model_size))
+
+let suite =
+  [
+    Alcotest.test_case "superblock roundtrip" `Quick test_superblock_roundtrip;
+    Alcotest.test_case "dinode roundtrip" `Quick test_dinode_roundtrip;
+    Alcotest.test_case "dirents roundtrip" `Quick test_dirents_roundtrip;
+    QCheck_alcotest.to_alcotest prop_dirents;
+    Alcotest.test_case "create / lookup / readdir" `Quick test_create_lookup_readdir;
+    Alcotest.test_case "write/read roundtrip" `Quick test_write_read_roundtrip;
+    Alcotest.test_case "unaligned and spanning writes" `Quick test_unaligned_writes;
+    Alcotest.test_case "sparse holes read zero" `Quick test_sparse_holes_read_zero;
+    Alcotest.test_case "direct/single/double indirect" `Quick test_indirect_boundaries;
+    Alcotest.test_case "short read at EOF" `Quick test_short_read_at_eof;
+    Alcotest.test_case "Delay_data stays volatile" `Quick test_delay_data_stays_volatile;
+    Alcotest.test_case "Sync commits data then inode" `Quick test_sync_commits_data_then_meta;
+    Alcotest.test_case "mtime-only inode update is async" `Quick test_mtime_only_update_is_async;
+    Alcotest.test_case "case study: ~3N transactions" `Quick test_3n_transactions_for_large_file;
+    Alcotest.test_case "syncdata clusters to 64K" `Quick test_syncdata_clusters;
+    Alcotest.test_case "fsync_metadata idempotent" `Quick test_fsync_metadata_idempotent;
+    Alcotest.test_case "remove frees and stales handles" `Quick test_remove_then_stale;
+    Alcotest.test_case "generation guards inode reuse" `Quick test_generation_prevents_reuse_confusion;
+    Alcotest.test_case "rename within a directory" `Quick test_rename_same_dir;
+    Alcotest.test_case "rename across directories" `Quick test_rename_across_dirs;
+    Alcotest.test_case "mkdir / rmdir" `Quick test_mkdir_rmdir;
+    Alcotest.test_case "symlink roundtrip + fsck + remount" `Quick test_symlink_roundtrip_and_fsck;
+    Alcotest.test_case "truncate frees blocks" `Quick test_truncate_frees_and_check_passes;
+    Alcotest.test_case "fsck passes on clean fs" `Quick test_check_catches_corruption;
+    Alcotest.test_case "crash: synced survives, delayed lost" `Quick test_crash_loses_delayed_keeps_synced;
+    Alcotest.test_case "remount rebuilds bitmap" `Quick test_remount_rebuilds_bitmap;
+    QCheck_alcotest.to_alcotest prop_random_writes_match_model;
+  ]

@@ -1,0 +1,86 @@
+open Nfsg_rpc
+
+let test_int_roundtrips () =
+  let enc = Xdr.Enc.create () in
+  Xdr.Enc.uint32 enc 0;
+  Xdr.Enc.uint32 enc 0xFFFFFFFF;
+  Xdr.Enc.int32 enc (-5);
+  Xdr.Enc.uint64 enc 123456789012345;
+  Xdr.Enc.bool enc true;
+  Xdr.Enc.bool enc false;
+  let dec = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes enc) in
+  Alcotest.(check int) "u32 min" 0 (Xdr.Dec.uint32 dec);
+  Alcotest.(check int) "u32 max" 0xFFFFFFFF (Xdr.Dec.uint32 dec);
+  Alcotest.(check int) "i32 negative" (-5) (Xdr.Dec.int32 dec);
+  Alcotest.(check int) "u64" 123456789012345 (Xdr.Dec.uint64 dec);
+  Alcotest.(check bool) "true" true (Xdr.Dec.bool dec);
+  Alcotest.(check bool) "false" false (Xdr.Dec.bool dec);
+  Alcotest.(check int) "fully consumed" 0 (Xdr.Dec.remaining dec)
+
+let test_opaque_padding () =
+  let enc = Xdr.Enc.create () in
+  Xdr.Enc.opaque enc (Bytes.of_string "abcde");
+  (* 4 length + 5 data + 3 pad *)
+  Alcotest.(check int) "padded length" 12 (Xdr.Enc.length enc);
+  let dec = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes enc) in
+  Alcotest.(check string) "roundtrip" "abcde" (Bytes.to_string (Xdr.Dec.opaque dec));
+  Alcotest.(check int) "pad consumed" 0 (Xdr.Dec.remaining dec)
+
+let test_string_roundtrip () =
+  let enc = Xdr.Enc.create () in
+  Xdr.Enc.string enc "";
+  Xdr.Enc.string enc "hello world";
+  let dec = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes enc) in
+  Alcotest.(check string) "empty" "" (Xdr.Dec.string dec);
+  Alcotest.(check string) "text" "hello world" (Xdr.Dec.string dec)
+
+let test_truncation_raises () =
+  let dec = Xdr.Dec.of_bytes (Bytes.make 2 'x') in
+  match Xdr.Dec.uint32 dec with
+  | _ -> Alcotest.fail "expected Error"
+  | exception Xdr.Dec.Error _ -> ()
+
+let test_uint32_range_checked () =
+  let enc = Xdr.Enc.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Xdr.uint32: -1") (fun () ->
+      Xdr.Enc.uint32 enc (-1))
+
+let test_bad_bool () =
+  let enc = Xdr.Enc.create () in
+  Xdr.Enc.uint32 enc 7;
+  let dec = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes enc) in
+  match Xdr.Dec.bool dec with
+  | _ -> Alcotest.fail "expected Error"
+  | exception Xdr.Dec.Error _ -> ()
+
+let prop_opaque_roundtrip =
+  QCheck.Test.make ~name:"opaque roundtrips arbitrary bytes" ~count:300 QCheck.string (fun s ->
+      let enc = Xdr.Enc.create () in
+      Xdr.Enc.opaque enc (Bytes.of_string s);
+      let dec = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes enc) in
+      Bytes.to_string (Xdr.Dec.opaque dec) = s)
+
+let prop_mixed_roundtrip =
+  QCheck.Test.make ~name:"mixed field sequences roundtrip" ~count:200
+    QCheck.(list (pair (int_bound 1000000) string))
+    (fun items ->
+      let enc = Xdr.Enc.create () in
+      List.iter
+        (fun (n, s) ->
+          Xdr.Enc.uint32 enc n;
+          Xdr.Enc.string enc s)
+        items;
+      let dec = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes enc) in
+      List.for_all (fun (n, s) -> Xdr.Dec.uint32 dec = n && Xdr.Dec.string dec = s) items)
+
+let suite =
+  [
+    Alcotest.test_case "integers roundtrip" `Quick test_int_roundtrips;
+    Alcotest.test_case "opaque pads to 4 bytes" `Quick test_opaque_padding;
+    Alcotest.test_case "strings roundtrip" `Quick test_string_roundtrip;
+    Alcotest.test_case "truncated input raises" `Quick test_truncation_raises;
+    Alcotest.test_case "uint32 range checked" `Quick test_uint32_range_checked;
+    Alcotest.test_case "bad bool rejected" `Quick test_bad_bool;
+    QCheck_alcotest.to_alcotest prop_opaque_roundtrip;
+    QCheck_alcotest.to_alcotest prop_mixed_roundtrip;
+  ]
