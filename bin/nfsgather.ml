@@ -43,12 +43,21 @@ let run_experiment quick = function
       print_report (E.extension_v3 ~quick ());
       print_newline ();
       print_report (E.extension_write_modes ~quick ())
+  | "chaos" ->
+      let module Chaos = Nfsg_experiments.Chaos in
+      let cfg =
+        if quick then { Chaos.default with Chaos.cycles = 2; blocks_per_writer = 60 }
+        else Chaos.default
+      in
+      let r = Chaos.run cfg in
+      Fmt.pr "%a@." Chaos.pp_result r;
+      List.iter print_endline r.Chaos.timeline
   | other -> Printf.eprintf "unknown experiment %S\n" other
 
 let names =
   [
     "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure1"; "figure2"; "figure3";
-    "ablations"; "extensions";
+    "ablations"; "extensions"; "chaos";
   ]
 
 let run quick targets =
@@ -61,7 +70,7 @@ let run quick targets =
 
 let targets_arg =
   let doc =
-    "Experiments to run: table1..table6, figure1..figure3, ablations, extensions, or all \
+    "Experiments to run: table1..table6, figure1..figure3, ablations, extensions, chaos, or all \
      (default)."
   in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)

@@ -101,6 +101,7 @@ let status_of_exn = function
   | Fs.Not_dir _ -> Some Proto.NFSERR_NOTDIR
   | Fs.Is_dir _ -> Some Proto.NFSERR_ISDIR
   | Fs.Not_symlink _ -> Some Proto.NFSERR_IO
+  | Nfsg_disk.Device.Io_error _ -> Some Proto.NFSERR_IO
   | Fs.No_space -> Some Proto.NFSERR_NOSPC
   | Failure msg when msg = "not empty" -> Some Proto.NFSERR_NOTEMPTY
   | _ -> None
@@ -228,30 +229,46 @@ let make_dispatch t =
                       Vfs.unlock v;
                       Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
                       Svc.Reply
-                        (Rpc.Success, Proto.encode_res (Proto.RWrite3 (Error Proto.NFSERR_NOSPC))))
+                        (Rpc.Success, Proto.encode_res (Proto.RWrite3 (Error Proto.NFSERR_NOSPC)))
+                  | exception Nfsg_disk.Device.Io_error _ ->
+                      Vfs.unlock v;
+                      Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
+                      Svc.Reply
+                        (Rpc.Success, Proto.encode_res (Proto.RWrite3 (Error Proto.NFSERR_IO))))
               | Proto.Data_sync | Proto.File_sync ->
                   (* v2 semantics through the write layer: these writes
                      gather in the same batches as v2 WRITEs. *)
                   let respond a = Proto.RWrite3 (Ok (a, Proto.File_sync, t.verf)) in
-                  Write_layer.handle_write t.wl tr ~respond v ~off:offset ~data))
+                  let fail st = Proto.RWrite3 (Error st) in
+                  Write_layer.handle_write t.wl tr ~respond ~fail v ~off:offset ~data))
       | Proto.Commit { fh; offset; count } -> (
           count_op t Proto.proc_commit;
           match vnode_of_fh t fh with
           | exception Fs.Stale _ ->
               Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
               Svc.Reply (Rpc.Success, Proto.encode_res (Proto.RCommit (Error Proto.NFSERR_STALE)))
-          | v ->
-              Vfs.with_lock v (fun () ->
-                  Resource.use t.cpu t.config.costs.Cpu_model.ufs_trip;
-                  let len =
-                    if count = 0 then (Vfs.vop_getattr v).Fs.size - offset else count
-                  in
-                  if len > 0 then Vfs.vop_syncdata v ~off:offset ~len;
-                  Resource.use t.cpu t.config.costs.Cpu_model.ufs_trip;
-                  Vfs.vop_fsync v ~flags:[ Vfs.FWRITE; Vfs.FWRITE_METADATA ]);
-              Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
-              Svc.Reply
-                (Rpc.Success, Proto.encode_res (Proto.RCommit (Ok (fattr_of_vnode t v, t.verf)))))
+          | v -> (
+              match
+                Vfs.with_lock v (fun () ->
+                    Resource.use t.cpu t.config.costs.Cpu_model.ufs_trip;
+                    let len =
+                      if count = 0 then (Vfs.vop_getattr v).Fs.size - offset else count
+                    in
+                    if len > 0 then Vfs.vop_syncdata v ~off:offset ~len;
+                    Resource.use t.cpu t.config.costs.Cpu_model.ufs_trip;
+                    Vfs.vop_fsync v ~flags:[ Vfs.FWRITE; Vfs.FWRITE_METADATA ])
+              with
+              | () ->
+                  Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
+                  Svc.Reply
+                    ( Rpc.Success,
+                      Proto.encode_res (Proto.RCommit (Ok (fattr_of_vnode t v, t.verf))) )
+              | exception Nfsg_disk.Device.Io_error _ ->
+                  (* The unstable data stays dirty in the cache; the
+                     client keeps it and re-COMMITs. *)
+                  Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
+                  Svc.Reply
+                    (Rpc.Success, Proto.encode_res (Proto.RCommit (Error Proto.NFSERR_IO)))))
       | args -> (
           count_op t call.Rpc.proc;
           match execute t args with
@@ -324,3 +341,5 @@ let recover t =
   t.device.Nfsg_disk.Device.recover ();
   make t.eng ~segment:t.segment ~addr:t.addr ~device:t.device ?trace:t.trace ~mkfs:false
     t.config
+
+let restart = recover

@@ -56,4 +56,10 @@ val crash : t -> unit
 val recover : t -> t
 (** Reboot after {!crash}: device recovery (NVRAM replay), fsck-style
     remount, fresh daemons, same network address (the crashed
-    incarnation left the wire). *)
+    incarnation left the wire). Clients that keep retransmitting ride
+    through the outage: their RPCs go unanswered while the server is
+    down and are answered by the new incarnation. *)
+
+val restart : t -> t
+(** Alias for {!recover} — the crash/restart pair used by the fault
+    rig. *)

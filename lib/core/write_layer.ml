@@ -36,6 +36,9 @@ type descriptor = {
   seq : int;
   client : string;
   respond : Proto.fattr -> Proto.res;  (** v2 and v3 writes share batches *)
+  fail : Proto.status -> Proto.res;
+      (** error-reply formatter, so a failed flush answers v2 and v3
+          descriptors each in their own shape *)
 }
 
 (* Per-file gather state: the paper's "global array of nfsd state"
@@ -73,6 +76,7 @@ type t = {
   mutable procrastinate_failures : int;
   mutable mbuf_hits : int;
   mutable rescues : int;
+  mutable flush_failures : int;
 }
 
 let create eng ~fs ~sock ~cpu ~costs ~send_reply ?trace cfg =
@@ -95,6 +99,7 @@ let create eng ~fs ~sock ~cpu ~costs ~send_reply ?trace cfg =
     procrastinate_failures = 0;
     mbuf_hits = 0;
     rescues = 0;
+    flush_failures = 0;
   }
 
 let writes_handled t = t.writes
@@ -104,6 +109,7 @@ let procrastinations t = t.procrastinations
 let procrastinate_failures t = t.procrastinate_failures
 let mbuf_hits t = t.mbuf_hits
 let rescues t = t.rescues
+let flush_failures t = t.flush_failures
 
 let mean_batch_size t =
   if t.batches = 0 then 0.0 else float_of_int t.gathered /. float_of_int t.batches
@@ -189,8 +195,16 @@ let reply_ok t d attr =
   Resource.use t.cpu t.costs.Cpu_model.rpc_encode;
   t.send_reply d.tr (d.respond attr)
 
+let reply_err t d status =
+  Resource.use t.cpu t.costs.Cpu_model.rpc_encode;
+  t.send_reply d.tr (d.fail status)
+
 (* Flush the gathered batch: data (if delayed), one metadata update,
-   then every pending reply — FIFO, all with the same mtime. *)
+   then every pending reply — FIFO, all with the same mtime. A disk
+   error during the flush fails {e every} descriptor in the batch with
+   NFSERR_IO (still FIFO): no reply was allowed out before the covering
+   metadata update, so no reply may claim success after it failed. The
+   nfsd survives; clients see the errors and retry. *)
 let flush_as_metadata_writer t g =
   let rec rounds () =
     let batch = List.sort (fun (a : descriptor) b -> compare a.seq b.seq) g.queue in
@@ -200,24 +214,38 @@ let flush_as_metadata_writer t g =
     g.hi <- 0;
     Vfs.lock g.vnode;
     let accel = Vfs.accelerated g.vnode in
-    if (not accel) && lo < hi then begin
-      charge_trip t;
-      emit t (Printf.sprintf "%dK data to disk (clustered)" ((hi - lo) / 1024));
-      Vfs.vop_syncdata g.vnode ~off:lo ~len:(hi - lo)
-    end;
-    charge_trip t;
-    emit t "Metadata to disk";
-    Vfs.vop_fsync g.vnode ~flags:[ Vfs.FWRITE; Vfs.FWRITE_METADATA ];
-    Vfs.unlock g.vnode;
-    let attr = fattr_of_vnode g.vnode in
     let ordered = match t.cfg.reply_order with `Fifo -> batch | `Lifo -> List.rev batch in
     let n = List.length ordered in
-    if n > 0 then emit t (Printf.sprintf "%d Write Repl%s" n (if n = 1 then "y" else "ies"));
-    List.iter (fun d -> reply_ok t d attr) ordered;
-    if t.cfg.learn_clients then
-      List.iter (fun (d : descriptor) -> learn t d.client ~gathered:(n > 1)) ordered;
-    t.batches <- t.batches + 1;
-    t.gathered <- t.gathered + n;
+    (match
+       ( if (not accel) && lo < hi then begin
+           charge_trip t;
+           emit t (Printf.sprintf "%dK data to disk (clustered)" ((hi - lo) / 1024));
+           Vfs.vop_syncdata g.vnode ~off:lo ~len:(hi - lo)
+         end;
+         charge_trip t;
+         emit t "Metadata to disk";
+         Vfs.vop_fsync g.vnode ~flags:[ Vfs.FWRITE; Vfs.FWRITE_METADATA ] )
+     with
+    | () ->
+        Vfs.unlock g.vnode;
+        let attr = fattr_of_vnode g.vnode in
+        if n > 0 then emit t (Printf.sprintf "%d Write Repl%s" n (if n = 1 then "y" else "ies"));
+        List.iter (fun d -> reply_ok t d attr) ordered;
+        if t.cfg.learn_clients then
+          List.iter (fun (d : descriptor) -> learn t d.client ~gathered:(n > 1)) ordered;
+        t.batches <- t.batches + 1;
+        t.gathered <- t.gathered + n
+    | exception Nfsg_disk.Device.Io_error _ ->
+        Vfs.unlock g.vnode;
+        (* The blocks stayed dirty in the cache (UFS restores the dirty
+           flags on a failed sync); widen the range back so the next
+           round's syncdata covers them again. *)
+        g.lo <- Stdlib.min g.lo lo;
+        g.hi <- Stdlib.max g.hi hi;
+        t.flush_failures <- t.flush_failures + 1;
+        emit t
+          (Printf.sprintf "Flush failed: %d NFSERR_IO Repl%s" n (if n = 1 then "y" else "ies"));
+        List.iter (fun d -> reply_err t d Proto.NFSERR_IO) ordered);
     (* Writes that arrived while we were flushing: if no OTHER nfsd is
        active to pick them up (we ourselves still count in g.active
        when called from handle_gathering), we stay metadata writer for
@@ -238,10 +266,15 @@ let maybe_gc t g =
   if g.active = 0 && g.queue = [] then Hashtbl.remove t.states (Vfs.vnode_id g.vnode)
 
 let v2_respond a = Proto.RAttr (Ok a)
+let v2_fail st = Proto.RAttr (Error st)
+
+let reply_fail t tr fail status =
+  Resource.use t.cpu t.costs.Cpu_model.rpc_encode;
+  t.send_reply tr (fail status)
 
 (* Standard (reference port) path: everything synchronous under the
    vnode lock, reply sent by the same nfsd that did the work. *)
-let handle_standard t tr ~respond vnode ~off ~data =
+let handle_standard t tr ~respond ~fail vnode ~off ~data =
   Vfs.lock vnode;
   (match
      ( charge_trip t;
@@ -258,12 +291,15 @@ let handle_standard t tr ~respond vnode ~off ~data =
       t.send_reply tr (respond attr)
   | exception Fs.No_space ->
       Vfs.unlock vnode;
-      Resource.use t.cpu t.costs.Cpu_model.rpc_encode;
-      t.send_reply tr (Proto.RAttr (Error Proto.NFSERR_NOSPC)));
+      reply_fail t tr fail Proto.NFSERR_NOSPC
+  | exception Nfsg_disk.Device.Io_error _ ->
+      Vfs.unlock vnode;
+      emit t "Write failed: NFSERR_IO";
+      reply_fail t tr fail Proto.NFSERR_IO);
   Svc.Reply_pending
 
 (* Gathering path, one nfsd D (paper section 6.8). *)
-let handle_gathering t tr ~respond vnode ~off ~data =
+let handle_gathering t tr ~respond ~fail vnode ~off ~data =
   emit t (Printf.sprintf "%dK Write recv (off=%dK)" (Bytes.length data / 1024) (off / 1024));
   let g = gstate_of t vnode in
   g.active <- g.active + 1;
@@ -285,7 +321,7 @@ let handle_gathering t tr ~respond vnode ~off ~data =
          earlier would let a concurrent flusher acknowledge data that
          is not in the cache yet. *)
       t.seq <- t.seq + 1;
-      let d = { tr; seq = t.seq; client = Svc.client_of tr; respond } in
+      let d = { tr; seq = t.seq; client = Svc.client_of tr; respond; fail } in
       g.queue <- d :: g.queue;
       g.lo <- Stdlib.min g.lo off;
       g.hi <- Stdlib.max g.hi (off + Bytes.length data);
@@ -294,7 +330,10 @@ let handle_gathering t tr ~respond vnode ~off ~data =
       if t.cfg.latency_device = `First_write && not accel then begin
         Vfs.lock vnode;
         charge_trip t;
-        Vfs.vop_syncdata vnode ~off ~len:(Bytes.length data);
+        (* An error here costs only the latency trick: the data stays
+           dirty and the metadata writer's flush retries it. *)
+        (try Vfs.vop_syncdata vnode ~off ~len:(Bytes.length data)
+         with Nfsg_disk.Device.Io_error _ -> ());
         Vfs.unlock vnode
       end;
       let inum = Vfs.vnode_id vnode in
@@ -349,9 +388,17 @@ let handle_gathering t tr ~respond vnode ~off ~data =
       Vfs.unlock vnode;
       (* This request fails alone; its descriptor was never queued. *)
       g.active <- g.active - 1;
-      Resource.use t.cpu t.costs.Cpu_model.rpc_encode;
-      t.send_reply tr (Proto.RAttr (Error Proto.NFSERR_NOSPC));
+      reply_fail t tr fail Proto.NFSERR_NOSPC;
       (* If gatherers were counting on us, flush what they queued. *)
+      if g.active = 0 && g.queue <> [] then flush_as_metadata_writer t g;
+      maybe_gc t g
+  | exception Nfsg_disk.Device.Io_error _ ->
+      Vfs.unlock vnode;
+      (* Same shape as No_space: this write never made it into the
+         cache, so only this request fails; queued company is safe. *)
+      g.active <- g.active - 1;
+      emit t "Write failed: NFSERR_IO";
+      reply_fail t tr fail Proto.NFSERR_IO;
       if g.active = 0 && g.queue <> [] then flush_as_metadata_writer t g;
       maybe_gc t g);
   Svc.Reply_pending
@@ -360,7 +407,7 @@ let handle_gathering t tr ~respond vnode ~off ~data =
    promise is one the server cannot recall after a crash (section 4.3);
    kept here so the benchmark can show what the shortcut buys and the
    crash tests can show what it costs. *)
-let handle_unsafe_async t tr ~respond vnode ~off ~data =
+let handle_unsafe_async t tr ~respond ~fail vnode ~off ~data =
   Vfs.lock vnode;
   (match
      ( charge_trip t;
@@ -375,16 +422,18 @@ let handle_unsafe_async t tr ~respond vnode ~off ~data =
       t.send_reply tr (respond attr)
   | exception Fs.No_space ->
       Vfs.unlock vnode;
-      Resource.use t.cpu t.costs.Cpu_model.rpc_encode;
-      t.send_reply tr (Proto.RAttr (Error Proto.NFSERR_NOSPC)));
+      reply_fail t tr fail Proto.NFSERR_NOSPC
+  | exception Nfsg_disk.Device.Io_error _ ->
+      Vfs.unlock vnode;
+      reply_fail t tr fail Proto.NFSERR_IO);
   Svc.Reply_pending
 
-let handle_write t tr ?(respond = v2_respond) vnode ~off ~data =
+let handle_write t tr ?(respond = v2_respond) ?(fail = v2_fail) vnode ~off ~data =
   t.writes <- t.writes + 1;
   match t.cfg.mode with
-  | Standard -> handle_standard t tr ~respond vnode ~off ~data
-  | Gathering -> handle_gathering t tr ~respond vnode ~off ~data
-  | Unsafe_async -> handle_unsafe_async t tr ~respond vnode ~off ~data
+  | Standard -> handle_standard t tr ~respond ~fail vnode ~off ~data
+  | Gathering -> handle_gathering t tr ~respond ~fail vnode ~off ~data
+  | Unsafe_async -> handle_unsafe_async t tr ~respond ~fail vnode ~off ~data
 
 (* Section 6.9: a duplicate WRITE was dropped from the socket buffer.
    If a gatherer had counted on that datagram (mbuf hunter) and nobody

@@ -76,6 +76,7 @@ val handle_write :
   t ->
   Nfsg_rpc.Svc.transport ->
   ?respond:(Nfsg_nfs.Proto.fattr -> Nfsg_nfs.Proto.res) ->
+  ?fail:(Nfsg_nfs.Proto.status -> Nfsg_nfs.Proto.res) ->
   Nfsg_ufs.Vfs.vnode ->
   off:int ->
   data:Bytes.t ->
@@ -85,7 +86,11 @@ val handle_write :
     [respond] formats the success reply from the post-flush attributes
     (default: the v2 [RAttr] shape; the server passes a v3 [RWrite3]
     formatter for stable v3 writes, which therefore share gather
-    batches with v2 writes). *)
+    batches with v2 writes). [fail] formats error replies the same way
+    (default: the v2 error shape). A disk error during a gathered
+    flush fails every descriptor in the batch with [NFSERR_IO] in FIFO
+    order — no reply may claim success after the covering metadata
+    update failed — and the simulation keeps running. *)
 
 val rescue : t -> inum:int -> unit
 (** Orphan protection (section 6.9): called when a duplicate WRITE was
@@ -108,6 +113,11 @@ val procrastinate_failures : t -> int
 
 val mbuf_hits : t -> int
 val rescues : t -> int
+
+val flush_failures : t -> int
+(** Gathered batches whose data/metadata flush hit a disk error; every
+    descriptor in such a batch was answered [NFSERR_IO]. *)
+
 val mean_batch_size : t -> float
 
 val learned_solo_clients : t -> int

@@ -1,9 +1,11 @@
 type stats = { transactions : int; bytes_moved : int; busy_time : Nfsg_sim.Time.t }
 
+exception Io_error of string
+
 type t = {
   name : string;
   capacity : int;
-  accelerated : bool;
+  accelerated : unit -> bool;
   read : off:int -> len:int -> Bytes.t;
   write : off:int -> Bytes.t -> unit;
   flush : unit -> unit;

@@ -14,16 +14,25 @@ type stats = {
   busy_time : Nfsg_sim.Time.t;  (** cumulative spindle busy time *)
 }
 
+exception Io_error of string
+(** A transient I/O failure: the transaction was not performed (or not
+    completed) and the data involved is {e not} on stable storage. Only
+    raised by fault-injecting device wrappers ({!Nfsg_fault.Fault_disk})
+    and by devices whose backing store reports one; callers must treat
+    it as retryable and must not assume any state change. *)
+
 type t = {
   name : string;
   capacity : int;  (** device size in bytes *)
-  accelerated : bool;
-      (** true when fronted by NVRAM — the server write layer queries
-          this to pick its policy (paper section 6.3). *)
+  accelerated : unit -> bool;
+      (** true when fronted by (healthy) NVRAM — the server write layer
+          queries this per-operation to pick its policy (paper section
+          6.3). Dynamic so an NVRAM battery failure can degrade the
+          device to synchronous pass-through mid-run. *)
   read : off:int -> len:int -> Bytes.t;
   write : off:int -> Bytes.t -> unit;
       (** On return the data is on {e stable} storage (platter or
-          NVRAM). *)
+          NVRAM). May raise {!Io_error}. *)
   flush : unit -> unit;
       (** Drain any buffered (NVRAM) state down to the platter. *)
   crash : unit -> unit;

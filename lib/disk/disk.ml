@@ -196,7 +196,7 @@ let create eng ?(name = "disk") ?(on_transaction = fun ~bytes:_ -> ()) ?(schedul
   {
     Device.name;
     capacity = g.capacity;
-    accelerated = false;
+    accelerated = (fun () -> false);
     read;
     write;
     flush = (fun () -> ());

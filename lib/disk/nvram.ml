@@ -34,6 +34,8 @@ type state = {
   mutable rotor : int;  (** elevator position for the drain sweep *)
   mutable crashed : bool;
   mutable draining : bool;
+  mutable battery_ok : bool;
+  mutable flush_retries : int;  (** backing-store Io_errors survived by the flusher *)
   mutable gen : int;  (** flusher generation; bumped on recovery *)
   more : Condition.t;  (** new dirty data *)
   space : Condition.t;  (** NVRAM space freed *)
@@ -85,13 +87,23 @@ let rec flusher st my_gen () =
 and flush_one st =
   match next_cluster st with
   | None -> ()
-  | Some (off, data) ->
+  | Some (off, data) -> (
       st.in_flight <- Some (off, data);
-      st.backing.Device.write ~off data;
-      st.in_flight <- None;
-      if is_clean st then st.draining <- false;
-      Condition.broadcast st.space;
-      if is_clean st then Condition.broadcast st.clean
+      match st.backing.Device.write ~off data with
+      | () ->
+          st.in_flight <- None;
+          if is_clean st then st.draining <- false;
+          Condition.broadcast st.space;
+          if is_clean st then Condition.broadcast st.clean
+      | exception Device.Io_error _ ->
+          (* Transient backing failure: the data is still battery-backed,
+             so put it back in the dirty map (bytes written while the
+             attempt was in flight win) and retry after a pause. *)
+          Extent_map.apply st.dirty ~off data;
+          Extent_map.insert st.dirty ~off data;
+          st.in_flight <- None;
+          st.flush_retries <- st.flush_retries + 1;
+          Engine.delay (Time.of_ms_f 50.0))
 
 let spawn_flusher st =
   Engine.spawn st.eng ~name:"presto-flusher" (flusher st st.gen)
@@ -112,13 +124,33 @@ let overlay st ~off buf =
    platters) in memory forever. *)
 let registry : (Device.t, state) Ephemeron.K1.t list ref = ref []
 
-let dirty_bytes dev =
+let state_of dev =
   let rec find = function
-    | [] -> invalid_arg "Nvram.dirty_bytes: not an NVRAM device"
+    | [] -> invalid_arg "Nvram: not an NVRAM device"
     | e :: rest -> (
-        match Ephemeron.K1.query e dev with Some st -> used st | None -> find rest)
+        match Ephemeron.K1.query e dev with Some st -> st | None -> find rest)
   in
   find !registry
+
+let dirty_bytes dev = used (state_of dev)
+let flush_retries dev = (state_of dev).flush_retries
+let battery_ok dev = (state_of dev).battery_ok
+
+(* A detected battery fault, as a real Prestoserve driver handles it:
+   the board stops accepting new dirty data (writes degrade to
+   synchronous pass-through, {!Device.t.accelerated} turns false) and
+   drains what it holds to the platter as fast as it can. Until that
+   drain completes the board's contents are volatile — a power crash in
+   the window loses them (see {!recover}). *)
+let fail_battery dev =
+  let st = state_of dev in
+  if st.battery_ok then begin
+    st.battery_ok <- false;
+    st.draining <- true;
+    Condition.signal st.more
+  end
+
+let repair_battery dev = (state_of dev).battery_ok <- true
 
 let create eng ?(name = "presto") ?(params = default_params) ?(cpu_charge = fun _ -> ())
     backing =
@@ -132,6 +164,8 @@ let create eng ?(name = "presto") ?(params = default_params) ?(cpu_charge = fun 
       rotor = 0;
       crashed = false;
       draining = false;
+      battery_ok = true;
+      flush_retries = 0;
       gen = 0;
       more = Condition.create ();
       space = Condition.create ();
@@ -150,18 +184,26 @@ let create eng ?(name = "presto") ?(params = default_params) ?(cpu_charge = fun 
   let write ~off data =
     check_power ();
     let len = Bytes.length data in
-    if len > st.p.accept_limit then
+    if not st.battery_ok then
+      (* Battery fault: RAM is no longer stable storage, so the board
+         may not acknowledge from it — synchronous pass-through. *)
+      st.backing.Device.write ~off data
+    else if len > st.p.accept_limit then
       (* Declined: degrade to underlying device speed (paper 6.3). *)
       st.backing.Device.write ~off data
     else begin
       while used st + len > st.p.capacity do
         Condition.wait st.space
       done;
-      let d = copy_time len in
-      cpu_charge d;
-      Engine.delay d;
-      Extent_map.insert st.dirty ~off (Bytes.copy data);
-      Condition.signal st.more
+      (* The battery may have failed while we waited for space. *)
+      if not st.battery_ok then st.backing.Device.write ~off data
+      else begin
+        let d = copy_time len in
+        cpu_charge d;
+        Engine.delay d;
+        Extent_map.insert st.dirty ~off (Bytes.copy data);
+        Condition.signal st.more
+      end
     end
   in
   let read ~off ~len =
@@ -194,11 +236,15 @@ let create eng ?(name = "presto") ?(params = default_params) ?(cpu_charge = fun 
   let recover () =
     st.backing.Device.recover ();
     (* Battery-backed replay: in-flight first, then the dirty map so the
-       newest bytes win, exactly like the read overlay. *)
-    (match st.in_flight with
-    | Some (off, data) -> st.backing.Device.stable_write ~off data
-    | None -> ());
-    Extent_map.iter (fun off data -> st.backing.Device.stable_write ~off data) st.dirty;
+       newest bytes win, exactly like the read overlay. A failed battery
+       kept nothing across the outage — whatever had not drained is
+       gone (which is why a battery fault forces an immediate drain). *)
+    if st.battery_ok then begin
+      (match st.in_flight with
+      | Some (off, data) -> st.backing.Device.stable_write ~off data
+      | None -> ());
+      Extent_map.iter (fun off data -> st.backing.Device.stable_write ~off data) st.dirty
+    end;
     (match st.in_flight with Some _ -> st.in_flight <- None | None -> ());
     Extent_map.remove_range st.dirty ~off:0 ~len:st.backing.Device.capacity;
     st.crashed <- false;
@@ -210,14 +256,15 @@ let create eng ?(name = "presto") ?(params = default_params) ?(cpu_charge = fun 
   in
   let stable_read ~off ~len =
     let buf = st.backing.Device.stable_read ~off ~len in
-    overlay st ~off buf;
+    (* With a failed battery the board's RAM is volatile, not stable. *)
+    if st.battery_ok then overlay st ~off buf;
     buf
   in
   let dev =
     {
       Device.name;
       capacity = backing.Device.capacity;
-      accelerated = true;
+      accelerated = (fun () -> st.battery_ok);
       read;
       write;
       flush;

@@ -40,3 +40,26 @@ val create :
 val dirty_bytes : Device.t -> int
 (** Dirty bytes currently in NVRAM of a device made by {!create}.
     Raises [Invalid_argument] for other devices. *)
+
+(** {1 Fault hooks}
+
+    All take a device made by {!create} and raise [Invalid_argument]
+    for any other device. *)
+
+val fail_battery : Device.t -> unit
+(** Detected battery fault: the board stops accepting new dirty data
+    (writes become synchronous pass-through and [accelerated] reports
+    false) and starts draining its contents to the backing device. Until
+    the drain completes the board's RAM is volatile: a {!Device.t.crash}
+    in that window loses it ({!Device.t.recover} replays nothing). *)
+
+val repair_battery : Device.t -> unit
+(** Battery replaced: the board accepts and acknowledges writes from
+    RAM again. *)
+
+val battery_ok : Device.t -> bool
+
+val flush_retries : Device.t -> int
+(** Backing-store {!Device.Io_error}s the background flusher absorbed
+    (each is retried after a pause; battery-backed data is never lost
+    to a transient spindle error). *)

@@ -88,7 +88,7 @@ let create eng ?(name = "stripe") ~chunk members =
   {
     Device.name;
     capacity;
-    accelerated = Array.for_all (fun m -> m.Device.accelerated) members;
+    accelerated = (fun () -> Array.for_all (fun m -> m.Device.accelerated ()) members);
     read;
     write;
     flush = (fun () -> on_all (fun m -> m.Device.flush ()));

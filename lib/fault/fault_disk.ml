@@ -1,0 +1,122 @@
+open Nfsg_sim
+module Device = Nfsg_disk.Device
+
+type window = { from_ : Time.t; until : Time.t }
+
+let in_window w now = w.from_ <= now && now < w.until
+let live w now = now < w.until
+
+type t = {
+  eng : Engine.t;
+  rng : Rng.t;
+  name : string;
+  mutable fail_next : int;
+  mutable error_windows : (window * float) list;
+  mutable slowdown_windows : (window * float) list;
+  mutable hang_windows : window list;
+  mutable errors_injected : int;
+  mutable slowdowns : int;
+  mutable hangs : int;
+}
+
+let errors_injected t = t.errors_injected
+let slowdowns t = t.slowdowns
+let hangs t = t.hangs
+
+let fail_next ?(n = 1) t =
+  if n < 0 then invalid_arg "Fault_disk.fail_next: need n >= 0";
+  t.fail_next <- t.fail_next + n
+
+let check_window ~from_ ~until =
+  if until <= from_ then invalid_arg "Fault_disk: empty fault window"
+
+let error_window t ~from_ ~until ~prob =
+  check_window ~from_ ~until;
+  if prob < 0.0 || prob > 1.0 then invalid_arg "Fault_disk.error_window: need 0 <= prob <= 1";
+  t.error_windows <- ({ from_; until }, prob) :: t.error_windows
+
+let slowdown_window t ~from_ ~until ~factor =
+  check_window ~from_ ~until;
+  if factor < 1.0 then invalid_arg "Fault_disk.slowdown_window: need factor >= 1";
+  t.slowdown_windows <- ({ from_; until }, factor) :: t.slowdown_windows
+
+let hang_window t ~from_ ~until =
+  check_window ~from_ ~until;
+  t.hang_windows <- { from_; until } :: t.hang_windows
+
+let clear t =
+  t.fail_next <- 0;
+  t.error_windows <- [];
+  t.slowdown_windows <- [];
+  t.hang_windows <- []
+
+(* Lazy pruning keeps the window lists from growing with history while
+   never consulting the clock outside an operation. *)
+let prune t now =
+  t.error_windows <- List.filter (fun (w, _) -> live w now) t.error_windows;
+  t.slowdown_windows <- List.filter (fun (w, _) -> live w now) t.slowdown_windows;
+  t.hang_windows <- List.filter (fun w -> live w now) t.hang_windows
+
+let should_fail t now =
+  if t.fail_next > 0 then begin
+    t.fail_next <- t.fail_next - 1;
+    true
+  end
+  else
+    match List.find_opt (fun (w, _) -> in_window w now) t.error_windows with
+    | Some (_, prob) -> Rng.bool t.rng prob
+    | None -> false
+
+(* Every faultable path funnels through here: hang, then maybe error,
+   then the real transaction, then the degraded-spindle tax. Must run
+   in a simulation process (it may delay), which read/write already
+   require. *)
+let guard t what op =
+  let now = Engine.now t.eng in
+  prune t now;
+  (match List.find_opt (fun w -> in_window w now) t.hang_windows with
+  | Some w ->
+      t.hangs <- t.hangs + 1;
+      Engine.delay (w.until - now)
+  | None -> ());
+  let now = Engine.now t.eng in
+  if should_fail t now then begin
+    t.errors_injected <- t.errors_injected + 1;
+    raise (Device.Io_error (Printf.sprintf "%s: injected %s error" t.name what))
+  end;
+  let slow = List.find_opt (fun (w, _) -> in_window w now) t.slowdown_windows in
+  let result = op () in
+  (match slow with
+  | Some (_, factor) ->
+      let elapsed = Engine.now t.eng - now in
+      if elapsed > 0 then begin
+        t.slowdowns <- t.slowdowns + 1;
+        Engine.delay (int_of_float (float_of_int elapsed *. (factor -. 1.0)))
+      end
+  | None -> ());
+  result
+
+let wrap eng ?(seed = 0xd15c) (dev : Device.t) =
+  let t =
+    {
+      eng;
+      rng = Rng.create seed;
+      name = dev.Device.name ^ "+fault";
+      fail_next = 0;
+      error_windows = [];
+      slowdown_windows = [];
+      hang_windows = [];
+      errors_injected = 0;
+      slowdowns = 0;
+      hangs = 0;
+    }
+  in
+  let wrapped =
+    {
+      dev with
+      Device.name = t.name;
+      read = (fun ~off ~len -> guard t "read" (fun () -> dev.Device.read ~off ~len));
+      write = (fun ~off data -> guard t "write" (fun () -> dev.Device.write ~off data));
+    }
+  in
+  (t, wrapped)

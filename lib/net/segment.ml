@@ -33,6 +33,7 @@ type station = {
   addr : string;
   deliver : src:string -> Bytes.t -> unit;
   rx_fragment : bytes:int -> unit;
+  buffer_drops : unit -> int;
 }
 
 type job = { src : string; dst : string; payload : Bytes.t }
@@ -43,8 +44,14 @@ type t = {
   rng : Rng.t;
   stations : (string, station) Hashtbl.t;
   queue : job Squeue.t;
+  mutable loss : float;  (** runtime drop probability (starts at [p.loss_prob]) *)
+  mutable dup : float;  (** runtime duplication probability *)
+  mutable partitions : (string * string * Time.t) list;
+      (** blacked-out unordered address pairs, with expiry instants *)
   mutable sent : int;
   mutable lost : int;
+  mutable duplicated : int;
+  mutable blackholed : int;
   mutable bytes : int;
   mutable busy : Time.t;
 }
@@ -53,8 +60,39 @@ let params t = t.p
 let engine t = t.eng
 let datagrams_sent t = t.sent
 let datagrams_lost t = t.lost
+let datagrams_duplicated t = t.duplicated
+let datagrams_blackholed t = t.blackholed
 let bytes_sent t = t.bytes
 let busy_time t = t.busy
+
+let loss_prob t = t.loss
+let set_loss_prob t p =
+  if p < 0.0 || p >= 1.0 then invalid_arg "Segment.set_loss_prob: need 0 <= p < 1";
+  t.loss <- p
+
+let dup_prob t = t.dup
+let set_dup_prob t p =
+  if p < 0.0 || p >= 1.0 then invalid_arg "Segment.set_dup_prob: need 0 <= p < 1";
+  t.dup <- p
+
+let pair_matches a b (x, y, _) = (x = a && y = b) || (x = b && y = a)
+
+let partition t ~a ~b ~until =
+  (* Healing an old window before opening a new one keeps the list a
+     set: at most one entry per pair. *)
+  t.partitions <- (a, b, until) :: List.filter (fun e -> not (pair_matches a b e)) t.partitions
+
+let heal t ~a ~b = t.partitions <- List.filter (fun e -> not (pair_matches a b e)) t.partitions
+
+let partitioned t ~a ~b =
+  let now = Engine.now t.eng in
+  (* Lazily drop expired windows so the list never grows with history. *)
+  t.partitions <- List.filter (fun (_, _, until) -> until > now) t.partitions;
+  List.exists (pair_matches a b) t.partitions
+
+let station_drops t =
+  Hashtbl.fold (fun addr s acc -> (addr, s.buffer_drops ()) :: acc) t.stations []
+  |> List.sort compare
 
 let fragments_of p size = Stdlib.max 1 ((size + p.mtu - 1) / p.mtu)
 
@@ -62,6 +100,17 @@ let wire_time p size =
   let nfrags = fragments_of p size in
   let wire_bytes = size + (nfrags * p.frag_overhead_bytes) in
   Time.of_sec_f (float_of_int (wire_bytes * 8) /. p.bandwidth) + (nfrags * p.frag_gap)
+
+let deliver_to t ~src ~dst ~nfrags ~size payload =
+  Engine.schedule t.eng ~after:t.p.latency (fun () ->
+      match Hashtbl.find_opt t.stations dst with
+      | None -> () (* no such station: datagram vanishes *)
+      | Some station ->
+          (* Receiver-side per-fragment cost (reassembly). *)
+          for _ = 1 to nfrags do
+            station.rx_fragment ~bytes:(Stdlib.min size t.p.mtu)
+          done;
+          station.deliver ~src payload)
 
 let daemon t () =
   let rec loop () =
@@ -72,19 +121,19 @@ let daemon t () =
     t.sent <- t.sent + 1;
     t.bytes <- t.bytes + size;
     t.busy <- t.busy + occupancy;
-    if not (Rng.bool t.rng t.p.loss_prob) then begin
+    if partitioned t ~a:src ~b:dst then t.blackholed <- t.blackholed + 1
+    else if Rng.bool t.rng t.loss then t.lost <- t.lost + 1
+    else begin
       let nfrags = fragments_of t.p size in
-      Engine.schedule t.eng ~after:t.p.latency (fun () ->
-          match Hashtbl.find_opt t.stations dst with
-          | None -> () (* no such station: datagram vanishes *)
-          | Some station ->
-              (* Receiver-side per-fragment cost (reassembly). *)
-              for _ = 1 to nfrags do
-                station.rx_fragment ~bytes:(Stdlib.min size t.p.mtu)
-              done;
-              station.deliver ~src payload)
-    end
-    else t.lost <- t.lost + 1;
+      deliver_to t ~src ~dst ~nfrags ~size payload;
+      (* Datagram duplication (a misbehaving bridge): the copy arrives
+         one extra latency later, exercising the duplicate cache. *)
+      if t.dup > 0.0 && Rng.bool t.rng t.dup then begin
+        t.duplicated <- t.duplicated + 1;
+        Engine.schedule t.eng ~after:t.p.latency (fun () ->
+            deliver_to t ~src ~dst ~nfrags ~size payload)
+      end
+    end;
     loop ()
   in
   loop ()
@@ -97,8 +146,13 @@ let create eng ?(seed = 0x5e9) p =
       rng = Rng.create seed;
       stations = Hashtbl.create 8;
       queue = Squeue.create ();
+      loss = p.loss_prob;
+      dup = 0.0;
+      partitions = [];
       sent = 0;
       lost = 0;
+      duplicated = 0;
+      blackholed = 0;
       bytes = 0;
       busy = Time.zero;
     }

@@ -13,7 +13,14 @@
     full buffer are dropped, exactly like the fixed-size NFS socket
     buffer of a reference-port server ("if the queue fills then some
     incoming requests may be lost"). Random loss can be injected on
-    top. *)
+    top.
+
+    {b Fault injection.} Loss probability is runtime-adjustable
+    ({!set_loss_prob}); datagrams can be probabilistically duplicated
+    ({!set_dup_prob}); and time-windowed {!partition}s black out all
+    traffic between an address pair until they expire or are
+    {!heal}ed. All draws come from the segment's seeded RNG, so a
+    fault schedule is bit-for-bit reproducible. *)
 
 type params = {
   bandwidth : float;  (** bits per second *)
@@ -43,6 +50,28 @@ val fragments_of : params -> int -> int
 val wire_time : params -> int -> Nfsg_sim.Time.t
 (** Medium occupancy for one datagram of the given payload size. *)
 
+(** {1 Fault controls} *)
+
+val loss_prob : t -> float
+val set_loss_prob : t -> float -> unit
+(** Change the independent per-datagram drop probability mid-run.
+    Needs [0 <= p < 1]. *)
+
+val dup_prob : t -> float
+val set_dup_prob : t -> float -> unit
+(** Probability a delivered datagram is delivered a second time (one
+    extra propagation latency later). Needs [0 <= p < 1]. *)
+
+val partition : t -> a:string -> b:string -> until:Nfsg_sim.Time.t -> unit
+(** Black out all traffic between addresses [a] and [b] (both
+    directions) until the absolute instant [until]. Re-partitioning a
+    pair replaces its window. *)
+
+val heal : t -> a:string -> b:string -> unit
+(** End a partition early. No-op if the pair is not partitioned. *)
+
+val partitioned : t -> a:string -> b:string -> bool
+
 (** {1 Statistics} *)
 
 val datagrams_sent : t -> int
@@ -50,8 +79,17 @@ val datagrams_lost : t -> int
 (** Lost to injected random loss (socket-buffer drops are counted at
     the socket). *)
 
+val datagrams_duplicated : t -> int
+val datagrams_blackholed : t -> int
+(** Swallowed by an active partition window. *)
+
 val bytes_sent : t -> int
 val busy_time : t -> Nfsg_sim.Time.t
+
+val station_drops : t -> (string * int) list
+(** Per-station receive-buffer overflow drops, sorted by address — the
+    receiver-side loss {!datagrams_lost} does not see, so reports can
+    tell wire loss from rcvbuf overflow. *)
 
 (**/**)
 
@@ -61,6 +99,7 @@ type station = {
   addr : string;
   deliver : src:string -> Bytes.t -> unit;
   rx_fragment : bytes:int -> unit;
+  buffer_drops : unit -> int;
 }
 
 val attach : t -> station -> unit

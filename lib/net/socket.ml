@@ -34,7 +34,8 @@ let create segment ~addr ?(rcvbuf = 256 * 1024) ?(on_rx_fragment = fun ~bytes:_ 
       Nfsg_sim.Squeue.put s.queue (src, payload)
     end
   in
-  Segment.attach segment { Segment.addr; deliver; rx_fragment = on_rx_fragment };
+  Segment.attach segment
+    { Segment.addr; deliver; rx_fragment = on_rx_fragment; buffer_drops = (fun () -> s.dropped) };
   s
 
 let send s ~dst payload = Segment.transmit s.segment ~src:s.addr ~dst payload

@@ -19,6 +19,7 @@ type t = {
   mutable outstanding : int;
   mutable received : int;
   mutable garbage : int;
+  mutable dispatch_errors : int;
 }
 
 let client_of tr = tr.client
@@ -27,6 +28,7 @@ let handles_outstanding t = t.outstanding
 let handle_cache_size t = Queue.length t.free_handles
 let requests_received t = t.received
 let garbage_dropped t = t.garbage
+let dispatch_errors t = t.dispatch_errors
 
 let take_handle t ~client ~xid =
   let tr =
@@ -76,7 +78,23 @@ let svc_run t dispatch () =
                 (* The handle stays checked out; another nfsd (or this
                    one, later) finishes it via send_reply. We go
                    straight back to the socket for more work. *)
-                ())));
+                ()
+            | exception _ ->
+                (* An exception escaping the dispatch must never leave
+                   the xid parked as in-progress: that would silently
+                   blackhole every retransmission of the request. If no
+                   reply went out, forget the entry (so a retransmission
+                   re-executes) and answer with a system error; the
+                   error reply is deliberately NOT cached. If the
+                   dispatch had already replied before raising, the
+                   completed cache entry is correct — keep it. *)
+                t.dispatch_errors <- t.dispatch_errors + 1;
+                if tr.live then begin
+                  (match t.dupcache with
+                  | Some dc -> Dupcache.forget dc ~client ~xid:call.Rpc.xid
+                  | None -> ());
+                  send_reply t tr Rpc.System_err (Bytes.create 0)
+                end)));
     loop ()
   in
   loop ()
@@ -95,6 +113,7 @@ let create eng ~sock ?dupcache ?(on_duplicate_drop = fun ~client:_ _ -> ()) ~nfs
       outstanding = 0;
       received = 0;
       garbage = 0;
+      dispatch_errors = 0;
     }
   in
   for i = 0 to nfsds - 1 do

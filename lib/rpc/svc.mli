@@ -48,3 +48,9 @@ val handles_outstanding : t -> int
 val handle_cache_size : t -> int
 val requests_received : t -> int
 val garbage_dropped : t -> int
+
+val dispatch_errors : t -> int
+(** Dispatches that raised. Each was answered with [System_err] and had
+    its in-progress duplicate-cache entry forgotten (so a client
+    retransmission re-executes rather than being blackholed); the error
+    reply itself is never cached. *)

@@ -110,12 +110,22 @@ let is_dirty c b =
 let write_sync c b =
   match Hashtbl.find_opt c.table b with
   | None -> ()
-  | Some e ->
+  | Some e -> (
       (* Snapshot so later in-core mutations don't leak into a write
          already in flight. *)
       let snapshot = Bytes.copy e.buf in
+      let was = e.dirty in
       e.dirty <- None;
-      c.dev.Device.write ~off:(b * c.bsize) snapshot
+      try c.dev.Device.write ~off:(b * c.bsize) snapshot
+      with exn ->
+        (* The block never reached stable storage: it must stay dirty or
+           a later fsync would skip it. A kind recorded by a concurrent
+           writer during the failed transaction takes precedence. *)
+        (match (e.dirty, was) with
+        | None, Some k -> e.dirty <- Some k
+        | Some Data, Some Metadata -> e.dirty <- Some Metadata
+        | _ -> ());
+        raise exn)
 
 let dirty_blocks c kind =
   Hashtbl.fold (fun b e acc -> if e.dirty = Some kind then b :: acc else acc) c.table []
@@ -139,18 +149,33 @@ let sync_clustered c blocks ~max_cluster =
   let flush_run run =
     match run with
     | [] -> ()
-    | first :: _ ->
+    | first :: _ -> (
         let n = List.length run in
         let big = Bytes.create (n * c.bsize) in
-        List.iteri
-          (fun i b ->
-            match Hashtbl.find_opt c.table b with
-            | Some e ->
-                Bytes.blit e.buf 0 big (i * c.bsize) c.bsize;
-                e.dirty <- None
-            | None -> assert false)
-          run;
-        c.dev.Device.write ~off:(first * c.bsize) big
+        let was =
+          List.mapi
+            (fun i b ->
+              match Hashtbl.find_opt c.table b with
+              | Some e ->
+                  Bytes.blit e.buf 0 big (i * c.bsize) c.bsize;
+                  let k = e.dirty in
+                  e.dirty <- None;
+                  (e, k)
+              | None -> assert false)
+            run
+        in
+        try c.dev.Device.write ~off:(first * c.bsize) big
+        with exn ->
+          (* Failed transaction: nothing reached the platter, so every
+             block of the run must stay dirty for the next sync. *)
+          List.iter
+            (fun (e, k) ->
+              match (e.dirty, k) with
+              | None, Some _ -> e.dirty <- k
+              | Some Data, Some Metadata -> e.dirty <- Some Metadata
+              | _ -> ())
+            was;
+          raise exn)
   in
   List.iter flush_run (runs [] [] eligible)
 

@@ -266,8 +266,16 @@ let fsync_metadata t (ino : inode) =
        block whose pointers are not yet on disk. *)
     let indirects = List.sort compare ino.dirty_indirects in
     ino.dirty_indirects <- [];
-    List.iter (fun b -> Buffer_cache.write_sync t.bcache b) indirects;
-    write_inode_sync t ino;
+    (try
+       List.iter (fun b -> Buffer_cache.write_sync t.bcache b) indirects;
+       write_inode_sync t ino
+     with exn ->
+       (* A device error mid-flush must leave the inode flushable: put
+          the indirect list back (merged with any blocks dirtied while
+          we were writing) and keep meta_dirty as it was, so the next
+          fsync retries everything that is not yet durable. *)
+       ino.dirty_indirects <- List.sort_uniq compare (indirects @ ino.dirty_indirects);
+       raise exn);
     ino.meta_dirty <- `Clean
   end
 

@@ -12,7 +12,7 @@ let unlock v = Nfsg_sim.Mutex.unlock (Fs.lock_of v.ino)
 let with_lock v f = Nfsg_sim.Mutex.with_lock (Fs.lock_of v.ino) f
 let locked v = Nfsg_sim.Mutex.locked (Fs.lock_of v.ino)
 let contenders v = Nfsg_sim.Mutex.contenders (Fs.lock_of v.ino)
-let accelerated v = (Fs.device v.fs).Nfsg_disk.Device.accelerated
+let accelerated v = (Fs.device v.fs).Nfsg_disk.Device.accelerated ()
 let vop_getattr v = Fs.getattr v.ino
 let vop_read v ~off ~len = Fs.read v.fs v.ino ~off ~len
 

@@ -23,4 +23,5 @@ let () =
       ("integration", Test_integration.suite);
       ("crash", Test_crash.suite);
       ("experiments", Test_experiments.suite);
+      ("fault", Test_fault.suite);
     ]

@@ -17,8 +17,8 @@ let in_proc eng f =
 
 let test_accelerated_flag () =
   let _, disk, dev = make () in
-  Alcotest.(check bool) "disk raw" false disk.Device.accelerated;
-  Alcotest.(check bool) "presto" true dev.Device.accelerated
+  Alcotest.(check bool) "disk raw" false (disk.Device.accelerated ());
+  Alcotest.(check bool) "presto" true (dev.Device.accelerated ())
 
 let test_accepted_write_is_fast_and_stable () =
   let eng, disk, dev = make () in
