@@ -6,6 +6,11 @@
      dune exec bench/main.exe              full reproduction (minutes)
      dune exec bench/main.exe -- quick     small-file smoke run
      dune exec bench/main.exe -- micro     only the Bechamel microbenches
+     dune exec bench/main.exe -- writegather   only BENCH_writegather.json
+
+   Every non-micro run also writes BENCH_writegather.json (the paper's
+   core Standard/Gathering/NVRAM comparison, machine-readable) to the
+   current directory.
 
    Paper-vs-measured commentary lives in EXPERIMENTS.md. *)
 
@@ -84,6 +89,19 @@ let run_extensions quick =
       ("NFSv3 async writes + COMMIT", fun () -> E.extension_v3 ~quick ());
       ("write-layer modes incl. dangerous", fun () -> E.extension_write_modes ~quick ());
     ]
+
+(* {1 The machine-readable bench artifact} *)
+
+let bench_json_file = "BENCH_writegather.json"
+
+let run_writegather quick =
+  progress "bench: running writegather JSON bench ...";
+  let t0 = Unix.gettimeofday () in
+  let json = E.bench_writegather ~quick () in
+  let oc = open_out bench_json_file in
+  output_string oc (Nfsg_stats.Json.to_string ~pretty:true json);
+  close_out oc;
+  progress "bench: wrote %s in %.1fs wall" bench_json_file (Unix.gettimeofday () -. t0)
 
 (* {1 Bechamel microbenchmarks}
 
@@ -184,7 +202,9 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "quick" args in
   let micro_only = List.mem "micro" args in
+  let writegather_only = List.mem "writegather" args in
   if micro_only then run_micro ()
+  else if writegather_only then run_writegather quick
   else begin
     Printf.printf "NFS write gathering: full reproduction run (%s)\n"
       (if quick then "quick mode" else "paper-size workloads");
@@ -192,5 +212,6 @@ let () =
     run_figures quick;
     run_ablations quick;
     run_extensions quick;
+    run_writegather quick;
     run_micro ()
   end

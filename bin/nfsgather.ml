@@ -3,6 +3,7 @@
 
 open Cmdliner
 module E = Nfsg_experiments.Experiments
+module Metrics = Nfsg_stats.Metrics
 
 let print_report r = print_string (Nfsg_stats.Report.to_string r)
 
@@ -10,7 +11,15 @@ let quick_arg =
   let doc = "Run with a smaller file / shorter measurement (fast smoke mode)." in
   Arg.(value & flag & info [ "q"; "quick" ] ~doc)
 
-let run_experiment quick = function
+let metrics_json_arg =
+  let doc =
+    "Write the typed-metrics registry of the run (every counter, gauge and histogram \
+     registered by every simulated world the selected experiments build) to $(docv) as \
+     deterministic JSON."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE" ~doc)
+
+let run_experiment ?metrics quick = function
   | "table1" -> print_report (E.table1 ~quick ())
   | "table2" -> print_report (E.table2 ~quick ())
   | "table3" -> print_report (E.table3 ~quick ())
@@ -43,13 +52,15 @@ let run_experiment quick = function
       print_report (E.extension_v3 ~quick ());
       print_newline ();
       print_report (E.extension_write_modes ~quick ())
+  | "writegather" ->
+      print_string (Nfsg_stats.Json.to_string ~pretty:true (E.bench_writegather ~quick ()))
   | "chaos" ->
       let module Chaos = Nfsg_experiments.Chaos in
       let cfg =
         if quick then { Chaos.default with Chaos.cycles = 2; blocks_per_writer = 60 }
         else Chaos.default
       in
-      let r = Chaos.run cfg in
+      let r = Chaos.run ?metrics cfg in
       Fmt.pr "%a@." Chaos.pp_result r;
       List.iter print_endline r.Chaos.timeline
   | other -> Printf.eprintf "unknown experiment %S\n" other
@@ -57,27 +68,39 @@ let run_experiment quick = function
 let names =
   [
     "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure1"; "figure2"; "figure3";
-    "ablations"; "extensions"; "chaos";
+    "ablations"; "extensions"; "writegather"; "chaos";
   ]
 
-let run quick targets =
+let run quick metrics_json targets =
   let targets = if targets = [] || List.mem "all" targets then names else targets in
+  let metrics = Option.map (fun _ -> Metrics.create ()) metrics_json in
+  (* Rig-built worlds report into the shared sink; chaos (which builds
+     its own world) takes the registry as a parameter. *)
+  Nfsg_experiments.Rig.set_metrics_sink metrics;
   List.iteri
     (fun i name ->
       if i > 0 then print_newline ();
-      run_experiment quick name)
-    targets
+      run_experiment ?metrics quick name)
+    targets;
+  Nfsg_experiments.Rig.set_metrics_sink None;
+  match (metrics_json, metrics) with
+  | Some file, Some m ->
+      let oc = open_out file in
+      output_string oc (Metrics.to_string ~pretty:true m);
+      close_out oc;
+      Printf.eprintf "metrics written to %s\n%!" file
+  | _ -> ()
 
 let targets_arg =
   let doc =
-    "Experiments to run: table1..table6, figure1..figure3, ablations, extensions, chaos, or all \
-     (default)."
+    "Experiments to run: table1..table6, figure1..figure3, ablations, extensions, writegather, \
+     chaos, or all (default)."
   in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
 let cmd =
   let doc = "reproduce 'Improving the Write Performance of an NFS Server' (USENIX 1994)" in
   let info = Cmd.info "nfsgather" ~version:"1.0.0" ~doc in
-  Cmd.v info Term.(const run $ quick_arg $ targets_arg)
+  Cmd.v info Term.(const run $ quick_arg $ metrics_json_arg $ targets_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -44,6 +44,7 @@ type t = {
   verf : int;
   op_counts : (int, int) Hashtbl.t;
   trace : Nfsg_stats.Trace.t option;
+  metrics : Nfsg_stats.Metrics.t;
 }
 
 let root_fh t =
@@ -59,8 +60,12 @@ let addr t = t.addr
 let write_verifier t = t.verf
 let op_count t proc = Option.value ~default:0 (Hashtbl.find_opt t.op_counts proc)
 let total_ops t = Hashtbl.fold (fun _ n acc -> acc + n) t.op_counts 0
+let metrics t = t.metrics
 
-let count_op t proc = Hashtbl.replace t.op_counts proc (1 + op_count t proc)
+let count_op t proc =
+  Hashtbl.replace t.op_counts proc (1 + op_count t proc);
+  Nfsg_stats.Metrics.incr
+    (Nfsg_stats.Metrics.counter t.metrics ~ns:"server" ("ops_" ^ Proto.proc_name proc))
 
 (* {1 Dispatch} *)
 
@@ -100,10 +105,10 @@ let status_of_exn = function
   | Fs.Exists _ -> Some Proto.NFSERR_EXIST
   | Fs.Not_dir _ -> Some Proto.NFSERR_NOTDIR
   | Fs.Is_dir _ -> Some Proto.NFSERR_ISDIR
+  | Fs.Not_empty _ -> Some Proto.NFSERR_NOTEMPTY
   | Fs.Not_symlink _ -> Some Proto.NFSERR_IO
   | Nfsg_disk.Device.Io_error _ -> Some Proto.NFSERR_IO
   | Fs.No_space -> Some Proto.NFSERR_NOSPC
-  | Failure msg when msg = "not empty" -> Some Proto.NFSERR_NOTEMPTY
   | _ -> None
 
 let execute t (args : Proto.args) : Proto.res =
@@ -283,7 +288,8 @@ let make_dispatch t =
               | None -> raise e))
     end
 
-let make eng ~segment ~addr ~device ?trace ?(mkfs = true) config =
+let make eng ~segment ~addr ~device ?trace ?metrics ?(mkfs = true) config =
+  let metrics = match metrics with Some m -> m | None -> Nfsg_stats.Metrics.create () in
   if mkfs then Fs.mkfs device ();
   let fs = Fs.mount eng ?cache_blocks:config.cache_blocks device in
   let cpu = Resource.create eng "server-cpu" in
@@ -299,7 +305,10 @@ let make eng ~segment ~addr ~device ?trace ?(mkfs = true) config =
     | Some svc -> Svc.send_reply svc tr Rpc.Success (Proto.encode_res res)
     | None -> assert false
   in
-  let wl = Write_layer.create eng ~fs ~sock ~cpu ~costs ~send_reply ?trace config.write_layer in
+  let wl =
+    Write_layer.create eng ~fs ~sock ~cpu ~costs ~send_reply ?trace ~metrics
+      config.write_layer
+  in
   incr boot_counter;
   let t =
     {
@@ -315,11 +324,12 @@ let make eng ~segment ~addr ~device ?trace ?(mkfs = true) config =
       verf = !boot_counter;
       op_counts = Hashtbl.create 16;
       trace;
+      metrics;
     }
   in
-  let dupcache = if config.dupcache then Some (Dupcache.create eng ()) else None in
+  let dupcache = if config.dupcache then Some (Dupcache.create eng ~metrics ()) else None in
   let svc =
-    Svc.create eng ~sock ?dupcache
+    Svc.create eng ~sock ?dupcache ~metrics
       ~on_duplicate_drop:(fun ~client:_ call ->
         if call.Rpc.prog = Rpc.nfs_program && call.Rpc.proc = Proto.proc_write then
           match Proto.decode_args ~proc:call.Rpc.proc call.Rpc.body with
@@ -339,7 +349,9 @@ let crash t =
 
 let recover t =
   t.device.Nfsg_disk.Device.recover ();
-  make t.eng ~segment:t.segment ~addr:t.addr ~device:t.device ?trace:t.trace ~mkfs:false
-    t.config
+  (* Same registry across incarnations: find-or-create registration
+     means the restarted server keeps counting where this one stopped. *)
+  make t.eng ~segment:t.segment ~addr:t.addr ~device:t.device ?trace:t.trace
+    ~metrics:t.metrics ~mkfs:false t.config
 
 let restart = recover

@@ -25,11 +25,16 @@ val make :
   addr:string ->
   device:Nfsg_disk.Device.t ->
   ?trace:Nfsg_stats.Trace.t ->
+  ?metrics:Nfsg_stats.Metrics.t ->
   ?mkfs:bool ->
   config ->
   t
 (** Formats the device (unless [mkfs:false]), mounts, attaches the
-    socket, spawns the nfsds. *)
+    socket, spawns the nfsds. [metrics] is the registry every layer of
+    this server registers its instruments in (namespaces ["server"],
+    ["write_layer"], ["rpc.svc"], ["rpc.dupcache"]); {!recover} passes
+    the same registry to the next incarnation so counts accumulate
+    across restarts (private registry when omitted). *)
 
 val root_fh : t -> Nfsg_nfs.Proto.fh
 val fs : t -> Nfsg_ufs.Fs.t
@@ -48,6 +53,10 @@ val op_count : t -> int -> int
 (** Completed requests for an NFS procedure number. *)
 
 val total_ops : t -> int
+
+val metrics : t -> Nfsg_stats.Metrics.t
+(** The registry this server's layers report into (per-procedure
+    counters live under namespace ["server"] as [ops_<PROC>]). *)
 
 val crash : t -> unit
 (** Power-fail the server: volatile state gone, in-flight requests

@@ -4,6 +4,8 @@ module Fs = Nfsg_ufs.Fs
 module Proto = Nfsg_nfs.Proto
 module Svc = Nfsg_rpc.Svc
 module Trace = Nfsg_stats.Trace
+module Metrics = Nfsg_stats.Metrics
+module Histogram = Nfsg_stats.Histogram
 
 type mode = Standard | Gathering | Unsafe_async
 
@@ -35,6 +37,7 @@ type descriptor = {
   tr : Svc.transport;
   seq : int;
   client : string;
+  arrived : Time.t;  (** queue time, for the deferred-reply latency split *)
   respond : Proto.fattr -> Proto.res;  (** v2 and v3 writes share batches *)
   fail : Proto.status -> Proto.res;
       (** error-reply formatter, so a failed flush answers v2 and v3
@@ -69,17 +72,25 @@ type t = {
   states : (int, gstate) Hashtbl.t;
   clients : (string, learned) Hashtbl.t;
   mutable seq : int;
-  mutable writes : int;
-  mutable batches : int;
-  mutable gathered : int;
-  mutable procrastinations : int;
-  mutable procrastinate_failures : int;
-  mutable mbuf_hits : int;
-  mutable rescues : int;
-  mutable flush_failures : int;
+  (* Registry-backed counters (namespace "write_layer"): the same
+     [int ref]s serve the accessor API below and the metrics report. *)
+  writes : Metrics.counter;
+  batches : Metrics.counter;
+  gathered : Metrics.counter;
+  procrastinations : Metrics.counter;
+  procrastinate_failures : Metrics.counter;
+  mbuf_hits : Metrics.counter;
+  rescues : Metrics.counter;
+  flush_failures : Metrics.counter;
+  meta_flushes_saved : Metrics.counter;
+  batch_size_h : Histogram.t;
+  reply_latency_us : Histogram.t;
 }
 
-let create eng ~fs ~sock ~cpu ~costs ~send_reply ?trace cfg =
+let ns = "write_layer"
+
+let create eng ~fs ~sock ~cpu ~costs ~send_reply ?trace ?metrics cfg =
+  let m = match metrics with Some m -> m | None -> Metrics.create () in
   {
     eng;
     fs;
@@ -92,27 +103,31 @@ let create eng ~fs ~sock ~cpu ~costs ~send_reply ?trace cfg =
     states = Hashtbl.create 64;
     clients = Hashtbl.create 16;
     seq = 0;
-    writes = 0;
-    batches = 0;
-    gathered = 0;
-    procrastinations = 0;
-    procrastinate_failures = 0;
-    mbuf_hits = 0;
-    rescues = 0;
-    flush_failures = 0;
+    writes = Metrics.counter m ~ns "writes";
+    batches = Metrics.counter m ~ns "batches";
+    gathered = Metrics.counter m ~ns "gathered_replies";
+    procrastinations = Metrics.counter m ~ns "procrastinations";
+    procrastinate_failures = Metrics.counter m ~ns "procrastinate_failures";
+    mbuf_hits = Metrics.counter m ~ns "mbuf_hits";
+    rescues = Metrics.counter m ~ns "rescues";
+    flush_failures = Metrics.counter m ~ns "flush_failures";
+    meta_flushes_saved = Metrics.counter m ~ns "metadata_flushes_saved";
+    batch_size_h = Metrics.histogram m ~ns ~least:1.0 ~growth:1.5 "batch_size";
+    reply_latency_us = Metrics.histogram m ~ns "reply_latency_us";
   }
 
-let writes_handled t = t.writes
-let batches t = t.batches
-let gathered_replies t = t.gathered
-let procrastinations t = t.procrastinations
-let procrastinate_failures t = t.procrastinate_failures
-let mbuf_hits t = t.mbuf_hits
-let rescues t = t.rescues
-let flush_failures t = t.flush_failures
+let writes_handled t = Metrics.value t.writes
+let batches t = Metrics.value t.batches
+let gathered_replies t = Metrics.value t.gathered
+let procrastinations t = Metrics.value t.procrastinations
+let procrastinate_failures t = Metrics.value t.procrastinate_failures
+let mbuf_hits t = Metrics.value t.mbuf_hits
+let rescues t = Metrics.value t.rescues
+let flush_failures t = Metrics.value t.flush_failures
 
 let mean_batch_size t =
-  if t.batches = 0 then 0.0 else float_of_int t.gathered /. float_of_int t.batches
+  if Metrics.value t.batches = 0 then 0.0
+  else float_of_int (Metrics.value t.gathered) /. float_of_int (Metrics.value t.batches)
 
 (* {1 Learned clients (Future Work: Mogul's scheme)} *)
 
@@ -188,10 +203,11 @@ let socket_has_write_for t inum =
         | Some (fh, _, _) -> fh.Proto.inum = inum
         | None -> false)
   in
-  if hit then t.mbuf_hits <- t.mbuf_hits + 1;
+  if hit then Metrics.incr t.mbuf_hits;
   hit
 
 let reply_ok t d attr =
+  Histogram.add t.reply_latency_us (Time.to_us_f (Engine.now t.eng - d.arrived));
   Resource.use t.cpu t.costs.Cpu_model.rpc_encode;
   t.send_reply d.tr (d.respond attr)
 
@@ -233,8 +249,12 @@ let flush_as_metadata_writer t g =
         List.iter (fun d -> reply_ok t d attr) ordered;
         if t.cfg.learn_clients then
           List.iter (fun (d : descriptor) -> learn t d.client ~gathered:(n > 1)) ordered;
-        t.batches <- t.batches + 1;
-        t.gathered <- t.gathered + n
+        Metrics.incr t.batches;
+        Metrics.add t.gathered n;
+        if n > 0 then Histogram.add t.batch_size_h (float_of_int n);
+        (* n writes acknowledged under one covering metadata update:
+           n-1 inode flushes a standard server would have issued. *)
+        if n > 1 then Metrics.add t.meta_flushes_saved (n - 1)
     | exception Nfsg_disk.Device.Io_error _ ->
         Vfs.unlock g.vnode;
         (* The blocks stayed dirty in the cache (UFS restores the dirty
@@ -242,7 +262,7 @@ let flush_as_metadata_writer t g =
            round's syncdata covers them again. *)
         g.lo <- Stdlib.min g.lo lo;
         g.hi <- Stdlib.max g.hi hi;
-        t.flush_failures <- t.flush_failures + 1;
+        Metrics.incr t.flush_failures;
         emit t
           (Printf.sprintf "Flush failed: %d NFSERR_IO Repl%s" n (if n = 1 then "y" else "ies"));
         List.iter (fun d -> reply_err t d Proto.NFSERR_IO) ordered);
@@ -254,7 +274,7 @@ let flush_as_metadata_writer t g =
        gathering opportunity a fresh nfsd would give it. *)
     if g.queue <> [] && g.active <= 1 then begin
       if t.cfg.latency_device = `Procrastinate && t.cfg.procrastinate > 0 then begin
-        t.procrastinations <- t.procrastinations + 1;
+        Metrics.incr t.procrastinations;
         Engine.delay t.cfg.procrastinate
       end;
       if g.queue <> [] && g.active <= 1 then rounds ()
@@ -284,7 +304,9 @@ let handle_standard t tr ~respond ~fail vnode ~off ~data =
   | () ->
       if Fs.meta_dirty (Vfs.inode_of vnode) = `Clean then emit t "Metadata to disk";
       Vfs.unlock vnode;
-      t.batches <- t.batches + 1;
+      Metrics.incr t.batches;
+      Metrics.incr t.gathered;
+      Histogram.add t.batch_size_h 1.0;
       let attr = fattr_of_vnode vnode in
       Resource.use t.cpu t.costs.Cpu_model.rpc_encode;
       emit t "Write Reply";
@@ -321,7 +343,9 @@ let handle_gathering t tr ~respond ~fail vnode ~off ~data =
          earlier would let a concurrent flusher acknowledge data that
          is not in the cache yet. *)
       t.seq <- t.seq + 1;
-      let d = { tr; seq = t.seq; client = Svc.client_of tr; respond; fail } in
+      let d =
+        { tr; seq = t.seq; client = Svc.client_of tr; arrived = Engine.now t.eng; respond; fail }
+      in
       g.queue <- d :: g.queue;
       g.lo <- Stdlib.min g.lo off;
       g.hi <- Stdlib.max g.hi (off + Bytes.length data);
@@ -365,7 +389,7 @@ let handle_gathering t tr ~respond ~fail vnode ~off ~data =
           && t.cfg.latency_device = `Procrastinate
           && t.cfg.procrastinate > 0
         then begin
-          t.procrastinations <- t.procrastinations + 1;
+          Metrics.incr t.procrastinations;
           emit t "Gather Writes (procrastinate)";
           let qlen = List.length g.queue in
           Engine.delay t.cfg.procrastinate;
@@ -377,7 +401,7 @@ let handle_gathering t tr ~respond ~fail vnode ~off ~data =
         else begin
           (* Become the metadata writer and assume responsibility. *)
           if slept && List.length g.queue <= 1 then
-            t.procrastinate_failures <- t.procrastinate_failures + 1;
+            Metrics.incr t.procrastinate_failures;
           flush_as_metadata_writer t g
         end
       in
@@ -415,7 +439,9 @@ let handle_unsafe_async t tr ~respond ~fail vnode ~off ~data =
    with
   | () ->
       Vfs.unlock vnode;
-      t.batches <- t.batches + 1;
+      Metrics.incr t.batches;
+      Metrics.incr t.gathered;
+      Histogram.add t.batch_size_h 1.0;
       let attr = fattr_of_vnode vnode in
       Resource.use t.cpu t.costs.Cpu_model.rpc_encode;
       emit t "Write Reply (volatile!)";
@@ -429,7 +455,7 @@ let handle_unsafe_async t tr ~respond ~fail vnode ~off ~data =
   Svc.Reply_pending
 
 let handle_write t tr ?(respond = v2_respond) ?(fail = v2_fail) vnode ~off ~data =
-  t.writes <- t.writes + 1;
+  Metrics.incr t.writes;
   match t.cfg.mode with
   | Standard -> handle_standard t tr ~respond ~fail vnode ~off ~data
   | Gathering -> handle_gathering t tr ~respond ~fail vnode ~off ~data
@@ -441,7 +467,7 @@ let handle_write t tr ?(respond = v2_respond) ?(fail = v2_fail) vnode ~off ~data
 let rescue t ~inum =
   match Hashtbl.find_opt t.states inum with
   | Some g when g.active = 0 && g.queue <> [] ->
-      t.rescues <- t.rescues + 1;
+      Metrics.incr t.rescues;
       flush_as_metadata_writer t g;
       maybe_gc t g
   | Some _ | None -> ()

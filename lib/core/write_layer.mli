@@ -69,8 +69,14 @@ val create :
   costs:Cpu_model.t ->
   send_reply:(Nfsg_rpc.Svc.transport -> Nfsg_nfs.Proto.res -> unit) ->
   ?trace:Nfsg_stats.Trace.t ->
+  ?metrics:Nfsg_stats.Metrics.t ->
   config ->
   t
+(** [metrics] registers the layer's instruments under namespace
+    ["write_layer"]: the counters exposed by the accessors below plus
+    [metadata_flushes_saved], the gather [batch_size] histogram and the
+    deferred-reply latency histogram [reply_latency_us] (private
+    registry when omitted). *)
 
 val handle_write :
   t ->

@@ -38,6 +38,37 @@ type job =
 
 let job_off = function Read { off; _ } -> off | Write { off; _ } -> off
 
+(* Per-spindle instruments: the service-time split the paper's disk
+   arguments rest on (seek vs rotation vs transfer), plus queue depth. *)
+type inst = {
+  m_reads : Nfsg_stats.Metrics.counter;
+  m_writes : Nfsg_stats.Metrics.counter;
+  m_bytes_read : Nfsg_stats.Metrics.counter;
+  m_bytes_written : Nfsg_stats.Metrics.counter;
+  m_seek_us : Nfsg_stats.Histogram.t;
+  m_rot_us : Nfsg_stats.Histogram.t;
+  m_xfer_us : Nfsg_stats.Histogram.t;
+  m_service_us : Nfsg_stats.Histogram.t;
+  m_queue_depth : Nfsg_stats.Histogram.t;
+  m_queue_gauge : Nfsg_stats.Metrics.gauge;
+}
+
+let make_inst metrics ~name =
+  let module M = Nfsg_stats.Metrics in
+  let ns = "disk." ^ name in
+  {
+    m_reads = M.counter metrics ~ns "reads";
+    m_writes = M.counter metrics ~ns "writes";
+    m_bytes_read = M.counter metrics ~ns "bytes_read";
+    m_bytes_written = M.counter metrics ~ns "bytes_written";
+    m_seek_us = M.histogram metrics ~ns "seek_us";
+    m_rot_us = M.histogram metrics ~ns "rotation_us";
+    m_xfer_us = M.histogram metrics ~ns "transfer_us";
+    m_service_us = M.histogram metrics ~ns "service_us";
+    m_queue_depth = M.histogram metrics ~ns "queue_depth";
+    m_queue_gauge = M.gauge metrics ~ns "queue_depth_peak";
+  }
+
 type state = {
   eng : Engine.t;
   g : geometry;
@@ -51,6 +82,7 @@ type state = {
   mutable bytes_moved : int;
   mutable busy : Time.t;
   on_transaction : bytes:int -> unit;
+  inst : inst;
 }
 
 (* Pick the next job per policy and remove it from the pending set. *)
@@ -105,7 +137,12 @@ let service_time st ~off ~len =
   let rot = rotational_delay st ~at:settled ~off in
   let xfer = Time.of_sec_f (float_of_int len /. st.g.media_rate) in
   st.head_cyl <- (off + len) / st.g.track_bytes;
-  st.g.command_overhead + seek + rot + xfer
+  Nfsg_stats.Histogram.add st.inst.m_seek_us (Time.to_us_f seek);
+  Nfsg_stats.Histogram.add st.inst.m_rot_us (Time.to_us_f rot);
+  Nfsg_stats.Histogram.add st.inst.m_xfer_us (Time.to_us_f xfer);
+  let total = st.g.command_overhead + seek + rot + xfer in
+  Nfsg_stats.Histogram.add st.inst.m_service_us (Time.to_us_f total);
+  total
 
 let check_bounds st ~off ~len =
   if off < 0 || len < 0 || off + len > st.g.capacity then
@@ -140,6 +177,8 @@ let daemon st () =
           Engine.delay d;
           if not st.crashed then begin
             account st ~len ~busy:d;
+            Nfsg_stats.Metrics.incr st.inst.m_reads;
+            Nfsg_stats.Metrics.add st.inst.m_bytes_read len;
             Ivar.fill reply (Bytes.sub st.platter off len)
           end
       | Write { off; data; reply } ->
@@ -152,6 +191,8 @@ let daemon st () =
           if not st.crashed then begin
             Bytes.blit data 0 st.platter off len;
             account st ~len ~busy:d;
+            Nfsg_stats.Metrics.incr st.inst.m_writes;
+            Nfsg_stats.Metrics.add st.inst.m_bytes_written len;
             Ivar.fill reply ()
           end
     end;
@@ -159,7 +200,9 @@ let daemon st () =
   in
   loop ()
 
-let create eng ?(name = "disk") ?(on_transaction = fun ~bytes:_ -> ()) ?(scheduler = Fifo) g =
+let create eng ?(name = "disk") ?metrics ?(on_transaction = fun ~bytes:_ -> ()) ?(scheduler = Fifo)
+    g =
+  let metrics = match metrics with Some m -> m | None -> Nfsg_stats.Metrics.create () in
   let st =
     {
       eng;
@@ -174,11 +217,15 @@ let create eng ?(name = "disk") ?(on_transaction = fun ~bytes:_ -> ()) ?(schedul
       bytes_moved = 0;
       busy = Time.zero;
       on_transaction;
+      inst = make_inst metrics ~name;
     }
   in
   Engine.spawn eng ~name:(name ^ "-daemon") (daemon st);
   let submit job =
     st.pending <- st.pending @ [ job ];
+    let depth = List.length st.pending in
+    Nfsg_stats.Histogram.add st.inst.m_queue_depth (float_of_int depth);
+    Nfsg_stats.Metrics.set_max st.inst.m_queue_gauge (float_of_int depth);
     Condition.signal st.arrived
   in
   let read ~off ~len =

@@ -39,13 +39,18 @@ type scheduler = Fifo | Elevator
 val create :
   Nfsg_sim.Engine.t ->
   ?name:string ->
+  ?metrics:Nfsg_stats.Metrics.t ->
   ?on_transaction:(bytes:int -> unit) ->
   ?scheduler:scheduler ->
   geometry ->
   Device.t
 (** A fresh zero-filled disk served by a spawned daemon process.
     [on_transaction] fires at each request completion, letting the
-    caller account driver/interrupt CPU cost. *)
+    caller account driver/interrupt CPU cost. [metrics] registers the
+    spindle's instruments under namespace ["disk.<name>"]: read/write
+    counters, the seek/rotation/transfer service-time split
+    (histograms, µs) and queue-depth distribution (private registry
+    when omitted). *)
 
 val seek_time : geometry -> cylinders:int -> distance:int -> Nfsg_sim.Time.t
 (** Exposed for tests: seek duration for a head movement of [distance]

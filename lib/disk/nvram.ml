@@ -25,6 +25,45 @@ let default_params =
     flush_idle = Time.of_ms_f 200.0;
   }
 
+(* Board instruments: what the cache absorbed, what it declined, how
+   big the drain transactions coalesced, and battery state. *)
+type inst = {
+  m_accepted : Nfsg_stats.Metrics.counter;
+  m_declined : Nfsg_stats.Metrics.counter;
+  m_passthrough : Nfsg_stats.Metrics.counter;
+  m_read_hits : Nfsg_stats.Metrics.counter;
+  m_read_misses : Nfsg_stats.Metrics.counter;
+  m_flushes : Nfsg_stats.Metrics.counter;
+  m_flush_retries : Nfsg_stats.Metrics.counter;
+  m_battery_failures : Nfsg_stats.Metrics.counter;
+  m_flush_bytes : Nfsg_stats.Histogram.t;
+  m_dirty_gauge : Nfsg_stats.Metrics.gauge;
+  m_dirty_peak : Nfsg_stats.Metrics.gauge;
+  m_battery_gauge : Nfsg_stats.Metrics.gauge;
+}
+
+let make_inst metrics ~name =
+  let module M = Nfsg_stats.Metrics in
+  let ns = "nvram." ^ name in
+  let i =
+    {
+      m_accepted = M.counter metrics ~ns "writes_accepted";
+      m_declined = M.counter metrics ~ns "writes_declined";
+      m_passthrough = M.counter metrics ~ns "writes_passthrough";
+      m_read_hits = M.counter metrics ~ns "read_hits";
+      m_read_misses = M.counter metrics ~ns "read_misses";
+      m_flushes = M.counter metrics ~ns "flushes";
+      m_flush_retries = M.counter metrics ~ns "flush_retries";
+      m_battery_failures = M.counter metrics ~ns "battery_failures";
+      m_flush_bytes = M.histogram metrics ~ns ~least:512.0 "flush_batch_bytes";
+      m_dirty_gauge = M.gauge metrics ~ns "dirty_bytes";
+      m_dirty_peak = M.gauge metrics ~ns "dirty_bytes_peak";
+      m_battery_gauge = M.gauge metrics ~ns "battery_ok";
+    }
+  in
+  M.set i.m_battery_gauge 1.0;
+  i
+
 type state = {
   eng : Engine.t;
   p : params;
@@ -40,11 +79,18 @@ type state = {
   more : Condition.t;  (** new dirty data *)
   space : Condition.t;  (** NVRAM space freed *)
   clean : Condition.t;  (** cache fully drained *)
+  inst : inst;
 }
 
 let used st =
   Extent_map.total_bytes st.dirty
   + match st.in_flight with Some (_, d) -> Bytes.length d | None -> 0
+
+let note_dirty st =
+  let module M = Nfsg_stats.Metrics in
+  let v = float_of_int (used st) in
+  M.set st.inst.m_dirty_gauge v;
+  M.set_max st.inst.m_dirty_peak v
 
 let is_clean st = Extent_map.is_empty st.dirty && st.in_flight = None
 
@@ -92,6 +138,10 @@ and flush_one st =
       match st.backing.Device.write ~off data with
       | () ->
           st.in_flight <- None;
+          Nfsg_stats.Metrics.incr st.inst.m_flushes;
+          Nfsg_stats.Histogram.add st.inst.m_flush_bytes
+            (float_of_int (Bytes.length data));
+          note_dirty st;
           if is_clean st then st.draining <- false;
           Condition.broadcast st.space;
           if is_clean st then Condition.broadcast st.clean
@@ -103,6 +153,7 @@ and flush_one st =
           Extent_map.insert st.dirty ~off data;
           st.in_flight <- None;
           st.flush_retries <- st.flush_retries + 1;
+          Nfsg_stats.Metrics.incr st.inst.m_flush_retries;
           Engine.delay (Time.of_ms_f 50.0))
 
 let spawn_flusher st =
@@ -147,13 +198,19 @@ let fail_battery dev =
   if st.battery_ok then begin
     st.battery_ok <- false;
     st.draining <- true;
+    Nfsg_stats.Metrics.incr st.inst.m_battery_failures;
+    Nfsg_stats.Metrics.set st.inst.m_battery_gauge 0.0;
     Condition.signal st.more
   end
 
-let repair_battery dev = (state_of dev).battery_ok <- true
+let repair_battery dev =
+  let st = state_of dev in
+  st.battery_ok <- true;
+  Nfsg_stats.Metrics.set st.inst.m_battery_gauge 1.0
 
-let create eng ?(name = "presto") ?(params = default_params) ?(cpu_charge = fun _ -> ())
-    backing =
+let create eng ?(name = "presto") ?(params = default_params) ?metrics
+    ?(cpu_charge = fun _ -> ()) backing =
+  let metrics = match metrics with Some m -> m | None -> Nfsg_stats.Metrics.create () in
   let st =
     {
       eng;
@@ -170,6 +227,7 @@ let create eng ?(name = "presto") ?(params = default_params) ?(cpu_charge = fun 
       more = Condition.create ();
       space = Condition.create ();
       clean = Condition.create ();
+      inst = make_inst metrics ~name;
     }
   in
   spawn_flusher st;
@@ -184,24 +242,33 @@ let create eng ?(name = "presto") ?(params = default_params) ?(cpu_charge = fun 
   let write ~off data =
     check_power ();
     let len = Bytes.length data in
-    if not st.battery_ok then
+    if not st.battery_ok then begin
       (* Battery fault: RAM is no longer stable storage, so the board
          may not acknowledge from it — synchronous pass-through. *)
+      Nfsg_stats.Metrics.incr st.inst.m_passthrough;
       st.backing.Device.write ~off data
-    else if len > st.p.accept_limit then
+    end
+    else if len > st.p.accept_limit then begin
       (* Declined: degrade to underlying device speed (paper 6.3). *)
+      Nfsg_stats.Metrics.incr st.inst.m_declined;
       st.backing.Device.write ~off data
+    end
     else begin
       while used st + len > st.p.capacity do
         Condition.wait st.space
       done;
       (* The battery may have failed while we waited for space. *)
-      if not st.battery_ok then st.backing.Device.write ~off data
+      if not st.battery_ok then begin
+        Nfsg_stats.Metrics.incr st.inst.m_passthrough;
+        st.backing.Device.write ~off data
+      end
       else begin
         let d = copy_time len in
         cpu_charge d;
         Engine.delay d;
         Extent_map.insert st.dirty ~off (Bytes.copy data);
+        Nfsg_stats.Metrics.incr st.inst.m_accepted;
+        note_dirty st;
         Condition.signal st.more
       end
     end
@@ -210,12 +277,14 @@ let create eng ?(name = "presto") ?(params = default_params) ?(cpu_charge = fun 
     check_power ();
     if Extent_map.covers st.dirty ~off ~len then begin
       (* Whole range cached: served from RAM at copy speed. *)
+      Nfsg_stats.Metrics.incr st.inst.m_read_hits;
       Engine.delay (copy_time len);
       let buf = Bytes.create len in
       overlay st ~off buf;
       buf
     end
     else begin
+      Nfsg_stats.Metrics.incr st.inst.m_read_misses;
       let buf = st.backing.Device.read ~off ~len in
       overlay st ~off buf;
       buf

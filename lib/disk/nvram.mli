@@ -29,13 +29,19 @@ val create :
   Nfsg_sim.Engine.t ->
   ?name:string ->
   ?params:params ->
+  ?metrics:Nfsg_stats.Metrics.t ->
   ?cpu_charge:(Nfsg_sim.Time.t -> unit) ->
   Device.t ->
   Device.t
 (** [create eng backing] — the returned device reports
     [accelerated = true]. [cpu_charge] is called with the duration of
     every NVRAM copy so the server CPU account sees the cost the paper
-    attributes to Presto ("copy data to NVRAM"). *)
+    attributes to Presto ("copy data to NVRAM"). [metrics] registers
+    the board's instruments under namespace ["nvram.<name>"]:
+    accepted/declined/pass-through write counters, read hit/miss
+    counters, flush counters, the [flush_batch_bytes] coalescing
+    histogram, and [dirty_bytes] / [battery_ok] gauges (private
+    registry when omitted). *)
 
 val dirty_bytes : Device.t -> int
 (** Dirty bytes currently in NVRAM of a device made by {!create}.

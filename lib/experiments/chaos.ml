@@ -70,18 +70,21 @@ let block_data blk = Bytes.init bs (fun j -> Char.chr ((j + block_fill blk) mod 
    fault instant derive from [cfg.seed], so two runs with equal configs
    produce identical timelines, identical final statistics and equal
    digests — the reproducibility invariant the test suite asserts. *)
-let run cfg =
+let run ?metrics cfg =
+  let metrics =
+    match metrics with Some m -> m | None -> Nfsg_stats.Metrics.create ()
+  in
   let eng = Engine.create () in
-  let segment = Segment.create eng ~seed:(cfg.seed lxor 0x5e11) Segment.fddi in
+  let segment = Segment.create eng ~seed:(cfg.seed lxor 0x5e11) ~metrics Segment.fddi in
   Segment.set_loss_prob segment cfg.loss_prob;
   Segment.set_dup_prob segment cfg.dup_prob;
-  let disk = Disk.create eng ~name:"rz26" Calib.disk_geometry in
+  let disk = Disk.create eng ~name:"rz26" ~metrics Calib.disk_geometry in
   let injector, faulty = Fault_disk.wrap eng ~seed:(cfg.seed lxor 0xfa01) disk in
   let device =
-    if cfg.accel then Nvram.create eng ~params:Calib.nvram_params faulty else faulty
+    if cfg.accel then Nvram.create eng ~params:Calib.nvram_params ~metrics faulty else faulty
   in
   let sconfig = { Server.default_config with Server.nfsds = cfg.nfsds; dupcache = cfg.dupcache } in
-  let server = ref (Server.make eng ~segment ~addr:"server" ~device sconfig) in
+  let server = ref (Server.make eng ~segment ~addr:"server" ~device ~metrics sconfig) in
 
   (* Observations (all plain counters: no wall clock, no global RNG). *)
   let timeline = ref [] in
@@ -248,7 +251,7 @@ let run cfg =
     let plan = Rng.create (cfg.seed lxor 0x9a7) in
     (* Bootstrap: create the shared ledger file, then unleash load. *)
     let boot_sock = Socket.create segment ~addr:"mut" () in
-    let boot_rpc = Rpc_client.create eng ~sock:boot_sock ~server:"server" () in
+    let boot_rpc = Rpc_client.create eng ~sock:boot_sock ~server:"server" ~metrics () in
     root_fh := Server.root_fh !server;
     (match
        Rpc_client.call boot_rpc ~klass:Rpc_client.Middle ~proc:Proto.proc_create
@@ -262,7 +265,7 @@ let run cfg =
     | _ -> failwith "chaos: victim create failed");
     for w = 0 to cfg.writers - 1 do
       let sock = Socket.create segment ~addr:(Printf.sprintf "w%d" w) () in
-      let rpc = Rpc_client.create eng ~sock ~server:"server" () in
+      let rpc = Rpc_client.create eng ~sock ~server:"server" ~metrics () in
       Engine.spawn eng ~name:(Printf.sprintf "writer%d" w) (writer w rpc)
     done;
     Engine.spawn eng ~name:"mutator" (mutator boot_rpc);

@@ -66,5 +66,10 @@ type result = {
   digest : string;  (** hex digest of timeline + ledger + counters *)
 }
 
-val run : config -> result
+val run : ?metrics:Nfsg_stats.Metrics.t -> config -> result
+(** Deterministic in [config] alone. [metrics] collects the instruments
+    of every layer the scenario builds (and both server incarnations
+    share it across restarts); a run's metrics JSON is as reproducible
+    as its digest. *)
+
 val pp_result : Format.formatter -> result -> unit

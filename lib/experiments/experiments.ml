@@ -433,3 +433,116 @@ let ablation_dumb_pc ?(quick = false) () =
        (fun s g -> 100.0 *. (s.Filecopy.client_kb_s -. g.Filecopy.client_kb_s) /. s.Filecopy.client_kb_s)
        std gat);
   report
+
+(* {1 The paper-table bench: BENCH_writegather.json}
+
+   One machine-readable artifact holding the paper's core comparison —
+   Standard vs Gathering vs Gathering+Prestoserve on the same FDDI
+   7-biod sequential-write workload — with the latency split and the
+   gather batch-size distribution the text tables cannot carry. Every
+   number comes from the per-rig metrics registry, so the JSON is a
+   pure function of the workload: same seed, same bytes. *)
+
+module Json = Nfsg_stats.Json
+module Metrics = Nfsg_stats.Metrics
+module Histogram = Nfsg_stats.Histogram
+
+let bench_biods = 7
+
+let bench_writegather ?(quick = false) ?total () =
+  let total = match total with Some t -> t | None -> size quick in
+  let writes = (total + 8191) / 8192 in
+  (* Each mode row must read its own registry — a shared --metrics-json
+     sink would accumulate one row's latency and batch histograms into
+     the next. Park the sink for the duration. *)
+  let saved_sink = Rig.metrics_sink () in
+  Rig.set_metrics_sink None;
+  Fun.protect ~finally:(fun () -> Rig.set_metrics_sink saved_sink) @@ fun () ->
+  let row ~mode ~gathering ~accel =
+    Gc.full_major ();
+    let spec = { Rig.default_spec with Rig.net = Calib.Fddi; gathering; accel } in
+    let rig = Rig.make spec in
+    let m = Rig.metrics rig in
+    Rig.run rig (fun () ->
+        let client = Rig.new_client rig ~biods:bench_biods "client" in
+        let d0 = Rig.spindle_stats rig in
+        let result, window =
+          Rig.measure rig (fun () ->
+              File_writer.run rig.Rig.eng client ~dir:(Rig.root rig) ~name:"bench.dat" ~total ())
+        in
+        let d1 = Rig.spindle_stats rig in
+        let fh, _ = Nfsg_nfs.Client.lookup client (Rig.root rig) "bench.dat" in
+        if not (File_writer.verify client ~fh ~total ~seed:7) then
+          failwith "bench_writegather: read-back mismatch";
+        let trans = d1.Nfsg_disk.Device.transactions - d0.Nfsg_disk.Device.transactions in
+        let lat =
+          match Metrics.find_histogram m ~ns:"nfs.client" "lat_us_WRITE" with
+          | Some h ->
+              Json.Obj
+                [
+                  ("mean_us", Json.Float (Histogram.mean h));
+                  ("p50_us", Json.Float (Histogram.median h));
+                  ("p99_us", Json.Float (Histogram.p99 h));
+                ]
+          | None -> Json.Null
+        in
+        let batch =
+          match Metrics.find_histogram m ~ns:"write_layer" "batch_size" with
+          | Some h ->
+              Json.Obj
+                [
+                  ( "mean",
+                    Json.Float
+                      (Write_layer.mean_batch_size (Server.write_layer rig.Rig.server)) );
+                  ( "histogram",
+                    Json.List
+                      (List.map
+                         (fun (lo, hi, n) ->
+                           Json.List [ Json.Float lo; Json.Float hi; Json.Int n ])
+                         (Histogram.buckets h)) );
+                ]
+          | None -> Json.Null
+        in
+        let saved =
+          Option.value ~default:0
+            (Metrics.find_counter m ~ns:"write_layer" "metadata_flushes_saved")
+        in
+        Json.Obj
+          [
+            ("mode", Json.String mode);
+            ("throughput_kb_s", Json.Float result.File_writer.kb_per_sec);
+            ("cpu_pct", Json.Float window.Rig.cpu_pct);
+            ("latency", lat);
+            ( "disk",
+              Json.Obj
+                [
+                  ("transactions", Json.Int trans);
+                  ("kb_s", Json.Float window.Rig.disk_kb_s);
+                  ( "ops_per_8k_write",
+                    Json.Float (float_of_int trans /. float_of_int writes) );
+                ] );
+            ("metadata_flushes_saved", Json.Int saved);
+            ("batch_size", batch);
+          ])
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "nfsgather-bench/1");
+      ("bench", Json.String "writegather");
+      ( "workload",
+        Json.Obj
+          [
+            ("net", Json.String "fddi");
+            ("biods", Json.Int bench_biods);
+            ("total_bytes", Json.Int total);
+            ("block_bytes", Json.Int 8192);
+            ("writes", Json.Int writes);
+          ] );
+      ( "rows",
+        Json.List
+          [
+            row ~mode:"standard" ~gathering:false ~accel:false;
+            row ~mode:"gathering" ~gathering:true ~accel:false;
+            row ~mode:"nvram" ~gathering:true ~accel:true;
+          ] );
+    ]

@@ -88,3 +88,16 @@ val extension_write_modes : ?quick:bool -> unit -> Nfsg_stats.Report.t
 (** Standard vs gathering vs "dangerous mode" (async volatile acks,
     section 4.3): what the shortcut buys, next to what the crash tests
     show it costs. *)
+
+(** {1 Machine-readable bench} *)
+
+val bench_writegather : ?quick:bool -> ?total:int -> unit -> Nfsg_stats.Json.t
+(** The paper's core comparison as one JSON document
+    ([BENCH_writegather.json]): Standard vs Gathering vs
+    Gathering+Prestoserve on the FDDI 7-biod sequential write workload.
+    Each row carries client throughput, server CPU, the WRITE latency
+    split (mean/p50/p99 µs, from the client-side per-procedure
+    histograms), disk transactions (total, KB/s and per 8 KB write),
+    metadata flushes saved, and the gather batch-size histogram.
+    Deterministic: same [total], same bytes. [total] overrides the
+    workload size (default: the [quick]-dependent file-copy size). *)

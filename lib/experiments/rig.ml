@@ -9,6 +9,7 @@ module Server = Nfsg_core.Server
 module Write_layer = Nfsg_core.Write_layer
 module Client = Nfsg_nfs.Client
 module Rpc_client = Nfsg_rpc.Rpc_client
+module Metrics = Nfsg_stats.Metrics
 
 type spec = {
   net : Calib.net;
@@ -42,11 +43,21 @@ type t = {
   device : Device.t;
   server : Server.t;
   trace : Nfsg_stats.Trace.t option;
+  metrics : Metrics.t;
 }
+
+(* Optional shared sink: lets a CLI flag collect the instruments of
+   every world an experiment builds into one registry without threading
+   a parameter through every table/figure function. *)
+let sink : Metrics.t option ref = ref None
+let set_metrics_sink m = sink := m
+let metrics_sink () = !sink
+let metrics t = t.metrics
 
 let make spec =
   let eng = Engine.create () in
-  let segment = Segment.create eng (Calib.segment_params spec.net) in
+  let metrics = match !sink with Some m -> m | None -> Metrics.create () in
+  let segment = Segment.create eng ~metrics (Calib.segment_params spec.net) in
   (* Forward reference: devices exist before the server CPU does. *)
   let cpu_hook = ref (fun (_ : Time.t) -> ()) in
   let costs = Calib.cpu_costs spec.net in
@@ -55,6 +66,7 @@ let make spec =
     Array.init spec.spindles (fun i ->
         Disk.create eng
           ~name:(Printf.sprintf "rz26-%d" i)
+          ~metrics
           ~on_transaction:(fun ~bytes:_ -> !cpu_hook driver_cost)
           ~scheduler:spec.disk_scheduler Calib.disk_geometry)
   in
@@ -70,7 +82,8 @@ let make spec =
   in
   let device =
     if spec.accel then
-      Nvram.create eng ~params:Calib.nvram_params ~cpu_charge:(fun d -> !cpu_hook d) base
+      Nvram.create eng ~params:Calib.nvram_params ~metrics ~cpu_charge:(fun d -> !cpu_hook d)
+        base
     else base
   in
   let config =
@@ -82,14 +95,14 @@ let make spec =
       cache_blocks = spec.cache_blocks;
     }
   in
-  let server = Server.make eng ~segment ~addr:"server" ~device ?trace config in
+  let server = Server.make eng ~segment ~addr:"server" ~device ?trace ~metrics config in
   (cpu_hook := fun d -> Resource.charge (Server.cpu server) d);
-  { eng; segment; disks; device; server; trace }
+  { eng; segment; disks; device; server; trace; metrics }
 
 let new_client t ?(biods = 4) ?(protocol = Client.V2) addr =
   let sock = Socket.create t.segment ~addr () in
-  let rpc = Rpc_client.create t.eng ~sock ~server:"server" () in
-  Client.create t.eng ~rpc ~biods ~protocol ()
+  let rpc = Rpc_client.create t.eng ~sock ~server:"server" ~metrics:t.metrics () in
+  Client.create t.eng ~rpc ~biods ~protocol ~metrics:t.metrics ()
 
 let root t = Server.root_fh t.server
 

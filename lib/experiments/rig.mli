@@ -28,9 +28,26 @@ type t = {
   device : Nfsg_disk.Device.t;
   server : Nfsg_core.Server.t;
   trace : Nfsg_stats.Trace.t option;
+  metrics : Nfsg_stats.Metrics.t;
 }
 
 val make : spec -> t
+(** Every layer of the world registers its instruments in [metrics]: a
+    fresh registry per rig, unless {!set_metrics_sink} installed a
+    shared one. *)
+
+val metrics : t -> Nfsg_stats.Metrics.t
+
+val set_metrics_sink : Nfsg_stats.Metrics.t option -> unit
+(** Install (or clear) a process-wide registry that every subsequent
+    {!make} reports into instead of a private one — how [--metrics-json]
+    collects an experiment's instruments across the many worlds it
+    builds. Instruments accumulate across worlds by find-or-create. *)
+
+val metrics_sink : unit -> Nfsg_stats.Metrics.t option
+(** The currently installed shared sink, if any — lets an experiment
+    that needs per-world isolation (e.g. the writegather bench rows)
+    save, clear and restore it. *)
 
 val new_client :
   t -> ?biods:int -> ?protocol:Nfsg_nfs.Client.protocol -> string -> Nfsg_nfs.Client.t

@@ -1,4 +1,5 @@
 open Nfsg_sim
+module Metrics = Nfsg_stats.Metrics
 
 type params = {
   bandwidth : float;
@@ -48,21 +49,21 @@ type t = {
   mutable dup : float;  (** runtime duplication probability *)
   mutable partitions : (string * string * Time.t) list;
       (** blacked-out unordered address pairs, with expiry instants *)
-  mutable sent : int;
-  mutable lost : int;
-  mutable duplicated : int;
-  mutable blackholed : int;
-  mutable bytes : int;
+  sent : Metrics.counter;
+  lost : Metrics.counter;
+  duplicated : Metrics.counter;
+  blackholed : Metrics.counter;
+  bytes : Metrics.counter;
   mutable busy : Time.t;
 }
 
 let params t = t.p
 let engine t = t.eng
-let datagrams_sent t = t.sent
-let datagrams_lost t = t.lost
-let datagrams_duplicated t = t.duplicated
-let datagrams_blackholed t = t.blackholed
-let bytes_sent t = t.bytes
+let datagrams_sent t = Metrics.value t.sent
+let datagrams_lost t = Metrics.value t.lost
+let datagrams_duplicated t = Metrics.value t.duplicated
+let datagrams_blackholed t = Metrics.value t.blackholed
+let bytes_sent t = Metrics.value t.bytes
 let busy_time t = t.busy
 
 let loss_prob t = t.loss
@@ -118,18 +119,18 @@ let daemon t () =
     let size = Bytes.length payload in
     let occupancy = wire_time t.p size in
     Engine.delay occupancy;
-    t.sent <- t.sent + 1;
-    t.bytes <- t.bytes + size;
+    Metrics.incr t.sent;
+    Metrics.add t.bytes size;
     t.busy <- t.busy + occupancy;
-    if partitioned t ~a:src ~b:dst then t.blackholed <- t.blackholed + 1
-    else if Rng.bool t.rng t.loss then t.lost <- t.lost + 1
+    if partitioned t ~a:src ~b:dst then Metrics.incr t.blackholed
+    else if Rng.bool t.rng t.loss then Metrics.incr t.lost
     else begin
       let nfrags = fragments_of t.p size in
       deliver_to t ~src ~dst ~nfrags ~size payload;
       (* Datagram duplication (a misbehaving bridge): the copy arrives
          one extra latency later, exercising the duplicate cache. *)
       if t.dup > 0.0 && Rng.bool t.rng t.dup then begin
-        t.duplicated <- t.duplicated + 1;
+        Metrics.incr t.duplicated;
         Engine.schedule t.eng ~after:t.p.latency (fun () ->
             deliver_to t ~src ~dst ~nfrags ~size payload)
       end
@@ -138,7 +139,9 @@ let daemon t () =
   in
   loop ()
 
-let create eng ?(seed = 0x5e9) p =
+let create eng ?(seed = 0x5e9) ?metrics p =
+  let m = match metrics with Some m -> m | None -> Metrics.create () in
+  let ns = "net" in
   let t =
     {
       eng;
@@ -149,11 +152,11 @@ let create eng ?(seed = 0x5e9) p =
       loss = p.loss_prob;
       dup = 0.0;
       partitions = [];
-      sent = 0;
-      lost = 0;
-      duplicated = 0;
-      blackholed = 0;
-      bytes = 0;
+      sent = Metrics.counter m ~ns "datagrams_sent";
+      lost = Metrics.counter m ~ns "datagrams_lost";
+      duplicated = Metrics.counter m ~ns "datagrams_duplicated";
+      blackholed = Metrics.counter m ~ns "datagrams_blackholed";
+      bytes = Metrics.counter m ~ns "bytes_sent";
       busy = Time.zero;
     }
   in

@@ -39,7 +39,11 @@ val fddi : params
 
 type t
 
-val create : Nfsg_sim.Engine.t -> ?seed:int -> params -> t
+val create : Nfsg_sim.Engine.t -> ?seed:int -> ?metrics:Nfsg_stats.Metrics.t -> params -> t
+(** [metrics] registers sent/lost/duplicated/blackholed datagram and
+    byte counters under namespace ["net"] (private registry when
+    omitted). *)
+
 val params : t -> params
 val engine : t -> Nfsg_sim.Engine.t
 

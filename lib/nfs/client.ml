@@ -1,6 +1,7 @@
 open Nfsg_sim
 module Rpc = Nfsg_rpc.Rpc
 module Rpc_client = Nfsg_rpc.Rpc_client
+module Metrics = Nfsg_stats.Metrics
 
 exception Error of Proto.status
 exception Verifier_changed
@@ -14,6 +15,7 @@ type t = {
   nbiods : int;
   block_size : int;
   protocol : protocol;
+  metrics : Metrics.t;
   mutable wire_writes : int;
   mutable commits : int;
   mutable bytes_written : int;
@@ -26,8 +28,9 @@ let commits_sent t = t.commits
 let bytes_written t = t.bytes_written
 let last_write_mtimes t = List.rev t.mtimes
 
-let create eng ~rpc ?(biods = 4) ?(block_size = 8192) ?(protocol = V2) () =
+let create eng ~rpc ?(biods = 4) ?(block_size = 8192) ?(protocol = V2) ?metrics () =
   if biods < 0 then invalid_arg "Client.create: negative biod count";
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   {
     eng;
     rpc;
@@ -35,6 +38,7 @@ let create eng ~rpc ?(biods = 4) ?(block_size = 8192) ?(protocol = V2) () =
     nbiods = biods;
     block_size;
     protocol;
+    metrics;
     wire_writes = 0;
     commits = 0;
     bytes_written = 0;
@@ -45,9 +49,15 @@ let create eng ~rpc ?(biods = 4) ?(block_size = 8192) ?(protocol = V2) () =
 
 let do_call t ~klass args =
   let proc = Proto.proc_of_args args in
-  let stat, body = Rpc_client.call t.rpc ~klass ~proc (Proto.encode_args args) in
-  if stat <> Rpc.Success then raise (Error Proto.NFSERR_IO);
-  Proto.decode_res ~proc body
+  (* Per-procedure completion latency, as the application sees it:
+     includes every retransmission and RTO wait inside the call. *)
+  let h =
+    Metrics.histogram t.metrics ~ns:"nfs.client" ("lat_us_" ^ Proto.proc_name proc)
+  in
+  Metrics.span t.eng h (fun () ->
+      let stat, body = Rpc_client.call t.rpc ~klass ~proc (Proto.encode_args args) in
+      if stat <> Rpc.Success then raise (Error Proto.NFSERR_IO);
+      Proto.decode_res ~proc body)
 
 let attr_result = function
   | Proto.RAttr (Ok a) -> a

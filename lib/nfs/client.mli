@@ -30,6 +30,7 @@ val create :
   ?biods:int ->
   ?block_size:int ->
   ?protocol:protocol ->
+  ?metrics:Nfsg_stats.Metrics.t ->
   unit ->
   t
 (** [biods] defaults to 4 (a typical workstation); 0 means a fully

@@ -1,4 +1,5 @@
 open Nfsg_sim
+module Metrics = Nfsg_stats.Metrics
 
 type state = In_flight | Done of Bytes.t * Time.t
 
@@ -11,32 +12,74 @@ type t = {
   capacity : int;
   ttl : Time.t;
   table : (string * int, entry) Hashtbl.t;
-  mutable drops : int;
-  mutable replays : int;
+  m_drops : Metrics.counter;
+  m_replays : Metrics.counter;
+  m_evictions : Metrics.counter;
+  m_expirations : Metrics.counter;
+  m_overflows : Metrics.counter;
 }
 
-let create eng ?(capacity = 512) ?(ttl = Time.sec 6) () =
-  { eng; capacity; ttl; table = Hashtbl.create 256; drops = 0; replays = 0 }
+let ns = "rpc.dupcache"
+
+let create eng ?(capacity = 512) ?(ttl = Time.sec 6) ?metrics () =
+  let m = match metrics with Some m -> m | None -> Metrics.create () in
+  {
+    eng;
+    capacity;
+    ttl;
+    table = Hashtbl.create 256;
+    m_drops = Metrics.counter m ~ns "drops";
+    m_replays = Metrics.counter m ~ns "replays";
+    m_evictions = Metrics.counter m ~ns "evictions";
+    m_expirations = Metrics.counter m ~ns "expirations";
+    m_overflows = Metrics.counter m ~ns "overflows";
+  }
 
 let entries t = Hashtbl.length t.table
-let drops t = t.drops
-let replays t = t.replays
+let drops t = Metrics.value t.m_drops
+let replays t = Metrics.value t.m_replays
+let evictions t = Metrics.value t.m_evictions
+let overflows t = Metrics.value t.m_overflows
 
-let evict_if_full t =
-  if Hashtbl.length t.table >= t.capacity then begin
-    (* Evict the least recently touched completed entry; in-flight
-       entries are pinned. *)
-    let victim = ref None in
-    Hashtbl.iter
-      (fun k e ->
+(* Make room for one insertion. First drop every completed entry whose
+   TTL has lapsed (it can never be replayed again, only re-executed, so
+   keeping it buys nothing); if the table is still at capacity, evict
+   the least recently touched completed entries until one slot is free.
+   In-flight entries are pinned — with every slot pinned there is no
+   room, and the caller must not insert. *)
+let make_room t =
+  let now = Engine.now t.eng in
+  let expired =
+    Hashtbl.fold
+      (fun k e acc ->
         match e.state with
-        | In_flight -> ()
-        | Done _ -> (
-            match !victim with
-            | Some (_, ve) when ve.last_touch <= e.last_touch -> ()
-            | _ -> victim := Some (k, e)))
-      t.table;
-    match !victim with Some (k, _) -> Hashtbl.remove t.table k | None -> ()
+        | Done (_, at) when now - at > t.ttl -> k :: acc
+        | Done _ | In_flight -> acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) expired;
+  Metrics.add t.m_expirations (List.length expired);
+  if Hashtbl.length t.table < t.capacity then true
+  else begin
+    (* Oldest first; ties broken by key so eviction order never depends
+       on hash-table iteration order. *)
+    let victims =
+      Hashtbl.fold
+        (fun k e acc -> match e.state with Done _ -> (e.last_touch, k) :: acc | In_flight -> acc)
+        t.table []
+      |> List.sort compare
+    in
+    let excess = Hashtbl.length t.table - t.capacity + 1 in
+    let evicted = ref 0 in
+    List.iteri
+      (fun i (_, k) ->
+        if i < excess then begin
+          Hashtbl.remove t.table k;
+          incr evicted
+        end)
+      victims;
+    Metrics.add t.m_evictions !evicted;
+    Hashtbl.length t.table < t.capacity
   end
 
 let admit t ~client ~xid =
@@ -47,11 +90,11 @@ let admit t ~client ~xid =
       e.last_touch <- now;
       match e.state with
       | In_flight ->
-          t.drops <- t.drops + 1;
+          Metrics.incr t.m_drops;
           In_progress
       | Done (reply, at) ->
           if now - at <= t.ttl then begin
-            t.replays <- t.replays + 1;
+            Metrics.incr t.m_replays;
             Replay reply
           end
           else begin
@@ -59,8 +102,13 @@ let admit t ~client ~xid =
             New
           end)
   | None ->
-      evict_if_full t;
-      Hashtbl.replace t.table key { state = In_flight; last_touch = now };
+      if make_room t then
+        Hashtbl.replace t.table key { state = In_flight; last_touch = now }
+      else
+        (* Every slot holds an in-flight request: execute uncached. A
+           retransmission of this request during execution will not be
+           recognised — the price of a bounded table under overload. *)
+        Metrics.incr t.m_overflows;
       New
 
 let complete t ~client ~xid reply =

@@ -14,9 +14,22 @@ type verdict =
   | In_progress  (** drop: an nfsd is already on it *)
   | Replay of Bytes.t  (** retransmit this cached reply *)
 
-val create : Nfsg_sim.Engine.t -> ?capacity:int -> ?ttl:Nfsg_sim.Time.t -> unit -> t
-(** [capacity] bounds entries (default 512, LRU eviction); [ttl] is how
-    long a completed reply stays replayable (default 6 s). *)
+val create :
+  Nfsg_sim.Engine.t ->
+  ?capacity:int ->
+  ?ttl:Nfsg_sim.Time.t ->
+  ?metrics:Nfsg_stats.Metrics.t ->
+  unit ->
+  t
+(** [capacity] is a hard bound on entries; [ttl] is how long a completed
+    reply stays replayable (default 6 s). Admitting a new request first
+    drops TTL-expired completed entries, then evicts least-recently
+    touched completed entries (oldest first, deterministic tie-break)
+    until the table is under capacity. In-flight entries are never
+    evicted; if every slot is in flight the new request executes
+    {e uncached} (an overflow) rather than growing the table. [metrics]
+    registers drop/replay/eviction/expiration/overflow counters under
+    namespace ["rpc.dupcache"] (private registry when omitted). *)
 
 val admit : t -> client:string -> xid:int -> verdict
 
@@ -32,3 +45,11 @@ val drops : t -> int
 (** Requests dropped as in-progress duplicates. *)
 
 val replays : t -> int
+
+val evictions : t -> int
+(** Completed entries evicted to make room (TTL expirations not
+    included). *)
+
+val overflows : t -> int
+(** Requests executed uncached because every slot held an in-flight
+    request. *)

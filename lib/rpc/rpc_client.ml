@@ -1,4 +1,5 @@
 open Nfsg_sim
+module Metrics = Nfsg_stats.Metrics
 
 type op_class = Light | Middle | Heavy
 
@@ -24,14 +25,16 @@ type t = {
   pending : (int, (Rpc.accept_stat * Bytes.t) option -> unit) Hashtbl.t;
   rtt : (op_class, rtt_state) Hashtbl.t;
   mutable next_xid : int;
-  mutable sent : int;
-  mutable retrans : int;
-  mutable stale : int;
+  sent : Metrics.counter;
+  retrans : Metrics.counter;
+  stale : Metrics.counter;
+  timeouts : Metrics.counter;
+  rtt_us : Nfsg_stats.Histogram.t;
 }
 
-let calls_sent t = t.sent
-let retransmissions t = t.retrans
-let stale_replies t = t.stale
+let calls_sent t = Metrics.value t.sent
+let retransmissions t = Metrics.value t.retrans
+let stale_replies t = Metrics.value t.stale
 
 let demux t () =
   let rec loop () =
@@ -43,12 +46,14 @@ let demux t () =
         | Some deliver ->
             Hashtbl.remove t.pending reply.Rpc.rxid;
             deliver (Some (reply.Rpc.stat, reply.Rpc.rbody))
-        | None -> t.stale <- t.stale + 1));
+        | None -> Metrics.incr t.stale));
     loop ()
   in
   loop ()
 
-let create eng ~sock ~server ?(params = default_params) () =
+let create eng ~sock ~server ?(params = default_params) ?metrics () =
+  let m = match metrics with Some m -> m | None -> Metrics.create () in
+  let ns = "rpc.client" in
   let t =
     {
       eng;
@@ -58,9 +63,11 @@ let create eng ~sock ~server ?(params = default_params) () =
       pending = Hashtbl.create 64;
       rtt = Hashtbl.create 4;
       next_xid = 1;
-      sent = 0;
-      retrans = 0;
-      stale = 0;
+      sent = Metrics.counter m ~ns "datagrams_sent";
+      retrans = Metrics.counter m ~ns "retransmissions";
+      stale = Metrics.counter m ~ns "stale_replies";
+      timeouts = Metrics.counter m ~ns "timeouts";
+      rtt_us = Metrics.histogram m ~ns "rtt_us";
     }
   in
   Engine.spawn eng ~name:(Nfsg_net.Socket.addr sock ^ "-rpc-demux") (demux t);
@@ -111,11 +118,14 @@ let call t ?(klass = Middle) ~proc body =
       { Rpc.xid; prog = Rpc.nfs_program; vers = Rpc.nfs_version; proc; body }
   in
   let rec attempt n rto =
-    if n > t.params.max_attempts then raise (Timeout proc);
+    if n > t.params.max_attempts then begin
+      Metrics.incr t.timeouts;
+      raise (Timeout proc)
+    end;
     let sent_at = Engine.now t.eng in
     Nfsg_net.Socket.send t.sock ~dst:t.server payload;
-    t.sent <- t.sent + 1;
-    if n > 1 then t.retrans <- t.retrans + 1;
+    Metrics.incr t.sent;
+    if n > 1 then Metrics.incr t.retrans;
     let outcome =
       Engine.suspend (fun wake ->
           let tm =
@@ -131,7 +141,9 @@ let call t ?(klass = Middle) ~proc body =
     in
     match outcome with
     | Some reply ->
-        note_rtt t klass (Engine.now t.eng - sent_at);
+        let rtt = Engine.now t.eng - sent_at in
+        note_rtt t klass rtt;
+        Nfsg_stats.Histogram.add t.rtt_us (Time.to_us_f rtt);
         reply
     | None -> attempt (n + 1) (Stdlib.min t.params.max_rto (2 * rto))
   in

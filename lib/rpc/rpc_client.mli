@@ -28,7 +28,16 @@ exception Timeout of int
 (** Procedure number that exhausted its attempts. *)
 
 val create :
-  Nfsg_sim.Engine.t -> sock:Nfsg_net.Socket.t -> server:string -> ?params:params -> unit -> t
+  Nfsg_sim.Engine.t ->
+  sock:Nfsg_net.Socket.t ->
+  server:string ->
+  ?params:params ->
+  ?metrics:Nfsg_stats.Metrics.t ->
+  unit ->
+  t
+(** [metrics] registers sent/retransmission/stale/timeout counters and
+    the [rtt_us] round-trip histogram under namespace ["rpc.client"]
+    (private registry when omitted). *)
 
 val call :
   t -> ?klass:op_class -> proc:int -> Bytes.t -> Rpc.accept_stat * Bytes.t

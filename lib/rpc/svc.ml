@@ -1,4 +1,5 @@
 open Nfsg_sim
+module Metrics = Nfsg_stats.Metrics
 
 type transport = {
   id : int;
@@ -17,18 +18,20 @@ type t = {
   free_handles : transport Queue.t;
   mutable next_id : int;
   mutable outstanding : int;
-  mutable received : int;
-  mutable garbage : int;
-  mutable dispatch_errors : int;
+  received : Metrics.counter;
+  garbage : Metrics.counter;
+  dispatch_errors : Metrics.counter;
+  dup_drops : Metrics.counter;
+  dup_replays : Metrics.counter;
 }
 
 let client_of tr = tr.client
 let xid_of tr = tr.xid
 let handles_outstanding t = t.outstanding
 let handle_cache_size t = Queue.length t.free_handles
-let requests_received t = t.received
-let garbage_dropped t = t.garbage
-let dispatch_errors t = t.dispatch_errors
+let requests_received t = Metrics.value t.received
+let garbage_dropped t = Metrics.value t.garbage
+let dispatch_errors t = Metrics.value t.dispatch_errors
 
 let take_handle t ~client ~xid =
   let tr =
@@ -58,9 +61,9 @@ let send_reply t tr stat body =
 let svc_run t dispatch () =
   let rec loop () =
     let client, datagram = Nfsg_net.Socket.recv t.sock in
-    t.received <- t.received + 1;
+    Metrics.incr t.received;
     (match Rpc.decode_call datagram with
-    | exception Xdr.Dec.Error _ -> t.garbage <- t.garbage + 1
+    | exception Xdr.Dec.Error _ -> Metrics.incr t.garbage
     | call -> (
         let verdict =
           match t.dupcache with
@@ -68,8 +71,12 @@ let svc_run t dispatch () =
           | Some dc -> Dupcache.admit dc ~client ~xid:call.Rpc.xid
         in
         match verdict with
-        | Dupcache.In_progress -> t.on_duplicate_drop ~client call
-        | Dupcache.Replay reply -> Nfsg_net.Socket.send t.sock ~dst:client reply
+        | Dupcache.In_progress ->
+            Metrics.incr t.dup_drops;
+            t.on_duplicate_drop ~client call
+        | Dupcache.Replay reply ->
+            Metrics.incr t.dup_replays;
+            Nfsg_net.Socket.send t.sock ~dst:client reply
         | Dupcache.New -> (
             let tr = take_handle t ~client ~xid:call.Rpc.xid in
             match dispatch tr call with
@@ -88,7 +95,7 @@ let svc_run t dispatch () =
                    error reply is deliberately NOT cached. If the
                    dispatch had already replied before raising, the
                    completed cache entry is correct — keep it. *)
-                t.dispatch_errors <- t.dispatch_errors + 1;
+                Metrics.incr t.dispatch_errors;
                 if tr.live then begin
                   (match t.dupcache with
                   | Some dc -> Dupcache.forget dc ~client ~xid:call.Rpc.xid
@@ -99,9 +106,11 @@ let svc_run t dispatch () =
   in
   loop ()
 
-let create eng ~sock ?dupcache ?(on_duplicate_drop = fun ~client:_ _ -> ()) ~nfsds ~dispatch ()
-    =
+let create eng ~sock ?dupcache ?(on_duplicate_drop = fun ~client:_ _ -> ()) ?metrics ~nfsds
+    ~dispatch () =
   if nfsds <= 0 then invalid_arg "Svc.create: need at least one nfsd";
+  let m = match metrics with Some m -> m | None -> Metrics.create () in
+  let ns = "rpc.svc" in
   let t =
     {
       eng;
@@ -111,9 +120,11 @@ let create eng ~sock ?dupcache ?(on_duplicate_drop = fun ~client:_ _ -> ()) ~nfs
       free_handles = Queue.create ();
       next_id = 0;
       outstanding = 0;
-      received = 0;
-      garbage = 0;
-      dispatch_errors = 0;
+      received = Metrics.counter m ~ns "received";
+      garbage = Metrics.counter m ~ns "garbage";
+      dispatch_errors = Metrics.counter m ~ns "dispatch_errors";
+      dup_drops = Metrics.counter m ~ns "duplicate_drops";
+      dup_replays = Metrics.counter m ~ns "duplicate_replays";
     }
   in
   for i = 0 to nfsds - 1 do

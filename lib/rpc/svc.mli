@@ -24,6 +24,7 @@ val create :
   sock:Nfsg_net.Socket.t ->
   ?dupcache:Dupcache.t ->
   ?on_duplicate_drop:(client:string -> Rpc.call -> unit) ->
+  ?metrics:Nfsg_stats.Metrics.t ->
   nfsds:int ->
   dispatch:(transport -> Rpc.call -> disposition) ->
   unit ->
@@ -31,7 +32,9 @@ val create :
 (** Spawns [nfsds] server daemons named nfsd0..n. [on_duplicate_drop]
     fires when an in-progress duplicate is discarded — the hook the
     write-gathering layer uses to avoid orphaned gathered writes
-    (section 6.9). *)
+    (section 6.9). [metrics] registers received/garbage/dispatch-error
+    and duplicate drop/replay counters under namespace ["rpc.svc"]
+    (private registry when omitted). *)
 
 val send_reply : t -> transport -> Rpc.accept_stat -> Bytes.t -> unit
 (** Complete a delayed (or immediate) reply: encode, transmit, record

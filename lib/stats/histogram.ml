@@ -19,6 +19,15 @@ let bucket_of h x =
     Stdlib.min i (Array.length h.counts - 1)
 
 let upper_edge h i = if i = 0 then h.least else h.least *. (h.growth ** float_of_int i)
+let lower_edge h i = if i = 0 then 0.0 else h.least *. (h.growth ** float_of_int (i - 1))
+
+(* Representative value of a bucket: the geometric midpoint of its
+   edges, which splits the bucket's relative error evenly — the upper
+   edge overstates by up to [growth - 1]. The underflow bucket [0,
+   least) has no geometric midpoint (its lower edge is 0); its
+   arithmetic midpoint stands in. *)
+let midpoint h i =
+  if i = 0 then h.least /. 2.0 else sqrt (lower_edge h i *. upper_edge h i)
 
 let add h x =
   let i = bucket_of h x in
@@ -27,19 +36,24 @@ let add h x =
   h.total <- h.total +. x
 
 let count h = h.n
+let total h = h.total
 let mean h = if h.n = 0 then 0.0 else h.total /. float_of_int h.n
 
 let quantile h q =
   if h.n = 0 then 0.0
   else begin
-    let target = int_of_float (Float.round (q *. float_of_int (h.n - 1))) in
-    let seen = ref 0 and result = ref (upper_edge h (Array.length h.counts - 1)) in
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    (* q = 1.0 must land on the last sample, not past it. *)
+    let target =
+      Stdlib.min (h.n - 1) (int_of_float (Float.round (q *. float_of_int (h.n - 1))))
+    in
+    let seen = ref 0 and result = ref (midpoint h (Array.length h.counts - 1)) in
     (try
        Array.iteri
          (fun i c ->
            seen := !seen + c;
            if !seen > target then begin
-             result := upper_edge h i;
+             result := midpoint h i;
              raise Exit
            end)
          h.counts
@@ -49,6 +63,22 @@ let quantile h q =
 
 let median h = quantile h 0.5
 let p99 h = quantile h 0.99
+
+let buckets h =
+  let acc = ref [] in
+  for i = Array.length h.counts - 1 downto 0 do
+    if h.counts.(i) > 0 then acc := (lower_edge h i, upper_edge h i, h.counts.(i)) :: !acc
+  done;
+  !acc
+
+let merge_into ~into src =
+  if
+    into.least <> src.least || into.growth <> src.growth
+    || Array.length into.counts <> Array.length src.counts
+  then invalid_arg "Histogram.merge_into: shape mismatch";
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+  into.n <- into.n + src.n;
+  into.total <- into.total +. src.total
 
 let reset h =
   Array.fill h.counts 0 (Array.length h.counts) 0;

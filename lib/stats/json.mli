@@ -1,0 +1,28 @@
+(** Minimal JSON values with a deterministic printer.
+
+    Built for the metrics reporter and the benchmark trajectory files:
+    no external dependency, one canonical rendering per value (integral
+    floats print without a fraction, others with 9 significant digits),
+    so identical metric values always serialize to identical bytes. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize. [pretty] adds two-space indentation and a trailing
+    newline; both forms are deterministic. Non-finite floats render as
+    [null]. *)
+
+(** {1 Accessors} (for tests and report post-processing) *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option

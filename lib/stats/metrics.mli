@@ -1,0 +1,62 @@
+(** Typed metrics registry: counters, gauges and log-bucketed
+    histograms under per-subsystem namespaces, with a deterministic
+    JSON reporter.
+
+    Registration is {e find-or-create}: asking for an instrument that
+    already exists returns the existing one (a restarted server keeps
+    counting where its previous incarnation stopped; several simulated
+    worlds can share one registry and accumulate). Asking for a name
+    that exists with a different kind raises [Invalid_argument].
+
+    Everything here is driven by the simulation, so a registry's JSON
+    is a pure function of the run: same seed, same bytes. *)
+
+type t
+type counter
+type gauge
+
+val create : unit -> t
+
+(** {1 Registration} *)
+
+val counter : t -> ns:string -> string -> counter
+val gauge : t -> ns:string -> string -> gauge
+
+val histogram :
+  t -> ns:string -> ?least:float -> ?growth:float -> ?buckets:int -> string -> Histogram.t
+(** Bucket parameters are used only on first registration; later calls
+    return the existing histogram unchanged. *)
+
+(** {1 Instrument operations} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val set : gauge -> float -> unit
+val set_max : gauge -> float -> unit
+(** Keep the high-watermark: [set_max g v] raises [g] to [v] if larger. *)
+
+val gauge_value : gauge -> float
+
+val span : Nfsg_sim.Engine.t -> Histogram.t -> (unit -> 'a) -> 'a
+(** [span eng h f] runs [f] and records its elapsed {e simulated} time
+    in [h], in microseconds — including time blocked on resources,
+    disks or the network. Records on exception too, then re-raises.
+    Must run inside a simulation process. *)
+
+(** {1 Reading back} (reporters and tests) *)
+
+val find_counter : t -> ns:string -> string -> int option
+val find_gauge : t -> ns:string -> string -> float option
+val find_histogram : t -> ns:string -> string -> Histogram.t option
+
+(** {1 Reporting} *)
+
+val to_json : t -> Json.t
+(** [{"schema": "nfsgather-metrics/1", "namespaces": {ns: {"counters":
+    {...}, "gauges": {...}, "histograms": {name: {count, total, mean,
+    p50, p99, buckets: [[lo, hi, count], ...]}}}}}] with namespaces and
+    names sorted — byte-identical for identical runs. *)
+
+val to_string : ?pretty:bool -> t -> string

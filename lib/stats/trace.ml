@@ -1,18 +1,50 @@
 open Nfsg_sim
 
+type event = Time.t * string * string
+
+(* Fixed-capacity ring: long chaos/bench runs keep the newest
+   [capacity] events in O(capacity) memory instead of growing a list
+   O(events). [head] is the slot the next event lands in; once [len]
+   reaches capacity the ring wraps and [dropped] counts the overwritten
+   oldest events. *)
 type t = {
   eng : Engine.t;
   enabled : bool;
-  mutable entries : (Time.t * string * string) list; (* newest first *)
+  ring : event array;
+  mutable head : int;
+  mutable len : int;
+  mutable dropped : int;
 }
 
-let create ?(enabled = true) eng = { eng; enabled; entries = [] }
+let default_capacity = 4096
+
+let create ?(enabled = true) ?(capacity = default_capacity) eng =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    eng;
+    enabled;
+    ring = Array.make capacity (Time.zero, "", "");
+    head = 0;
+    len = 0;
+    dropped = 0;
+  }
+
 let enabled t = t.enabled
+let capacity t = Array.length t.ring
+let dropped t = t.dropped
 
 let emit t ~actor event =
-  if t.enabled then t.entries <- (Engine.now t.eng, actor, event) :: t.entries
+  if t.enabled then begin
+    let cap = Array.length t.ring in
+    t.ring.(t.head) <- (Engine.now t.eng, actor, event);
+    t.head <- (t.head + 1) mod cap;
+    if t.len < cap then t.len <- t.len + 1 else t.dropped <- t.dropped + 1
+  end
 
-let events t = List.rev t.entries
+let events t =
+  let cap = Array.length t.ring in
+  let start = (t.head - t.len + cap) mod cap in
+  List.init t.len (fun i -> t.ring.((start + i) mod cap))
 
 let render t =
   match events t with
@@ -22,6 +54,9 @@ let render t =
       let actor_width =
         List.fold_left (fun w (_, a, _) -> Stdlib.max w (String.length a)) 0 evs
       in
+      if t.dropped > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "  (%d older events dropped by the ring buffer)\n" t.dropped);
       List.iter
         (fun (tm, actor, event) ->
           Buffer.add_string buf
@@ -31,4 +66,7 @@ let render t =
         evs;
       Buffer.contents buf
 
-let clear t = t.entries <- []
+let clear t =
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0

@@ -49,6 +49,7 @@ exception Not_dir of int
 exception Is_dir of int
 exception Not_symlink of int
 exception Exists of string
+exception Not_empty of int
 exception No_space
 
 let engine t = t.eng
@@ -633,7 +634,7 @@ let rmdir t (dir : inode) name =
   | Some inum ->
       let victim = iget t ~inum ~gen:t.gens.(inum) in
       if victim.ftype <> Layout.Directory then raise (Not_dir inum);
-      if read_entries t victim <> [] then failwith "not empty";
+      if read_entries t victim <> [] then raise (Not_empty inum);
       write_entries t dir (List.remove_assoc name entries);
       ifree t victim
 

@@ -38,6 +38,11 @@ exception Not_dir of int
 exception Is_dir of int
 exception Not_symlink of int
 exception Exists of string
+
+exception Not_empty of int
+(** Inode number of a directory that {!rmdir} was asked to remove while
+    it still has entries (maps to [NFSERR_NOTEMPTY] on the wire). *)
+
 exception No_space
 (** Re-export of {!Alloc.No_space} at this level. *)
 
@@ -133,7 +138,8 @@ val remove : t -> inode -> string -> unit
     Raises [Not_found]; {!Is_dir} when used on a directory. *)
 
 val rmdir : t -> inode -> string -> unit
-(** Raises [Failure "not empty"] on a non-empty directory. *)
+(** Raises {!Not_empty} on a non-empty directory; [Not_found] when the
+    name is absent; {!Not_dir} when it names a non-directory. *)
 
 val rename : t -> src_dir:inode -> src:string -> dst_dir:inode -> dst:string -> unit
 val readdir : t -> inode -> (string * int) list

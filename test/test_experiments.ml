@@ -93,6 +93,63 @@ let test_procrastination_ablation_zero_interval () =
   in
   ignore with_interval (* rendering checked above; here: it completes *)
 
+(* {1 The machine-readable writegather bench} *)
+
+module Json = Nfsg_stats.Json
+
+let jfield name = function
+  | Json.Obj fields -> (
+      match List.assoc_opt name fields with
+      | Some v -> v
+      | None -> Alcotest.failf "missing JSON field %S" name)
+  | _ -> Alcotest.failf "expected object around %S" name
+
+let jint = function Json.Int i -> i | _ -> Alcotest.fail "expected int"
+let jstring = function Json.String s -> s | _ -> Alcotest.fail "expected string"
+let jlist = function Json.List l -> l | _ -> Alcotest.fail "expected list"
+
+let bench_total = 256 * 1024
+
+let test_bench_writegather_shape () =
+  let j = E.bench_writegather ~total:bench_total () in
+  Alcotest.(check string) "schema" "nfsgather-bench/1" (jstring (jfield "schema" j));
+  Alcotest.(check int) "workload size" bench_total (jint (jfield "total_bytes" (jfield "workload" j)));
+  let rows = jlist (jfield "rows" j) in
+  Alcotest.(check (list string)) "three modes in order" [ "standard"; "gathering"; "nvram" ]
+    (List.map (fun r -> jstring (jfield "mode" r)) rows);
+  let disk_trans r = jint (jfield "transactions" (jfield "disk" r)) in
+  let saved r = jint (jfield "metadata_flushes_saved" r) in
+  let std = List.nth rows 0 and gat = List.nth rows 1 in
+  (* The paper's core claim, machine-checked: gathering collapses the
+     per-write metadata writes, so the same workload costs fewer disk
+     transactions and a positive number of saved metadata flushes. *)
+  Alcotest.(check bool) "gathering does fewer disk transactions" true
+    (disk_trans gat < disk_trans std);
+  Alcotest.(check bool) "gathering saves metadata flushes" true (saved gat > 0);
+  Alcotest.(check int) "standard saves none" 0 (saved std);
+  List.iter
+    (fun r ->
+      (match jfield "latency" r with
+      | Json.Obj _ -> ()
+      | _ -> Alcotest.fail "latency block missing");
+      match jfield "mean" (jfield "batch_size" r) with
+      | Json.Float mean -> Alcotest.(check bool) "mean batch >= 1" true (mean >= 1.0)
+      | _ -> Alcotest.fail "batch_size.mean missing")
+    rows
+
+let test_bench_writegather_deterministic () =
+  let s1 = Json.to_string ~pretty:true (E.bench_writegather ~total:bench_total ()) in
+  let s2 = Json.to_string ~pretty:true (E.bench_writegather ~total:bench_total ()) in
+  Alcotest.(check string) "byte-identical across runs" s1 s2;
+  (* A shared --metrics-json sink must not leak into the rows. *)
+  let m = Nfsg_stats.Metrics.create () in
+  Rig.set_metrics_sink (Some m);
+  let s3 =
+    Fun.protect ~finally:(fun () -> Rig.set_metrics_sink None) (fun () ->
+        Json.to_string ~pretty:true (E.bench_writegather ~total:bench_total ()))
+  in
+  Alcotest.(check string) "sink does not perturb the bench" s1 s3
+
 let suite =
   [
     Alcotest.test_case "gathering wins with biods" `Quick test_gathering_wins_with_biods;
@@ -103,4 +160,6 @@ let suite =
     Alcotest.test_case "figure 1 tells the story" `Quick test_figure1_has_the_story;
     Alcotest.test_case "table report has paper rows" `Quick test_table_report_shape;
     Alcotest.test_case "procrastination ablation runs" `Slow test_procrastination_ablation_zero_interval;
+    Alcotest.test_case "writegather bench JSON shape" `Quick test_bench_writegather_shape;
+    Alcotest.test_case "writegather bench JSON determinism" `Quick test_bench_writegather_deterministic;
   ]

@@ -55,7 +55,78 @@ let test_dupcache_eviction () =
     ignore (Dupcache.admit dc ~client:"c" ~xid);
     Dupcache.complete dc ~client:"c" ~xid (Bytes.create 0)
   done;
-  Alcotest.(check bool) "bounded" true (Dupcache.entries dc <= 4)
+  Alcotest.(check int) "never above capacity" 4 (Dupcache.entries dc);
+  Alcotest.(check int) "evictions counted" 6 (Dupcache.evictions dc)
+
+let test_dupcache_evicts_least_recently_touched () =
+  let eng = Engine.create () in
+  let dc = Dupcache.create eng ~capacity:3 ~ttl:(Time.sec 60) () in
+  Engine.spawn eng (fun () ->
+      for xid = 1 to 3 do
+        ignore (Dupcache.admit dc ~client:"c" ~xid);
+        Dupcache.complete dc ~client:"c" ~xid (Bytes.of_string (string_of_int xid));
+        Engine.delay (Time.ms 1)
+      done;
+      (* Touch xid 1 so xid 2 becomes the coldest completed entry. *)
+      (match Dupcache.admit dc ~client:"c" ~xid:1 with
+      | Dupcache.Replay _ -> ()
+      | _ -> Alcotest.fail "warm entry should replay");
+      ignore (Dupcache.admit dc ~client:"c" ~xid:4);
+      Alcotest.(check int) "still at capacity" 3 (Dupcache.entries dc);
+      Alcotest.(check int) "one eviction" 1 (Dupcache.evictions dc);
+      (* The victim was xid 2 (least recently touched); 1 and 3 still
+         replay (found-path admits never evict). *)
+      (match Dupcache.admit dc ~client:"c" ~xid:3 with
+      | Dupcache.Replay b -> Alcotest.(check string) "survivor replays" "3" (Bytes.to_string b)
+      | _ -> Alcotest.fail "xid 3 should have survived");
+      (match Dupcache.admit dc ~client:"c" ~xid:1 with
+      | Dupcache.Replay _ -> ()
+      | _ -> Alcotest.fail "xid 1 should have survived");
+      (* The evicted key re-executes (costing one more eviction to make
+         room for its new in-flight entry). *)
+      Alcotest.(check bool) "coldest evicted" true (Dupcache.admit dc ~client:"c" ~xid:2 = Dupcache.New);
+      Alcotest.(check int) "bounded throughout" 3 (Dupcache.entries dc);
+      Alcotest.(check int) "second eviction" 2 (Dupcache.evictions dc));
+  Engine.run eng
+
+let test_dupcache_ttl_eager_drop () =
+  (* Expired completed entries are dropped before any eviction is
+     considered, and counted separately from evictions. *)
+  let eng = Engine.create () in
+  let m = Nfsg_stats.Metrics.create () in
+  let dc = Dupcache.create eng ~capacity:8 ~ttl:(Time.ms 5) ~metrics:m () in
+  ignore (Dupcache.admit dc ~client:"c" ~xid:1);
+  Dupcache.complete dc ~client:"c" ~xid:1 (Bytes.of_string "r");
+  Engine.schedule eng ~after:(Time.ms 20) (fun () ->
+      ignore (Dupcache.admit dc ~client:"c" ~xid:2);
+      Alcotest.(check int) "stale entry dropped on admit" 1 (Dupcache.entries dc);
+      Alcotest.(check (option int)) "expiration counted" (Some 1)
+        (Nfsg_stats.Metrics.find_counter m ~ns:"rpc.dupcache" "expirations");
+      Alcotest.(check int) "not an eviction" 0 (Dupcache.evictions dc));
+  Engine.run eng
+
+let test_dupcache_overflow_all_in_flight () =
+  let eng = Engine.create () in
+  let dc = Dupcache.create eng ~capacity:2 () in
+  Alcotest.(check bool) "first" true (Dupcache.admit dc ~client:"a" ~xid:1 = Dupcache.New);
+  Alcotest.(check bool) "second" true (Dupcache.admit dc ~client:"a" ~xid:2 = Dupcache.New);
+  (* Every slot pinned by an in-flight request: the third executes
+     uncached instead of growing the table or evicting pinned work. *)
+  Alcotest.(check bool) "third still executes" true (Dupcache.admit dc ~client:"a" ~xid:3 = Dupcache.New);
+  Alcotest.(check int) "table did not grow" 2 (Dupcache.entries dc);
+  Alcotest.(check int) "overflow counted" 1 (Dupcache.overflows dc);
+  Alcotest.(check int) "nothing evicted" 0 (Dupcache.evictions dc);
+  (* Its completion is a no-op (never inserted) — a retransmission of
+     the overflowed request re-executes. *)
+  Dupcache.complete dc ~client:"a" ~xid:3 (Bytes.of_string "r3");
+  Alcotest.(check bool) "overflowed request uncached" true
+    (Dupcache.admit dc ~client:"a" ~xid:3 = Dupcache.New);
+  Alcotest.(check int) "second overflow" 2 (Dupcache.overflows dc);
+  (* Once a slot completes it becomes evictable and admission resumes. *)
+  Dupcache.complete dc ~client:"a" ~xid:1 (Bytes.of_string "r1");
+  Alcotest.(check bool) "admits again" true (Dupcache.admit dc ~client:"a" ~xid:4 = Dupcache.New);
+  Alcotest.(check int) "completed slot evicted" 1 (Dupcache.evictions dc);
+  Alcotest.(check int) "still bounded" 2 (Dupcache.entries dc)
 
 (* {1 svc + rpc_client end to end (echo server)} *)
 
@@ -209,6 +280,9 @@ let suite =
     Alcotest.test_case "dupcache lifecycle" `Quick test_dupcache_lifecycle;
     Alcotest.test_case "dupcache TTL expiry" `Quick test_dupcache_ttl_expiry;
     Alcotest.test_case "dupcache LRU eviction" `Quick test_dupcache_eviction;
+    Alcotest.test_case "dupcache evicts the coldest entry" `Quick test_dupcache_evicts_least_recently_touched;
+    Alcotest.test_case "dupcache drops expired before evicting" `Quick test_dupcache_ttl_eager_drop;
+    Alcotest.test_case "dupcache overflow with all slots in flight" `Quick test_dupcache_overflow_all_in_flight;
     Alcotest.test_case "echo roundtrip" `Quick test_echo_roundtrip;
     Alcotest.test_case "retransmission survives loss" `Quick test_retransmission_on_loss;
     Alcotest.test_case "dupcache stops re-execution" `Quick test_dupcache_suppresses_reexecution;

@@ -92,6 +92,24 @@ let test_errors_over_wire () =
       | _ -> Alcotest.fail "expected NOTDIR"
       | exception Client.Error Proto.NFSERR_NOTDIR -> ())
 
+let test_rmdir_not_empty_over_wire () =
+  let rig = make ~config:standard_config () in
+  run rig (fun () ->
+      let r = root rig in
+      let dfh, _ = Client.mkdir rig.client r "busy" in
+      let _ = Client.create_file rig.client dfh "kid" in
+      (* A non-empty directory must come back as NFSERR_NOTEMPTY — not
+         a generic IO error, and above all not a dead nfsd. *)
+      (match Client.rmdir rig.client r "busy" with
+      | () -> Alcotest.fail "expected NOTEMPTY"
+      | exception Client.Error Proto.NFSERR_NOTEMPTY -> ());
+      (* The failed rmdir must not have damaged the directory. *)
+      let found, _ = Client.lookup rig.client dfh "kid" in
+      Alcotest.(check bool) "child intact" true (found.Proto.inum > 0);
+      Client.remove rig.client dfh "kid";
+      Client.rmdir rig.client r "busy";
+      Alcotest.(check int) "root empty afterwards" 0 (List.length (Client.readdir rig.client r)))
+
 (* The core protocol promise: when the server replies to a WRITE, data
    AND metadata are on stable storage. Check against the device's
    stable view immediately after close() returns. *)
@@ -191,6 +209,7 @@ let suite =
     Alcotest.test_case "setattr truncate" `Quick test_setattr_truncate;
     Alcotest.test_case "statfs and null ping" `Quick test_statfs_and_null;
     Alcotest.test_case "error statuses over the wire" `Quick test_errors_over_wire;
+    Alcotest.test_case "rmdir of non-empty directory" `Quick test_rmdir_not_empty_over_wire;
     Alcotest.test_case "replied writes are stable (crash test)" `Quick test_stable_on_reply;
     Alcotest.test_case "~3N transactions in standard mode" `Quick test_3n_disk_transactions_over_wire;
     Alcotest.test_case "two clients, isolated files" `Quick test_concurrent_clients_isolated;

@@ -49,6 +49,44 @@ let test_histogram_clamps () =
   Histogram.add h 1e12;
   Alcotest.(check int) "both recorded" 2 (Histogram.count h)
 
+let test_histogram_quantile_midpoint () =
+  (* One sample in bucket [2,4): every quantile must report the
+     geometric midpoint sqrt(2*4), not the bucket's upper edge. *)
+  let h = Histogram.create ~least:1.0 ~growth:2.0 ~buckets:16 () in
+  Histogram.add h 3.0;
+  let mid = sqrt (2.0 *. 4.0) in
+  Alcotest.(check (float 1e-9)) "q=0.5" mid (Histogram.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "q=0" mid (Histogram.quantile h 0.0);
+  Alcotest.(check (float 1e-9)) "q=1" mid (Histogram.quantile h 1.0);
+  Alcotest.(check (float 1e-9)) "empty histogram quantile" 0.0
+    (Histogram.quantile (Histogram.create ()) 0.5)
+
+let test_histogram_underflow_bucket () =
+  let h = Histogram.create ~least:8.0 ~growth:2.0 ~buckets:8 () in
+  Histogram.add h 0.5;
+  (* The underflow bucket spans [0, least): arithmetic midpoint. *)
+  Alcotest.(check (float 1e-9)) "underflow midpoint" 4.0 (Histogram.quantile h 0.5);
+  match Histogram.buckets h with
+  | [ (lo, hi, 1) ] ->
+      Alcotest.(check (float 1e-9)) "lower edge 0" 0.0 lo;
+      Alcotest.(check (float 1e-9)) "upper edge = least" 8.0 hi
+  | bs -> Alcotest.failf "expected one underflow bucket, got %d" (List.length bs)
+
+let test_histogram_quantiles_ordered () =
+  let h = Histogram.create ~least:1.0 ~growth:1.25 ~buckets:64 () in
+  for i = 1 to 1000 do
+    Histogram.add h (float_of_int i)
+  done;
+  let qs = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
+  let vs = List.map (Histogram.quantile h) qs in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a <= b && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "quantiles non-decreasing" true (mono vs);
+  let q0 = Histogram.quantile h 0.0 in
+  Alcotest.(check bool) "q=0 inside first bucket" true (q0 >= 1.0 && q0 <= 1.25)
+
 let test_report_render () =
   let r = Report.create ~title:"Table X" ~columns:[ "0"; "3"; "7" ] in
   Report.add_section r "Without Write Gathering";
@@ -92,6 +130,71 @@ let test_trace_render () =
   Nfsg_sim.Engine.run eng;
   Alcotest.(check bool) "rendered" true (contains (Trace.render tr) "nfsd0")
 
+let test_trace_ring_wraps () =
+  let eng = Nfsg_sim.Engine.create () in
+  let tr = Trace.create ~capacity:4 eng in
+  Nfsg_sim.Engine.spawn eng (fun () ->
+      for i = 0 to 9 do
+        Trace.emit tr ~actor:"a" (Printf.sprintf "e%d" i)
+      done);
+  Nfsg_sim.Engine.run eng;
+  Alcotest.(check int) "capacity" 4 (Trace.capacity tr);
+  Alcotest.(check int) "dropped count" 6 (Trace.dropped tr);
+  let names = List.map (fun (_, _, e) -> e) (Trace.events tr) in
+  Alcotest.(check (list string)) "newest 4, oldest first" [ "e6"; "e7"; "e8"; "e9" ] names;
+  Alcotest.(check bool) "render notes the drop" true (contains (Trace.render tr) "6 older events dropped");
+  Trace.clear tr;
+  Alcotest.(check int) "clear resets dropped" 0 (Trace.dropped tr);
+  Alcotest.(check int) "clear empties ring" 0 (List.length (Trace.events tr))
+
+let test_metrics_find_or_create () =
+  let m = Metrics.create () in
+  let c1 = Metrics.counter m ~ns:"x" "hits" in
+  Metrics.incr c1;
+  Metrics.incr c1;
+  (* Re-registering must return the same underlying instrument — the
+     restart-accumulation contract. *)
+  let c2 = Metrics.counter m ~ns:"x" "hits" in
+  Metrics.add c2 3;
+  Alcotest.(check int) "one accumulating counter" 5 (Metrics.value c1);
+  Alcotest.(check (option int)) "find_counter" (Some 5) (Metrics.find_counter m ~ns:"x" "hits");
+  (* A name collision across kinds is a programming error, not data. *)
+  (match Metrics.gauge m ~ns:"x" "hits" with
+  | _ -> Alcotest.fail "kind mismatch accepted"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check (option int)) "other namespace empty" None (Metrics.find_counter m ~ns:"y" "hits")
+
+let test_metrics_json_deterministic () =
+  let build order =
+    let m = Metrics.create () in
+    List.iter
+      (fun name -> Metrics.add (Metrics.counter m ~ns:"zeta" name) (String.length name))
+      order;
+    Metrics.set (Metrics.gauge m ~ns:"alpha" "depth") 2.5;
+    Histogram.add (Metrics.histogram m ~ns:"alpha" "lat_us") 42.0;
+    Metrics.to_string m
+  in
+  let a = build [ "b"; "a"; "c" ] and b = build [ "c"; "b"; "a" ] in
+  Alcotest.(check string) "registration order invisible" a b;
+  Alcotest.(check bool) "schema stamped" true (contains a "nfsgather-metrics/1");
+  (* Sorted namespaces: alpha before zeta in the byte stream. *)
+  let rec index_of i n =
+    if i + String.length n > String.length a then -1
+    else if String.sub a i (String.length n) = n then i
+    else index_of (i + 1) n
+  in
+  Alcotest.(check bool) "namespaces sorted" true (index_of 0 "alpha" < index_of 0 "zeta")
+
+let test_metrics_span () =
+  let eng = Nfsg_sim.Engine.create () in
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~ns:"t" "span_us" in
+  Nfsg_sim.Engine.spawn eng (fun () ->
+      Metrics.span eng h (fun () -> Nfsg_sim.Engine.delay (Nfsg_sim.Time.ms 3)));
+  Nfsg_sim.Engine.run eng;
+  Alcotest.(check int) "one sample" 1 (Histogram.count h);
+  Alcotest.(check (float 1.0)) "3ms in microseconds" 3000.0 (Histogram.total h)
+
 let prop_summary_mean_in_range =
   QCheck.Test.make ~name:"summary mean between min and max" ~count:200
     QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
@@ -107,10 +210,17 @@ let suite =
     Alcotest.test_case "summary merge" `Quick test_summary_merge;
     Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
     Alcotest.test_case "histogram clamps extremes" `Quick test_histogram_clamps;
+    Alcotest.test_case "quantile is the geometric midpoint" `Quick test_histogram_quantile_midpoint;
+    Alcotest.test_case "underflow bucket midpoint" `Quick test_histogram_underflow_bucket;
+    Alcotest.test_case "quantiles are monotone" `Quick test_histogram_quantiles_ordered;
     Alcotest.test_case "report renders aligned table" `Quick test_report_render;
     Alcotest.test_case "report rejects bad row" `Quick test_report_mismatch;
     Alcotest.test_case "trace records timeline" `Quick test_trace_records;
     Alcotest.test_case "disabled trace records nothing" `Quick test_trace_disabled;
     Alcotest.test_case "trace renders" `Quick test_trace_render;
+    Alcotest.test_case "trace ring wraps and counts drops" `Quick test_trace_ring_wraps;
+    Alcotest.test_case "metrics find-or-create" `Quick test_metrics_find_or_create;
+    Alcotest.test_case "metrics JSON is deterministic" `Quick test_metrics_json_deterministic;
+    Alcotest.test_case "span times on the sim clock" `Quick test_metrics_span;
     QCheck_alcotest.to_alcotest prop_summary_mean_in_range;
   ]
