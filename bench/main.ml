@@ -7,10 +7,13 @@
      dune exec bench/main.exe -- quick     small-file smoke run
      dune exec bench/main.exe -- micro     only the Bechamel microbenches
      dune exec bench/main.exe -- writegather   only BENCH_writegather.json
+     dune exec bench/main.exe -- multivolume   only BENCH_multivolume.json
 
    Every non-micro run also writes BENCH_writegather.json (the paper's
-   core Standard/Gathering/NVRAM comparison, machine-readable) to the
-   current directory.
+   core Standard/Gathering/NVRAM comparison, machine-readable) and
+   BENCH_multivolume.json (the 3-export independence/fault-isolation
+   bench; fixed workload, committed and diffed by CI) to the current
+   directory.
 
    Paper-vs-measured commentary lives in EXPERIMENTS.md. *)
 
@@ -103,6 +106,19 @@ let run_writegather quick =
   close_out oc;
   progress "bench: wrote %s in %.1fs wall" bench_json_file (Unix.gettimeofday () -. t0)
 
+let multivolume_json_file = "BENCH_multivolume.json"
+
+(* Fixed workload regardless of quick/full: the artifact is committed
+   and CI diffs a fresh run against it byte for byte. *)
+let run_multivolume () =
+  progress "bench: running multivolume JSON bench ...";
+  let t0 = Unix.gettimeofday () in
+  let json = Nfsg_experiments.Multivolume.bench_multivolume () in
+  let oc = open_out multivolume_json_file in
+  output_string oc (Nfsg_stats.Json.to_string ~pretty:true json);
+  close_out oc;
+  progress "bench: wrote %s in %.1fs wall" multivolume_json_file (Unix.gettimeofday () -. t0)
+
 (* {1 Bechamel microbenchmarks}
 
    Wall-clock cost of the hot substrate operations: these bound how
@@ -135,7 +151,10 @@ let micro_tests () =
     let data = Bytes.make 8192 'x' in
     Test.make ~name:"xdr: encode+decode 8K WRITE"
       (Staged.stage (fun () ->
-           let args = Nfsg_nfs.Proto.Write { fh = { Nfsg_nfs.Proto.inum = 3; gen = 1 }; offset = 0; data } in
+           let args =
+             Nfsg_nfs.Proto.Write
+               { fh = { Nfsg_nfs.Proto.fsid = 1; vgen = 1; inum = 3; gen = 1 }; offset = 0; data }
+           in
            let body = Nfsg_nfs.Proto.encode_args args in
            let call =
              Nfsg_rpc.Rpc.encode_call
@@ -203,8 +222,10 @@ let () =
   let quick = List.mem "quick" args in
   let micro_only = List.mem "micro" args in
   let writegather_only = List.mem "writegather" args in
+  let multivolume_only = List.mem "multivolume" args in
   if micro_only then run_micro ()
   else if writegather_only then run_writegather quick
+  else if multivolume_only then run_multivolume ()
   else begin
     Printf.printf "NFS write gathering: full reproduction run (%s)\n"
       (if quick then "quick mode" else "paper-size workloads");
@@ -213,5 +234,6 @@ let () =
     run_ablations quick;
     run_extensions quick;
     run_writegather quick;
+    run_multivolume ();
     run_micro ()
   end

@@ -54,6 +54,7 @@ let run_experiment ?metrics quick = function
       print_report (E.extension_write_modes ~quick ())
   | "writegather" ->
       print_string (Nfsg_stats.Json.to_string ~pretty:true (E.bench_writegather ~quick ()))
+  | "multivolume" -> print_report (Nfsg_experiments.Multivolume.report ~quick ())
   | "chaos" ->
       let module Chaos = Nfsg_experiments.Chaos in
       let cfg =
@@ -68,7 +69,7 @@ let run_experiment ?metrics quick = function
 let names =
   [
     "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure1"; "figure2"; "figure3";
-    "ablations"; "extensions"; "writegather"; "chaos";
+    "ablations"; "extensions"; "writegather"; "multivolume"; "chaos";
   ]
 
 let run quick metrics_json targets =
@@ -94,7 +95,7 @@ let run quick metrics_json targets =
 let targets_arg =
   let doc =
     "Experiments to run: table1..table6, figure1..figure3, ablations, extensions, writegather, \
-     chaos, or all (default)."
+     multivolume, chaos, or all (default)."
   in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 

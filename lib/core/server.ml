@@ -28,7 +28,9 @@ let default_config =
 
 (* Write verifier (NFSv3): changes across server incarnations so a
    client holding unstable data can detect that a reboot may have lost
-   it and must rewrite. A plain boot counter keeps runs deterministic. *)
+   it and must rewrite. One bump covers every volume of the
+   incarnation — it identifies the server boot, not a disk. A plain
+   boot counter keeps runs deterministic. *)
 let boot_counter = ref 0
 
 type t = {
@@ -36,25 +38,30 @@ type t = {
   segment : Nfsg_net.Segment.t;
   config : config;
   addr : string;
-  device : Nfsg_disk.Device.t;
-  fs : Fs.t;
+  volumes : Volume.t list;  (** export table, fsid order *)
+  legacy_ns : bool;
   sock : Nfsg_net.Socket.t;
   cpu : Resource.t;
-  wl : Write_layer.t;
   verf : int;
   op_counts : (int, int) Hashtbl.t;
   trace : Nfsg_stats.Trace.t option;
   metrics : Nfsg_stats.Metrics.t;
 }
 
-let root_fh t =
-  let root = Fs.root t.fs in
-  { Proto.inum = Fs.inum root; gen = Fs.generation root }
+let volumes t = t.volumes
 
-let fs t = t.fs
+let volume t fsid =
+  match List.find_opt (fun v -> Volume.fsid v = fsid) t.volumes with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Server.volume: no volume with fsid %d" fsid)
+
+let first_volume t = List.hd t.volumes
+let exports t = List.map (fun v -> (Volume.export v, Volume.root_fh v)) t.volumes
+let root_fh t = Volume.root_fh (first_volume t)
+let fs t = Volume.fs (first_volume t)
 let cpu t = t.cpu
-let device t = t.device
-let write_layer t = t.wl
+let device t = Volume.device (first_volume t)
+let write_layer t = Volume.write_layer (first_volume t)
 let socket t = t.sock
 let addr t = t.addr
 let write_verifier t = t.verf
@@ -67,15 +74,42 @@ let count_op t proc =
   Nfsg_stats.Metrics.incr
     (Nfsg_stats.Metrics.counter t.metrics ~ns:"server" ("ops_" ^ Proto.proc_name proc))
 
+(* Per-volume op accounting, once dispatch has routed the request. The
+   legacy single-volume server's namespace IS "server", so only the
+   vol<k> namespaces add a second counter. *)
+let count_vol_op t vol proc =
+  let ns = Volume.server_ns vol in
+  if ns <> "server" then
+    Nfsg_stats.Metrics.incr
+      (Nfsg_stats.Metrics.counter t.metrics ~ns ("ops_" ^ Proto.proc_name proc))
+
 (* {1 Dispatch} *)
 
-let vnode_of_fh t (fh : Proto.fh) = Vfs.vnode_of_inode t.fs (Fs.iget t.fs ~inum:fh.Proto.inum ~gen:fh.Proto.gen)
+(* Routing: fsid picks the volume; a dead volume generation (volume
+   reformatted or replaced since the handle was minted) or an unknown
+   fsid is the same staleness a freed inode slot has — the handle
+   names nothing this server still exports. *)
+let volume_of_fh t (fh : Proto.fh) =
+  match List.find_opt (fun v -> Volume.fsid v = fh.Proto.fsid) t.volumes with
+  | Some v when Volume.vgen v = fh.Proto.vgen -> v
+  | Some _ | None -> raise (Fs.Stale fh.Proto.inum)
 
-let fh_of_vnode v = { Proto.inum = Vfs.vnode_id v; gen = Fs.generation (Vfs.inode_of v) }
+let vnode_in vol (fh : Proto.fh) =
+  let fs = Volume.fs vol in
+  Vfs.vnode_of_inode fs (Fs.iget fs ~inum:fh.Proto.inum ~gen:fh.Proto.gen)
 
-let fattr_of_vnode t v =
+
+let fh_of_vnode vol v =
+  {
+    Proto.fsid = Volume.fsid vol;
+    vgen = Volume.vgen vol;
+    inum = Vfs.vnode_id v;
+    gen = Fs.generation (Vfs.inode_of v);
+  }
+
+let fattr_of_vnode vol v =
   let a = Vfs.vop_getattr v in
-  let bsize = Fs.bsize t.fs in
+  let bsize = Fs.bsize (Volume.fs vol) in
   {
     Proto.ftype =
       (match a.Fs.ftype with
@@ -91,7 +125,7 @@ let fattr_of_vnode t v =
     blocksize = bsize;
     rdev = 0;
     blocks = (a.Fs.size + bsize - 1) / bsize;
-    fsid = 1;
+    fsid = Volume.fsid vol;
     fileid = a.Fs.inum;
     atime = Proto.timeval_of_ns a.Fs.atime;
     mtime = Proto.timeval_of_ns a.Fs.mtime;
@@ -111,63 +145,88 @@ let status_of_exn = function
   | Fs.No_space -> Some Proto.NFSERR_NOSPC
   | _ -> None
 
-let execute t (args : Proto.args) : Proto.res =
-  let attr_res v = Proto.RAttr (Ok (fattr_of_vnode t v)) in
-  let dirop_res v = Proto.RDirop (Ok (fh_of_vnode v, fattr_of_vnode t v)) in
+(* The filehandle dispatch routes on; [None] only for NULL. *)
+let primary_fh : Proto.args -> Proto.fh option = function
+  | Proto.Null -> None
+  | Proto.Getattr fh | Proto.Statfs fh | Proto.Readlink fh -> Some fh
+  | Proto.Setattr (fh, _) | Proto.Lookup (fh, _) -> Some fh
+  | Proto.Read { fh; _ }
+  | Proto.Write { fh; _ }
+  | Proto.Write3 { fh; _ }
+  | Proto.Commit { fh; _ }
+  | Proto.Readdir { fh; _ } -> Some fh
+  | Proto.Create { dir; _ }
+  | Proto.Remove { dir; _ }
+  | Proto.Mkdir { dir; _ }
+  | Proto.Rmdir { dir; _ }
+  | Proto.Symlink { dir; _ } -> Some dir
+  | Proto.Rename { from_dir; _ } -> Some from_dir
+
+let execute t vol (args : Proto.args) : Proto.res =
+  ignore t;
+  let vn fh = vnode_in vol fh in
+  let attr_res v = Proto.RAttr (Ok (fattr_of_vnode vol v)) in
+  let dirop_res v = Proto.RDirop (Ok (fh_of_vnode vol v, fattr_of_vnode vol v)) in
   match args with
   | Proto.Null -> Proto.RNull
-  | Proto.Getattr fh -> attr_res (vnode_of_fh t fh)
+  | Proto.Getattr fh -> attr_res (vn fh)
   | Proto.Setattr (fh, sattr) ->
-      let v = vnode_of_fh t fh in
+      let v = vn fh in
       Vfs.with_lock v (fun () ->
           if sattr.Proto.s_size >= 0 then begin
             Vfs.vop_truncate v sattr.Proto.s_size;
             (* Truncation changes visible state: commit before reply. *)
-            Nfsg_ufs.Fs.fsync_metadata t.fs (Vfs.inode_of v)
+            Nfsg_ufs.Fs.fsync_metadata (Volume.fs vol) (Vfs.inode_of v)
           end;
           match sattr.Proto.s_mtime with
           | Some tv -> Vfs.vop_touch v ~mtime:(Proto.ns_of_timeval tv)
           | None -> ());
       attr_res v
   | Proto.Lookup (fh, name) ->
-      let dir = vnode_of_fh t fh in
+      let dir = vn fh in
       dirop_res (Vfs.vop_lookup dir name)
   | Proto.Read { fh; offset; count } ->
-      let v = vnode_of_fh t fh in
+      let v = vn fh in
       let data = Vfs.vop_read v ~off:offset ~len:count in
-      Proto.RRead (Ok (fattr_of_vnode t v, data))
+      Proto.RRead (Ok (fattr_of_vnode vol v, data))
   | Proto.Write _ | Proto.Write3 _ | Proto.Commit _ ->
       assert false (* handled by the write layer / dispatch *)
   | Proto.Create { dir; name; sattr = _ } ->
-      let d = vnode_of_fh t dir in
+      let d = vn dir in
       dirop_res (Vfs.with_lock d (fun () -> Vfs.vop_create d name Layout.Regular))
   | Proto.Remove { dir; name } ->
-      let d = vnode_of_fh t dir in
+      let d = vn dir in
       Vfs.with_lock d (fun () -> Vfs.vop_remove d name);
       Proto.RStatus Proto.NFS_OK
   | Proto.Rename { from_dir; from_name; to_dir; to_name } ->
-      let src = vnode_of_fh t from_dir in
-      let dst = vnode_of_fh t to_dir in
-      Vfs.with_lock src (fun () -> Vfs.vop_rename src ~src:from_name ~dst_dir:dst ~dst:to_name);
-      Proto.RStatus Proto.NFS_OK
+      (* Rename never crosses volumes: distinct fsids are distinct
+         filesystems, exactly the classic EXDEV. *)
+      if to_dir.Proto.fsid <> from_dir.Proto.fsid || to_dir.Proto.vgen <> from_dir.Proto.vgen
+      then Proto.RStatus Proto.NFSERR_XDEV
+      else begin
+        let src = vn from_dir in
+        let dst = vn to_dir in
+        Vfs.with_lock src (fun () -> Vfs.vop_rename src ~src:from_name ~dst_dir:dst ~dst:to_name);
+        Proto.RStatus Proto.NFS_OK
+      end
   | Proto.Mkdir { dir; name; sattr = _ } ->
-      let d = vnode_of_fh t dir in
+      let d = vn dir in
       dirop_res (Vfs.with_lock d (fun () -> Vfs.vop_mkdir d name))
   | Proto.Rmdir { dir; name } ->
-      let d = vnode_of_fh t dir in
+      let d = vn dir in
       Vfs.with_lock d (fun () -> Vfs.vop_rmdir d name);
       Proto.RStatus Proto.NFS_OK
   | Proto.Readlink fh ->
-      let v = vnode_of_fh t fh in
+      let v = vn fh in
       Proto.RReadlink (Ok (Vfs.vop_readlink v))
   | Proto.Symlink { dir; name; target; sattr = _ } ->
-      let d = vnode_of_fh t dir in
+      let d = vn dir in
       dirop_res (Vfs.with_lock d (fun () -> Vfs.vop_symlink d name ~target))
   | Proto.Readdir { fh; cookie = _; count = _ } ->
-      let d = vnode_of_fh t fh in
+      let d = vn fh in
       Proto.RReaddir (Ok (Vfs.vop_readdir d, true))
   | Proto.Statfs _ ->
-      let s = Fs.statfs t.fs in
+      let s = Fs.statfs (Volume.fs vol) in
       Proto.RStatfs
         (Ok
            {
@@ -192,28 +251,53 @@ let error_res ~proc st : Proto.res =
   else if proc = Proto.proc_statfs then Proto.RStatfs (Error st)
   else Proto.RStatus st
 
+(* The mini MOUNT service: export name in, root filehandle out. *)
+let dispatch_mount t (call : Rpc.call) =
+  if call.Rpc.proc <> Proto.proc_mnt then Svc.Reply (Rpc.Proc_unavail, Bytes.create 0)
+  else
+    match Proto.decode_mnt_args call.Rpc.body with
+    | exception Nfsg_rpc.Xdr.Dec.Error _ -> Svc.Reply (Rpc.Garbage_args, Bytes.create 0)
+    | name ->
+        let res =
+          match List.find_opt (fun v -> Volume.export v = name) t.volumes with
+          | Some vol -> Ok (Volume.root_fh vol)
+          | None -> Error Proto.NFSERR_NOENT
+        in
+        Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
+        Svc.Reply (Rpc.Success, Proto.encode_mnt_res res)
+
 let make_dispatch t =
   fun tr (call : Rpc.call) ->
     ignore tr;
-    if call.Rpc.prog <> Rpc.nfs_program then Svc.Reply (Rpc.Prog_unavail, Bytes.create 0)
+    if call.Rpc.prog = Rpc.mount_program then dispatch_mount t call
+    else if call.Rpc.prog <> Rpc.nfs_program then Svc.Reply (Rpc.Prog_unavail, Bytes.create 0)
     else begin
       Resource.use t.cpu (t.config.costs.Cpu_model.rpc_decode + t.config.costs.Cpu_model.op_base);
       match Proto.decode_args ~proc:call.Rpc.proc call.Rpc.body with
       | exception Nfsg_rpc.Xdr.Dec.Error _ -> Svc.Reply (Rpc.Garbage_args, Bytes.create 0)
       | Proto.Write { fh; offset; data } -> (
           count_op t Proto.proc_write;
-          match vnode_of_fh t fh with
-          | v -> Write_layer.handle_write t.wl tr v ~off:offset ~data
+          match
+            let vol = volume_of_fh t fh in
+            (vol, vnode_in vol fh)
+          with
+          | vol, v ->
+              count_vol_op t vol Proto.proc_write;
+              Write_layer.handle_write (Volume.write_layer vol) tr v ~off:offset ~data
           | exception Fs.Stale _ ->
               Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
               Svc.Reply (Rpc.Success, Proto.encode_res (Proto.RAttr (Error Proto.NFSERR_STALE))))
       | Proto.Write3 { fh; offset; stable; data } -> (
           count_op t Proto.proc_write3;
-          match vnode_of_fh t fh with
+          match
+            let vol = volume_of_fh t fh in
+            (vol, vnode_in vol fh)
+          with
           | exception Fs.Stale _ ->
               Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
               Svc.Reply (Rpc.Success, Proto.encode_res (Proto.RWrite3 (Error Proto.NFSERR_STALE)))
-          | v -> (
+          | vol, v -> (
+              count_vol_op t vol Proto.proc_write3;
               match stable with
               | Proto.Unstable -> (
                   (* The v3 asynchronous promise: data to the cache,
@@ -229,7 +313,7 @@ let make_dispatch t =
                       Svc.Reply
                         ( Rpc.Success,
                           Proto.encode_res
-                            (Proto.RWrite3 (Ok (fattr_of_vnode t v, Proto.Unstable, t.verf))) )
+                            (Proto.RWrite3 (Ok (fattr_of_vnode vol v, Proto.Unstable, t.verf))) )
                   | exception Fs.No_space ->
                       Vfs.unlock v;
                       Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
@@ -245,14 +329,19 @@ let make_dispatch t =
                      gather in the same batches as v2 WRITEs. *)
                   let respond a = Proto.RWrite3 (Ok (a, Proto.File_sync, t.verf)) in
                   let fail st = Proto.RWrite3 (Error st) in
-                  Write_layer.handle_write t.wl tr ~respond ~fail v ~off:offset ~data))
+                  Write_layer.handle_write (Volume.write_layer vol) tr ~respond ~fail v
+                    ~off:offset ~data))
       | Proto.Commit { fh; offset; count } -> (
           count_op t Proto.proc_commit;
-          match vnode_of_fh t fh with
+          match
+            let vol = volume_of_fh t fh in
+            (vol, vnode_in vol fh)
+          with
           | exception Fs.Stale _ ->
               Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
               Svc.Reply (Rpc.Success, Proto.encode_res (Proto.RCommit (Error Proto.NFSERR_STALE)))
-          | v -> (
+          | vol, v -> (
+              count_vol_op t vol Proto.proc_commit;
               match
                 Vfs.with_lock v (fun () ->
                     Resource.use t.cpu t.config.costs.Cpu_model.ufs_trip;
@@ -267,7 +356,7 @@ let make_dispatch t =
                   Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
                   Svc.Reply
                     ( Rpc.Success,
-                      Proto.encode_res (Proto.RCommit (Ok (fattr_of_vnode t v, t.verf))) )
+                      Proto.encode_res (Proto.RCommit (Ok (fattr_of_vnode vol v, t.verf))) )
               | exception Nfsg_disk.Device.Io_error _ ->
                   (* The unstable data stays dirty in the cache; the
                      client keeps it and re-COMMITs. *)
@@ -276,7 +365,14 @@ let make_dispatch t =
                     (Rpc.Success, Proto.encode_res (Proto.RCommit (Error Proto.NFSERR_IO)))))
       | args -> (
           count_op t call.Rpc.proc;
-          match execute t args with
+          match
+            match primary_fh args with
+            | None -> execute t (first_volume t) args
+            | Some fh ->
+                let vol = volume_of_fh t fh in
+                count_vol_op t vol call.Rpc.proc;
+                execute t vol args
+          with
           | res ->
               Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
               Svc.Reply (Rpc.Success, Proto.encode_res res)
@@ -288,10 +384,11 @@ let make_dispatch t =
               | None -> raise e))
     end
 
-let make eng ~segment ~addr ~device ?trace ?metrics ?(mkfs = true) config =
+(* The assembly shared by the fresh-format and recovery paths.
+   [vols] carries, per export, its spec, the vgen to preserve (or
+   [None] for a fresh one) and whether to format. *)
+let make_internal eng ~segment ~addr ?trace ?metrics ~legacy_ns config vols =
   let metrics = match metrics with Some m -> m | None -> Nfsg_stats.Metrics.create () in
-  if mkfs then Fs.mkfs device ();
-  let fs = Fs.mount eng ?cache_blocks:config.cache_blocks device in
   let cpu = Resource.create eng "server-cpu" in
   let costs = config.costs in
   let sock =
@@ -305,9 +402,12 @@ let make eng ~segment ~addr ~device ?trace ?metrics ?(mkfs = true) config =
     | Some svc -> Svc.send_reply svc tr Rpc.Success (Proto.encode_res res)
     | None -> assert false
   in
-  let wl =
-    Write_layer.create eng ~fs ~sock ~cpu ~costs ~send_reply ?trace ~metrics
-      config.write_layer
+  let volumes =
+    List.mapi
+      (fun i (spec, vgen, mkfs) ->
+        Volume.mount eng ~fsid:(i + 1) ?vgen ~legacy_ns ~sock ~cpu ~costs ~send_reply
+          ?trace ~metrics ~mkfs ~wl_config:config.write_layer spec)
+      vols
   in
   incr boot_counter;
   let t =
@@ -316,11 +416,10 @@ let make eng ~segment ~addr ~device ?trace ?metrics ?(mkfs = true) config =
       segment;
       config;
       addr;
-      device;
-      fs;
+      volumes;
+      legacy_ns;
       sock;
       cpu;
-      wl;
       verf = !boot_counter;
       op_counts = Hashtbl.create 16;
       trace;
@@ -333,7 +432,11 @@ let make eng ~segment ~addr ~device ?trace ?metrics ?(mkfs = true) config =
       ~on_duplicate_drop:(fun ~client:_ call ->
         if call.Rpc.prog = Rpc.nfs_program && call.Rpc.proc = Proto.proc_write then
           match Proto.decode_args ~proc:call.Rpc.proc call.Rpc.body with
-          | Proto.Write { fh; _ } -> Write_layer.rescue wl ~inum:fh.Proto.inum
+          | Proto.Write { fh; _ } -> (
+              (* Route the orphan rescue to the right volume's plane. *)
+              match List.find_opt (fun v -> Volume.owns v fh) t.volumes with
+              | Some vol -> Write_layer.rescue (Volume.write_layer vol) ~inum:fh.Proto.inum
+              | None -> ())
           | _ | (exception Nfsg_rpc.Xdr.Dec.Error _) -> ())
       ~nfsds:config.nfsds
       ~dispatch:(fun tr call -> make_dispatch t tr call)
@@ -342,16 +445,32 @@ let make eng ~segment ~addr ~device ?trace ?metrics ?(mkfs = true) config =
   svc_ref := Some svc;
   t
 
+let make_exports eng ~segment ~addr ?trace ?metrics ?(mkfs = true) config specs =
+  if specs = [] then invalid_arg "Server.make_exports: need at least one volume";
+  make_internal eng ~segment ~addr ?trace ?metrics ~legacy_ns:false config
+    (List.map (fun spec -> (spec, None, mkfs)) specs)
+
+(* The historical single-volume constructor, kept as the 1-volume
+   special case with its historical metrics namespaces. *)
+let make eng ~segment ~addr ~device ?trace ?metrics ?(mkfs = true) config =
+  make_internal eng ~segment ~addr ?trace ?metrics ~legacy_ns:true config
+    [ ({ Volume.export = "/export"; device; cache_blocks = config.cache_blocks }, None, mkfs) ]
+
 let crash t =
   (* Power off: volatile state gone and the host leaves the wire. *)
   Nfsg_net.Socket.detach t.sock;
-  Fs.crash t.fs
+  List.iter Volume.crash t.volumes
 
 let recover t =
-  t.device.Nfsg_disk.Device.recover ();
+  (* Every device recovers (NVRAM replay where fitted), every volume
+     remounts fsck-style from stable storage; the volume generations
+     are preserved — a reboot does not invalidate client handles — and
+     the shared write verifier bumps exactly once for the incarnation. *)
+  List.iter (fun v -> (Volume.device v).Nfsg_disk.Device.recover ()) t.volumes;
   (* Same registry across incarnations: find-or-create registration
      means the restarted server keeps counting where this one stopped. *)
-  make t.eng ~segment:t.segment ~addr:t.addr ~device:t.device ?trace:t.trace
-    ~metrics:t.metrics ~mkfs:false t.config
+  make_internal t.eng ~segment:t.segment ~addr:t.addr ?trace:t.trace ~metrics:t.metrics
+    ~legacy_ns:t.legacy_ns t.config
+    (List.map (fun v -> (Volume.spec_of v, Some (Volume.vgen v), false)) t.volumes)
 
 let restart = recover

@@ -1,9 +1,14 @@
-(** The NFS server: socket, nfsd pool, duplicate cache, CPU model,
-    filesystem, and the write layer, assembled.
+(** The NFS server: socket, nfsd pool, duplicate cache, CPU model, and
+    an {e export table} of volumes — each volume a device (optionally
+    NVRAM-accelerated and/or striped) with its own filesystem, buffer
+    cache, and write-gathering plane.
 
-    Create a device (optionally NVRAM-accelerated and/or striped), run
-    {!make} over it, and point NFS clients at [addr] on the same
-    segment. *)
+    Single-volume use: create a device, run {!make} over it, and point
+    NFS clients at [addr] on the same segment. Multi-volume use: pass
+    {!make_exports} a list of {!Volume.spec}s; dispatch routes each
+    filehandle to its volume by fsid, unknown or pre-reformat handles
+    earn [NFSERR_STALE], and cross-volume renames earn
+    [NFSERR_XDEV]. *)
 
 type config = {
   nfsds : int;
@@ -34,13 +39,52 @@ val make :
     this server registers its instruments in (namespaces ["server"],
     ["write_layer"], ["rpc.svc"], ["rpc.dupcache"]); {!recover} passes
     the same registry to the next incarnation so counts accumulate
-    across restarts (private registry when omitted). *)
+    across restarts (private registry when omitted).
+
+    Equivalent to a 1-volume {!make_exports}, except the metrics keep
+    the historical single-volume namespaces. *)
+
+val make_exports :
+  Nfsg_sim.Engine.t ->
+  segment:Nfsg_net.Segment.t ->
+  addr:string ->
+  ?trace:Nfsg_stats.Trace.t ->
+  ?metrics:Nfsg_stats.Metrics.t ->
+  ?mkfs:bool ->
+  config ->
+  Volume.spec list ->
+  t
+(** Multi-volume server over an export table (nonempty, else
+    [Invalid_argument]). Volume [i] gets fsid [i+1] and registers its
+    instruments under namespaces [server.vol<fsid>] and
+    [write_layer.vol<fsid>], so per-volume gather batches and op mixes
+    never share a counter. All volumes share the socket, nfsd pool,
+    duplicate cache, CPU, and write verifier. *)
+
+val volumes : t -> Volume.t list
+(** The export table, fsid order. *)
+
+val volume : t -> int -> Volume.t
+(** Volume by fsid; raises [Invalid_argument] for an unknown fsid. *)
+
+val exports : t -> (string * Nfsg_nfs.Proto.fh) list
+(** [(export name, root filehandle)] per volume — what the MOUNT
+    service hands out. *)
 
 val root_fh : t -> Nfsg_nfs.Proto.fh
+(** Root handle of the first volume. *)
+
 val fs : t -> Nfsg_ufs.Fs.t
+(** First volume's filesystem (the only one, for {!make} servers). *)
+
 val cpu : t -> Nfsg_sim.Resource.t
+
 val device : t -> Nfsg_disk.Device.t
+(** First volume's device. *)
+
 val write_layer : t -> Write_layer.t
+(** First volume's write layer. *)
+
 val socket : t -> Nfsg_net.Socket.t
 val addr : t -> string
 
@@ -63,11 +107,13 @@ val crash : t -> unit
     lost. The device survives (platter + NVRAM). *)
 
 val recover : t -> t
-(** Reboot after {!crash}: device recovery (NVRAM replay), fsck-style
-    remount, fresh daemons, same network address (the crashed
-    incarnation left the wire). Clients that keep retransmitting ride
-    through the outage: their RPCs go unanswered while the server is
-    down and are answered by the new incarnation. *)
+(** Reboot after {!crash}: per-volume device recovery (NVRAM replay)
+    and fsck-style remount, fresh daemons, same network address (the
+    crashed incarnation left the wire), one shared write-verifier bump.
+    Volume generations are preserved, so handles minted before the
+    crash stay valid; clients that keep retransmitting ride through
+    the outage: their RPCs go unanswered while the server is down and
+    are answered by the new incarnation. *)
 
 val restart : t -> t
 (** Alias for {!recover} — the crash/restart pair used by the fault

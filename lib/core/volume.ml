@@ -1,0 +1,67 @@
+module Fs = Nfsg_ufs.Fs
+module Proto = Nfsg_nfs.Proto
+
+type spec = {
+  export : string;
+  device : Nfsg_disk.Device.t;
+  cache_blocks : int option;
+}
+
+let spec ?cache_blocks export device = { export; device; cache_blocks }
+
+type t = {
+  spec : spec;
+  fsid : int;
+  vgen : int;
+  fs : Fs.t;
+  wl : Write_layer.t;
+  server_ns : string;
+}
+
+(* Volume generations: a fresh one per format, preserved across
+   crash/recover of the same filesystem. A handle minted before a
+   volume was reformatted (or replaced) therefore carries a dead vgen
+   and earns NFSERR_STALE, while handles held across a mere reboot
+   keep working. Process-global so no two formats ever share one. *)
+let generation_counter = ref 0
+
+let server_ns_of ~legacy_ns fsid =
+  if legacy_ns then "server" else Printf.sprintf "server.vol%d" fsid
+
+let write_layer_ns_of ~legacy_ns fsid =
+  if legacy_ns then "write_layer" else Printf.sprintf "write_layer.vol%d" fsid
+
+let mount eng ~fsid ?vgen ?(legacy_ns = false) ~sock ~cpu ~costs ~send_reply
+    ?trace ?metrics ?(mkfs = true) ~wl_config spec =
+  let vgen =
+    match vgen with
+    | Some g -> g
+    | None ->
+        incr generation_counter;
+        !generation_counter
+  in
+  if mkfs then Fs.mkfs spec.device ();
+  let fs = Fs.mount eng ?cache_blocks:spec.cache_blocks spec.device in
+  let wl =
+    Write_layer.create eng ~fs ~sock ~cpu ~costs ~send_reply ?trace ?metrics
+      ~ns:(write_layer_ns_of ~legacy_ns fsid)
+      ~fsid wl_config
+  in
+  { spec; fsid; vgen; fs; wl; server_ns = server_ns_of ~legacy_ns fsid }
+
+let export t = t.spec.export
+let fsid t = t.fsid
+let vgen t = t.vgen
+let device t = t.spec.device
+let fs t = t.fs
+let write_layer t = t.wl
+let server_ns t = t.server_ns
+let spec_of t = t.spec
+
+let root_fh t =
+  let root = Fs.root t.fs in
+  { Proto.fsid = t.fsid; vgen = t.vgen; inum = Fs.inum root; gen = Fs.generation root }
+
+let owns t (fh : Proto.fh) = fh.Proto.fsid = t.fsid && fh.Proto.vgen = t.vgen
+
+let crash t = Fs.crash t.fs

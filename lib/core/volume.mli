@@ -1,0 +1,72 @@
+(** One export of a multi-volume server: a device (plain, NVRAM, or
+    stripe) with its mounted filesystem, buffer cache, and its own
+    write-gathering plane.
+
+    The paper's testbed serves several disks — single spindles and a
+    3-disk stripe set — from one machine. A [Volume.t] is that unit of
+    service: gathering, procrastination, and metadata election happen
+    per volume, so a flush on one export never blocks batch formation
+    on another. The server routes each filehandle to its volume by
+    [fsid] and rejects dead identities by [vgen] (see {!owns}). *)
+
+type spec = {
+  export : string;  (** name a client mounts, e.g. ["/export0"] *)
+  device : Nfsg_disk.Device.t;
+  cache_blocks : int option;  (** buffer-cache bound; [None] = plenty *)
+}
+
+val spec : ?cache_blocks:int -> string -> Nfsg_disk.Device.t -> spec
+
+type t
+
+val mount :
+  Nfsg_sim.Engine.t ->
+  fsid:int ->
+  ?vgen:int ->
+  ?legacy_ns:bool ->
+  sock:Nfsg_net.Socket.t ->
+  cpu:Nfsg_sim.Resource.t ->
+  costs:Cpu_model.t ->
+  send_reply:(Nfsg_rpc.Svc.transport -> Nfsg_nfs.Proto.res -> unit) ->
+  ?trace:Nfsg_stats.Trace.t ->
+  ?metrics:Nfsg_stats.Metrics.t ->
+  ?mkfs:bool ->
+  wl_config:Write_layer.config ->
+  spec ->
+  t
+(** Formats (unless [mkfs:false]) and mounts the device, and builds
+    the volume's write layer on the shared server socket/CPU.
+
+    [vgen] is the volume generation: omitted, a fresh one is drawn
+    from a process-global counter (a freshly formatted or replaced
+    volume invalidates all old handles); the recovery path passes the
+    previous incarnation's value so client handles survive a reboot.
+
+    Metrics namespaces are [server.vol<fsid>] / [write_layer.vol<fsid>]
+    unless [legacy_ns] is set, in which case the single-volume server's
+    historical ["server"] / ["write_layer"] names are kept. *)
+
+val export : t -> string
+val fsid : t -> int
+
+val vgen : t -> int
+(** Volume generation carried in every filehandle this volume mints. *)
+
+val device : t -> Nfsg_disk.Device.t
+val fs : t -> Nfsg_ufs.Fs.t
+val write_layer : t -> Write_layer.t
+
+val server_ns : t -> string
+(** Metrics namespace for this volume's per-procedure op counters. *)
+
+val spec_of : t -> spec
+val root_fh : t -> Nfsg_nfs.Proto.fh
+
+val owns : t -> Nfsg_nfs.Proto.fh -> bool
+(** Does this filehandle name this volume incarnation? False when the
+    fsid differs {e or} the vgen is from before a reformat. *)
+
+val crash : t -> unit
+(** Drop volatile filesystem state and crash the device (power fail);
+    the platter and any NVRAM contents survive for {!mount} with
+    [mkfs:false] to recover. *)

@@ -69,10 +69,12 @@ type t = {
   send_reply : Svc.transport -> Proto.res -> unit;
   trace : Trace.t option;
   cfg : config;
+  fsid : int;  (** volume id stamped into reply attributes *)
   states : (int, gstate) Hashtbl.t;
   clients : (string, learned) Hashtbl.t;
   mutable seq : int;
-  (* Registry-backed counters (namespace "write_layer"): the same
+  (* Registry-backed counters (namespace "write_layer", or
+     "write_layer.vol<fsid>" for a multi-volume plane): the same
      [int ref]s serve the accessor API below and the metrics report. *)
   writes : Metrics.counter;
   batches : Metrics.counter;
@@ -87,9 +89,8 @@ type t = {
   reply_latency_us : Histogram.t;
 }
 
-let ns = "write_layer"
-
-let create eng ~fs ~sock ~cpu ~costs ~send_reply ?trace ?metrics cfg =
+let create eng ~fs ~sock ~cpu ~costs ~send_reply ?trace ?metrics
+    ?(ns = "write_layer") ?(fsid = 1) cfg =
   let m = match metrics with Some m -> m | None -> Metrics.create () in
   {
     eng;
@@ -100,6 +101,7 @@ let create eng ~fs ~sock ~cpu ~costs ~send_reply ?trace ?metrics cfg =
     send_reply;
     trace;
     cfg;
+    fsid;
     states = Hashtbl.create 64;
     clients = Hashtbl.create 16;
     seq = 0;
@@ -157,7 +159,7 @@ let learned_solo_clients t =
 
 let emit t event = match t.trace with Some tr -> Trace.emit tr ~actor:(Engine.self_name ()) event | None -> ()
 
-let fattr_of_vnode v =
+let fattr_of_vnode t v =
   let a = Vfs.vop_getattr v in
   let bsize = 8192 in
   {
@@ -175,7 +177,7 @@ let fattr_of_vnode v =
     blocksize = bsize;
     rdev = 0;
     blocks = (a.Fs.size + bsize - 1) / bsize;
-    fsid = 1;
+    fsid = t.fsid;
     fileid = a.Fs.inum;
     atime = Proto.timeval_of_ns a.Fs.atime;
     mtime = Proto.timeval_of_ns a.Fs.mtime;
@@ -195,12 +197,14 @@ let charge_trip t = Resource.use t.cpu t.costs.Cpu_model.ufs_trip
 
 (* The mbuf hunter (section 6.5): grep the socket buffer for another
    WRITE to the same file. "A gross violation of kernel layering, but
-   with a fast server this technique is often a win." *)
+   with a fast server this technique is often a win." The fsid must
+   match too: with several exports on one socket, inode numbers repeat
+   across volumes and a foreign WRITE is no company at all. *)
 let socket_has_write_for t inum =
   let hit =
     Nfsg_net.Socket.scan t.sock (fun ~src:_ payload ->
         match Proto.peek_write payload with
-        | Some (fh, _, _) -> fh.Proto.inum = inum
+        | Some (fh, _, _) -> fh.Proto.fsid = t.fsid && fh.Proto.inum = inum
         | None -> false)
   in
   if hit then Metrics.incr t.mbuf_hits;
@@ -244,7 +248,7 @@ let flush_as_metadata_writer t g =
      with
     | () ->
         Vfs.unlock g.vnode;
-        let attr = fattr_of_vnode g.vnode in
+        let attr = fattr_of_vnode t g.vnode in
         if n > 0 then emit t (Printf.sprintf "%d Write Repl%s" n (if n = 1 then "y" else "ies"));
         List.iter (fun d -> reply_ok t d attr) ordered;
         if t.cfg.learn_clients then
@@ -307,7 +311,7 @@ let handle_standard t tr ~respond ~fail vnode ~off ~data =
       Metrics.incr t.batches;
       Metrics.incr t.gathered;
       Histogram.add t.batch_size_h 1.0;
-      let attr = fattr_of_vnode vnode in
+      let attr = fattr_of_vnode t vnode in
       Resource.use t.cpu t.costs.Cpu_model.rpc_encode;
       emit t "Write Reply";
       t.send_reply tr (respond attr)
@@ -442,7 +446,7 @@ let handle_unsafe_async t tr ~respond ~fail vnode ~off ~data =
       Metrics.incr t.batches;
       Metrics.incr t.gathered;
       Histogram.add t.batch_size_h 1.0;
-      let attr = fattr_of_vnode vnode in
+      let attr = fattr_of_vnode t vnode in
       Resource.use t.cpu t.costs.Cpu_model.rpc_encode;
       emit t "Write Reply (volatile!)";
       t.send_reply tr (respond attr)

@@ -70,13 +70,18 @@ val create :
   send_reply:(Nfsg_rpc.Svc.transport -> Nfsg_nfs.Proto.res -> unit) ->
   ?trace:Nfsg_stats.Trace.t ->
   ?metrics:Nfsg_stats.Metrics.t ->
+  ?ns:string ->
+  ?fsid:int ->
   config ->
   t
-(** [metrics] registers the layer's instruments under namespace
-    ["write_layer"]: the counters exposed by the accessors below plus
-    [metadata_flushes_saved], the gather [batch_size] histogram and the
-    deferred-reply latency histogram [reply_latency_us] (private
-    registry when omitted). *)
+(** [metrics] registers the layer's instruments under namespace [ns]
+    (default ["write_layer"]; a multi-volume server passes
+    ["write_layer.vol<fsid>"] per volume): the counters exposed by the
+    accessors below plus [metadata_flushes_saved], the gather
+    [batch_size] histogram and the deferred-reply latency histogram
+    [reply_latency_us] (private registry when omitted). [fsid] (default
+    1) is stamped into reply attributes and constrains the mbuf hunter
+    to WRITEs for this volume. *)
 
 val handle_write :
   t ->

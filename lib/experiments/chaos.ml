@@ -113,8 +113,8 @@ let run ?metrics cfg =
   let mutator_gone = ref false in
   let result = ref None in
 
-  let root_fh = ref { Proto.inum = 0; gen = 0 } in
-  let victim_fh = ref { Proto.inum = 0; gen = 0 } in
+  let root_fh = ref { Proto.fsid = 0; vgen = 0; inum = 0; gen = 0 } in
+  let victim_fh = ref { Proto.fsid = 0; vgen = 0; inum = 0; gen = 0 } in
 
   let tick = Time.of_ms_f 20.0 in
   let rec wait_for pred = if not (pred ()) then begin Engine.delay tick; wait_for pred end in

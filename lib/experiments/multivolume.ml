@@ -1,0 +1,283 @@
+open Nfsg_sim
+module Segment = Nfsg_net.Segment
+module Socket = Nfsg_net.Socket
+module Disk = Nfsg_disk.Disk
+module Stripe = Nfsg_disk.Stripe
+module Device = Nfsg_disk.Device
+module Fault_disk = Nfsg_fault.Fault_disk
+module Server = Nfsg_core.Server
+module Volume = Nfsg_core.Volume
+module Write_layer = Nfsg_core.Write_layer
+module Client = Nfsg_nfs.Client
+module Rpc_client = Nfsg_rpc.Rpc_client
+module Laddis = Nfsg_workload.Laddis
+module Metrics = Nfsg_stats.Metrics
+module Histogram = Nfsg_stats.Histogram
+module Json = Nfsg_stats.Json
+module Report = Nfsg_stats.Report
+
+(* Three exports served by one machine, the paper-testbed shape:
+   two single spindles and a 3-drive stripe set. Volume 0's spindle is
+   fault-wrapped so an error window can be opened on it alone. *)
+let nvols = 3
+
+type config = {
+  seed : int;
+  procs : int;
+  files_per_proc : int;
+  file_size : int;
+  offered : float;
+  warmup : Time.t;
+  measure : Time.t;
+  nfsds : int;
+  fault_prob : float;
+}
+
+let default =
+  {
+    seed = 1994;
+    procs = 6;
+    files_per_proc = 4;
+    file_size = 64 * 1024;
+    offered = 160.0;
+    warmup = Time.sec 1;
+    measure = Time.sec 5;
+    nfsds = 12;
+    fault_prob = 0.4;
+  }
+
+type vol_stats = {
+  export : string;
+  fsid : int;
+  writes : int;
+  batches : int;
+  mean_batch : float;
+  flushes_saved : int;
+  write_mean_us : float;
+  write_p50_us : float;
+  write_p99_us : float;
+}
+
+type phase = { point : Laddis.point; vols : vol_stats list }
+type result = { clean : phase; faulted : phase; errors_injected : int }
+
+(* One world: segment, three device stacks, a 3-export server, and a
+   LADDIS-style load spread round-robin over the exports. [fault]
+   (absolute sim-time window) arms an error window on volume 0's
+   spindle before the load starts. Returns the phase stats plus the
+   simulation end time (how the caller learns where the measurement
+   window sits, so the faulted twin can be armed inside it). *)
+let run_world ?fault cfg =
+  let eng = Engine.create () in
+  let metrics = Metrics.create () in
+  let segment =
+    Segment.create eng ~seed:(cfg.seed lxor 0x3a7) ~metrics (Calib.segment_params Calib.Fddi)
+  in
+  let cpu_hook = ref (fun (_ : Time.t) -> ()) in
+  let costs = Calib.cpu_costs Calib.Fddi in
+  let driver_cost = costs.Nfsg_core.Cpu_model.driver_transaction in
+  let mk_disk name =
+    Disk.create eng ~name ~metrics
+      ~on_transaction:(fun ~bytes:_ -> !cpu_hook driver_cost)
+      Calib.disk_geometry
+  in
+  let injector, dev0 = Fault_disk.wrap eng ~seed:(cfg.seed lxor 0xfa01) (mk_disk "vol1-rz26") in
+  let dev1 = mk_disk "vol2-rz26" in
+  let dev2 = Stripe.create eng ~chunk:32768 (Array.init 3 (fun i -> mk_disk (Printf.sprintf "vol3-rz26-%d" i))) in
+  let wl_config =
+    { Write_layer.default_gathering with Write_layer.procrastinate = Calib.procrastinate Calib.Fddi }
+  in
+  let config =
+    { Server.default_config with Server.nfsds = cfg.nfsds; write_layer = wl_config; costs }
+  in
+  let server =
+    Server.make_exports eng ~segment ~addr:"server" ~metrics config
+      [ Volume.spec "/export0" dev0; Volume.spec "/export1" dev1; Volume.spec "/export2" dev2 ]
+  in
+  (cpu_hook := fun d -> Resource.charge (Server.cpu server) d);
+  (* Per-volume client registries: load process [i] works under export
+     [i mod 3] (Laddis round-robin), and its client instruments land in
+     that volume's registry — the only way WRITE latency can be read
+     per volume while the server is shared. *)
+  let assignment = Array.of_list (Laddis.export_assignment ~procs:cfg.procs ~exports:nvols) in
+  let cms = Array.init nvols (fun _ -> Metrics.create ()) in
+  let make_client i =
+    let m = cms.(assignment.(i)) in
+    let sock = Socket.create segment ~addr:(Printf.sprintf "client%d" i) () in
+    let rpc = Rpc_client.create eng ~sock ~server:"server" ~metrics:m () in
+    Client.create eng ~rpc ~biods:4 ~metrics:m ()
+  in
+  let roots = List.map snd (Server.exports server) in
+  let lcfg =
+    {
+      Laddis.default_config with
+      Laddis.procs = cfg.procs;
+      files_per_proc = cfg.files_per_proc;
+      file_size = cfg.file_size;
+      warmup = cfg.warmup;
+      measure = cfg.measure;
+      seed = cfg.seed;
+    }
+  in
+  let out = ref None in
+  Engine.spawn eng ~name:"driver" (fun () ->
+      (match fault with
+      | Some (from_, until) -> Fault_disk.error_window injector ~from_ ~until ~prob:cfg.fault_prob
+      | None -> ());
+      let point =
+        Laddis.run eng ~make_client ~root:(List.hd roots) ~exports:roots ~offered:cfg.offered lcfg
+      in
+      out := Some (point, Engine.now eng));
+  Engine.run eng;
+  let point, end_time =
+    match !out with Some v -> v | None -> failwith "Multivolume.run_world: load never finished"
+  in
+  let vol_stats k =
+    let fsid = k + 1 in
+    let wl_ns = Printf.sprintf "write_layer.vol%d" fsid in
+    let sv_ns = Printf.sprintf "server.vol%d" fsid in
+    let batches, mean_batch =
+      match Metrics.find_histogram metrics ~ns:wl_ns "batch_size" with
+      | Some h -> (Histogram.count h, Histogram.mean h)
+      | None -> (0, 0.0)
+    in
+    let lat f =
+      match Metrics.find_histogram cms.(k) ~ns:"nfs.client" "lat_us_WRITE" with
+      | Some h -> f h
+      | None -> 0.0
+    in
+    {
+      export = Printf.sprintf "/export%d" k;
+      fsid;
+      writes = Option.value ~default:0 (Metrics.find_counter metrics ~ns:sv_ns "ops_WRITE");
+      batches;
+      mean_batch;
+      flushes_saved =
+        Option.value ~default:0 (Metrics.find_counter metrics ~ns:wl_ns "metadata_flushes_saved");
+      write_mean_us = lat Histogram.mean;
+      write_p50_us = lat Histogram.median;
+      write_p99_us = lat Histogram.p99;
+    }
+  in
+  ({ point; vols = List.init nvols vol_stats }, end_time, Fault_disk.errors_injected injector)
+
+(* Clean run first; its end time bounds setup + warmup + measure, which
+   places the faulted twin's error window strictly inside the twin's
+   measurement interval (same seed => identical timeline up to the
+   first injected fault). *)
+let run ?(cfg = default) () =
+  let clean, end_time, _ = run_world cfg in
+  let m_start = end_time - cfg.measure in
+  let from_ = m_start + (cfg.measure / 4) and until = m_start + (3 * cfg.measure / 4) in
+  let faulted, _, errors_injected = run_world ~fault:(from_, until) cfg in
+  { clean; faulted; errors_injected }
+
+let quick_cfg =
+  {
+    default with
+    procs = 3;
+    files_per_proc = 2;
+    file_size = 32 * 1024;
+    offered = 100.0;
+    warmup = Time.ms 500;
+    measure = Time.sec 2;
+  }
+
+let devices = [ "1 spindle (faultable)"; "1 spindle"; "3-drive stripe" ]
+
+let report ?(quick = false) () =
+  let r = run ~cfg:(if quick then quick_cfg else default) () in
+  let report =
+    Report.create ~title:"Multi-volume exports: 3 volumes under simultaneous LADDIS-style load"
+      ~columns:(List.map2 (fun v d -> Printf.sprintf "%s (%s)" v.export d) r.clean.vols devices)
+  in
+  let row name f = Report.add_row report name (List.map f r.clean.vols) in
+  row "WRITE RPCs" (fun v -> float_of_int v.writes);
+  row "gather batches" (fun v -> float_of_int v.batches);
+  row "mean batch size" (fun v -> v.mean_batch);
+  row "metadata flushes saved" (fun v -> float_of_int v.flushes_saved);
+  row "WRITE latency mean (us)" (fun v -> v.write_mean_us);
+  row "WRITE latency p99 (us)" (fun v -> v.write_p99_us);
+  Report.add_row report
+    (Printf.sprintf "... with vol1 error window (%d faults)" r.errors_injected)
+    (List.map (fun v -> v.write_mean_us) r.faulted.vols);
+  report
+
+(* {1 BENCH_multivolume.json}
+
+   The committed artifact CI regenerates and diffs. One fixed modest
+   workload regardless of quick/full mode, so every environment
+   produces the same bytes. Volume generations (process-global counter)
+   never appear here. *)
+
+let bench_cfg =
+  {
+    seed = 7;
+    procs = 6;
+    files_per_proc = 2;
+    file_size = 32 * 1024;
+    offered = 120.0;
+    warmup = Time.ms 500;
+    measure = Time.sec 3;
+    nfsds = 12;
+    fault_prob = 0.4;
+  }
+
+let bench_multivolume () =
+  let r = run ~cfg:bench_cfg () in
+  let vol_row device v =
+    Json.Obj
+      [
+        ("export", Json.String v.export);
+        ("fsid", Json.Int v.fsid);
+        ("device", Json.String device);
+        ("writes", Json.Int v.writes);
+        ( "gather",
+          Json.Obj
+            [
+              ("batches", Json.Int v.batches);
+              ("mean_batch", Json.Float v.mean_batch);
+              ("metadata_flushes_saved", Json.Int v.flushes_saved);
+            ] );
+        ( "write_latency",
+          Json.Obj
+            [
+              ("mean_us", Json.Float v.write_mean_us);
+              ("p50_us", Json.Float v.write_p50_us);
+              ("p99_us", Json.Float v.write_p99_us);
+            ] );
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "nfsgather-bench/1");
+      ("bench", Json.String "multivolume");
+      ( "workload",
+        Json.Obj
+          [
+            ("net", Json.String "fddi");
+            ("volumes", Json.Int nvols);
+            ("procs", Json.Int bench_cfg.procs);
+            ("files_per_proc", Json.Int bench_cfg.files_per_proc);
+            ("file_bytes", Json.Int bench_cfg.file_size);
+            ("offered_ops_s", Json.Float bench_cfg.offered);
+            ("measure_ms", Json.Float (Time.to_ms_f bench_cfg.measure));
+            ("nfsds", Json.Int bench_cfg.nfsds);
+            ("seed", Json.Int bench_cfg.seed);
+          ] );
+      ( "aggregate",
+        Json.Obj
+          [
+            ("achieved_ops_s", Json.Float r.clean.point.Laddis.achieved);
+            ("ops_completed", Json.Int r.clean.point.Laddis.ops_completed);
+          ] );
+      ("rows", Json.List (List.map2 vol_row [ "rz26"; "rz26"; "stripe3" ] r.clean.vols));
+      ( "fault",
+        Json.Obj
+          [
+            ("volume", Json.String "/export0");
+            ("errors_injected", Json.Int r.errors_injected);
+            ( "write_mean_us",
+              Json.List (List.map (fun v -> Json.Float v.write_mean_us) r.faulted.vols) );
+          ] );
+    ]

@@ -1,0 +1,61 @@
+(** Multi-volume exports experiment: three volumes — two single
+    spindles and a 3-drive stripe set, the paper-testbed disk
+    complement — served by one machine under simultaneous LADDIS-style
+    load spread round-robin over the exports.
+
+    Two claims are measured. {e Independence}: gather batches form per
+    volume (each [write_layer.vol<k>] batch-size histogram fills on its
+    own, metadata-flush savings accrue per volume). {e Isolation}: an
+    error window opened on volume 1's spindle mid-measurement leaves
+    the WRITE latency of the other two volumes at its fault-free
+    level — a flush failing on one export never blocks another's
+    plane. *)
+
+type config = {
+  seed : int;
+  procs : int;  (** load processes, round-robin over the 3 exports *)
+  files_per_proc : int;
+  file_size : int;  (** bytes per pre-created file *)
+  offered : float;  (** aggregate offered load, ops/sec *)
+  warmup : Nfsg_sim.Time.t;
+  measure : Nfsg_sim.Time.t;
+  nfsds : int;
+  fault_prob : float;  (** per-transaction failure probability in the window *)
+}
+
+val default : config
+val quick_cfg : config
+
+type vol_stats = {
+  export : string;
+  fsid : int;
+  writes : int;  (** WRITE RPCs executed on this volume *)
+  batches : int;  (** gather batches flushed *)
+  mean_batch : float;
+  flushes_saved : int;
+  write_mean_us : float;  (** client-side WRITE latency *)
+  write_p50_us : float;
+  write_p99_us : float;
+}
+
+type phase = { point : Nfsg_workload.Laddis.point; vols : vol_stats list }
+
+type result = {
+  clean : phase;
+  faulted : phase;  (** same seed, error window on volume 1's spindle *)
+  errors_injected : int;
+}
+
+val run : ?cfg:config -> unit -> result
+(** Two same-seed worlds: fault-free, then with the error window armed
+    inside the measurement interval. Deterministic in [cfg]. *)
+
+val report : ?quick:bool -> unit -> Nfsg_stats.Report.t
+(** Human-readable table over {!run} (the [multivolume] experiment of
+    the CLI and bench). *)
+
+val bench_multivolume : unit -> Nfsg_stats.Json.t
+(** The committed [BENCH_multivolume.json] artifact: per-volume gather
+    and latency rows plus the fault-isolation summary, from one fixed
+    modest workload (no quick/full split, so CI reproduces the bytes
+    anywhere). Volume generations never appear in the document. *)

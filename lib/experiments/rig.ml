@@ -6,6 +6,7 @@ module Nvram = Nfsg_disk.Nvram
 module Stripe = Nfsg_disk.Stripe
 module Device = Nfsg_disk.Device
 module Server = Nfsg_core.Server
+module Volume = Nfsg_core.Volume
 module Write_layer = Nfsg_core.Write_layer
 module Client = Nfsg_nfs.Client
 module Rpc_client = Nfsg_rpc.Rpc_client
@@ -15,6 +16,7 @@ type spec = {
   net : Calib.net;
   accel : bool;
   spindles : int;
+  volumes : int;
   nfsds : int;
   gathering : bool;
   trace : bool;
@@ -28,6 +30,7 @@ let default_spec =
     net = Calib.Fddi;
     accel = false;
     spindles = 1;
+    volumes = 1;
     nfsds = 8;
     gathering = true;
     trace = false;
@@ -55,6 +58,7 @@ let metrics_sink () = !sink
 let metrics t = t.metrics
 
 let make spec =
+  if spec.volumes <= 0 then invalid_arg "Rig.make: need at least one volume";
   let eng = Engine.create () in
   let metrics = match !sink with Some m -> m | None -> Metrics.create () in
   let segment = Segment.create eng ~metrics (Calib.segment_params spec.net) in
@@ -62,15 +66,31 @@ let make spec =
   let cpu_hook = ref (fun (_ : Time.t) -> ()) in
   let costs = Calib.cpu_costs spec.net in
   let driver_cost = costs.Nfsg_core.Cpu_model.driver_transaction in
-  let disks =
-    Array.init spec.spindles (fun i ->
-        Disk.create eng
-          ~name:(Printf.sprintf "rz26-%d" i)
-          ~metrics
-          ~on_transaction:(fun ~bytes:_ -> !cpu_hook driver_cost)
-          ~scheduler:spec.disk_scheduler Calib.disk_geometry)
+  (* One device stack (spindles, optional stripe, optional Presto) per
+     volume. Single-volume disk names keep their historical form so
+     metric keys stay byte-identical for existing rigs. *)
+  let mk_stack v =
+    let disks =
+      Array.init spec.spindles (fun i ->
+          let name =
+            if spec.volumes = 1 then Printf.sprintf "rz26-%d" i
+            else Printf.sprintf "vol%d-rz26-%d" (v + 1) i
+          in
+          Disk.create eng ~name ~metrics
+            ~on_transaction:(fun ~bytes:_ -> !cpu_hook driver_cost)
+            ~scheduler:spec.disk_scheduler Calib.disk_geometry)
+    in
+    let base = if spec.spindles = 1 then disks.(0) else Stripe.create eng ~chunk:32768 disks in
+    let device =
+      if spec.accel then
+        Nvram.create eng ~params:Calib.nvram_params ~metrics ~cpu_charge:(fun d -> !cpu_hook d)
+          base
+      else base
+    in
+    (disks, device)
   in
-  let base = if spec.spindles = 1 then disks.(0) else Stripe.create eng ~chunk:32768 disks in
+  let stacks = Array.init spec.volumes mk_stack in
+  let disks = Array.concat (Array.to_list (Array.map fst stacks)) in
   let trace = if spec.trace then Some (Nfsg_stats.Trace.create eng) else None in
   let write_layer =
     let base_cfg =
@@ -79,12 +99,6 @@ let make spec =
       else Write_layer.standard
     in
     spec.write_layer_overrides base_cfg
-  in
-  let device =
-    if spec.accel then
-      Nvram.create eng ~params:Calib.nvram_params ~metrics ~cpu_charge:(fun d -> !cpu_hook d)
-        base
-    else base
   in
   let config =
     {
@@ -95,9 +109,20 @@ let make spec =
       cache_blocks = spec.cache_blocks;
     }
   in
-  let server = Server.make eng ~segment ~addr:"server" ~device ?trace ~metrics config in
+  let server =
+    if spec.volumes = 1 then
+      Server.make eng ~segment ~addr:"server" ~device:(snd stacks.(0)) ?trace ~metrics config
+    else
+      Server.make_exports eng ~segment ~addr:"server" ?trace ~metrics config
+        (List.init spec.volumes (fun v ->
+             {
+               Volume.export = Printf.sprintf "/export%d" v;
+               device = snd stacks.(v);
+               cache_blocks = spec.cache_blocks;
+             }))
+  in
   (cpu_hook := fun d -> Resource.charge (Server.cpu server) d);
-  { eng; segment; disks; device; server; trace; metrics }
+  { eng; segment; disks; device = snd stacks.(0); server; trace; metrics }
 
 let new_client t ?(biods = 4) ?(protocol = Client.V2) addr =
   let sock = Socket.create t.segment ~addr () in
@@ -105,6 +130,7 @@ let new_client t ?(biods = 4) ?(protocol = Client.V2) addr =
   Client.create t.eng ~rpc ~biods ~protocol ~metrics:t.metrics ()
 
 let root t = Server.root_fh t.server
+let roots t = List.map snd (Server.exports t.server)
 
 let run t f =
   let result = ref None in

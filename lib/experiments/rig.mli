@@ -6,6 +6,11 @@ type spec = {
   net : Calib.net;
   accel : bool;  (** Prestoserve NVRAM in front of the device *)
   spindles : int;  (** 1, or n for an n-drive stripe set *)
+  volumes : int;
+      (** exports served; each volume gets its own device stack
+          ([spindles] disks, optional stripe/Presto). 1 = the classic
+          single-volume rig via [Server.make]; >1 goes through
+          [Server.make_exports] with exports "/export0".."/exportN" *)
   nfsds : int;
   gathering : bool;
   trace : bool;
@@ -19,7 +24,8 @@ type spec = {
 }
 
 val default_spec : spec
-(** FDDI, no accel, 1 spindle, 8 nfsds, gathering, no trace. *)
+(** FDDI, no accel, 1 spindle, 1 volume, 8 nfsds, gathering, no
+    trace. *)
 
 type t = {
   eng : Nfsg_sim.Engine.t;
@@ -54,6 +60,10 @@ val new_client :
 (** Attach a client host with the given address to the segment. *)
 
 val root : t -> Nfsg_nfs.Proto.fh
+(** Root filehandle of the first (or only) volume. *)
+
+val roots : t -> Nfsg_nfs.Proto.fh list
+(** Per-volume root filehandles, fsid order. *)
 
 val run : t -> (unit -> 'a) -> 'a
 (** Run [f] as the driver process and drain the simulation. *)

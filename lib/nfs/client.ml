@@ -122,6 +122,18 @@ let null_ping t =
   | Proto.RNull -> ()
   | _ -> raise (Error Proto.NFSERR_IO)
 
+(* {1 Mounting} *)
+
+let mount t name =
+  let stat, body =
+    Rpc_client.call t.rpc ~klass:Rpc_client.Light ~prog:Rpc.mount_program
+      ~proc:Proto.proc_mnt (Proto.encode_mnt_args name)
+  in
+  if stat <> Rpc.Success then raise (Error Proto.NFSERR_IO);
+  match Proto.decode_mnt_res body with
+  | Ok fh -> fh
+  | Error st -> raise (Error st)
+
 (* {1 Write-behind file I/O} *)
 
 type file = {

@@ -39,6 +39,11 @@ val create :
 
 val biod_count : t -> int
 
+val mount : t -> string -> Proto.fh
+(** Resolve an export name (e.g. ["/export0"]) to its root filehandle
+    via the server's mini MOUNT service. Raises [Error NFSERR_NOENT]
+    for an unknown export. *)
+
 (** {1 File I/O} *)
 
 type file

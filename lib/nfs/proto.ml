@@ -1,6 +1,6 @@
 open Nfsg_rpc
 
-type fh = { inum : int; gen : int }
+type fh = { fsid : int; vgen : int; inum : int; gen : int }
 
 let fh_bytes = 32
 
@@ -54,6 +54,7 @@ type status =
   | NFSERR_NOSPC
   | NFSERR_NOTEMPTY
   | NFSERR_STALE
+  | NFSERR_XDEV
 
 let status_to_int = function
   | NFS_OK -> 0
@@ -61,6 +62,7 @@ let status_to_int = function
   | NFSERR_NOENT -> 2
   | NFSERR_IO -> 5
   | NFSERR_EXIST -> 17
+  | NFSERR_XDEV -> 18
   | NFSERR_NOTDIR -> 20
   | NFSERR_ISDIR -> 21
   | NFSERR_FBIG -> 27
@@ -74,6 +76,7 @@ let status_of_int = function
   | 2 -> NFSERR_NOENT
   | 5 -> NFSERR_IO
   | 17 -> NFSERR_EXIST
+  | 18 -> NFSERR_XDEV
   | 20 -> NFSERR_NOTDIR
   | 21 -> NFSERR_ISDIR
   | 27 -> NFSERR_FBIG
@@ -88,6 +91,7 @@ let string_of_status = function
   | NFSERR_NOENT -> "NFSERR_NOENT"
   | NFSERR_IO -> "NFSERR_IO"
   | NFSERR_EXIST -> "NFSERR_EXIST"
+  | NFSERR_XDEV -> "NFSERR_XDEV"
   | NFSERR_NOTDIR -> "NFSERR_NOTDIR"
   | NFSERR_ISDIR -> "NFSERR_ISDIR"
   | NFSERR_FBIG -> "NFSERR_FBIG"
@@ -139,15 +143,26 @@ let proc_name = function
 
 (* {1 Primitive XDR pieces} *)
 
-let put_fh enc fh =
+(* The 32-byte opaque handle is server-private; our layout spends the
+   first four words on (volume id, volume generation, inode, inode
+   generation) so dispatch can route and detect staleness at every
+   level of the identity. *)
+let put_fh enc (fh : fh) =
   let b = Bytes.make fh_bytes '\000' in
-  Bytes.set_int32_be b 0 (Int32.of_int fh.inum);
-  Bytes.set_int32_be b 4 (Int32.of_int fh.gen);
+  Bytes.set_int32_be b 0 (Int32.of_int fh.fsid);
+  Bytes.set_int32_be b 4 (Int32.of_int fh.vgen);
+  Bytes.set_int32_be b 8 (Int32.of_int fh.inum);
+  Bytes.set_int32_be b 12 (Int32.of_int fh.gen);
   Xdr.Enc.opaque_fixed enc b
 
 let get_fh dec =
   let b = Xdr.Dec.opaque_fixed dec fh_bytes in
-  { inum = Int32.to_int (Bytes.get_int32_be b 0); gen = Int32.to_int (Bytes.get_int32_be b 4) }
+  {
+    fsid = Int32.to_int (Bytes.get_int32_be b 0);
+    vgen = Int32.to_int (Bytes.get_int32_be b 4);
+    inum = Int32.to_int (Bytes.get_int32_be b 8);
+    gen = Int32.to_int (Bytes.get_int32_be b 12);
+  }
 
 let put_timeval enc tv =
   Xdr.Enc.uint32 enc tv.sec;
@@ -559,6 +574,35 @@ let decode_res ~proc body =
     | st -> RCommit (Error st)
   end
   else raise (Xdr.Dec.Error (Printf.sprintf "unknown procedure %d" proc))
+
+(* {1 Mount protocol (mini)} *)
+
+(* A toy MOUNT (program 100005) with the single MNT procedure: export
+   name in, root filehandle out. Real clients walk /etc/exports; ours
+   just need a way to ask for a volume by name instead of baking the
+   fsid into the bootstrap handle. *)
+
+let proc_mnt = 1
+
+let encode_mnt_args name =
+  let enc = Xdr.Enc.create () in
+  Xdr.Enc.string enc name;
+  Xdr.Enc.to_bytes enc
+
+let decode_mnt_args body = Xdr.Dec.string (Xdr.Dec.of_bytes body)
+
+let encode_mnt_res res =
+  let enc = Xdr.Enc.create () in
+  (match res with
+  | Ok fh ->
+      put_status enc NFS_OK;
+      put_fh enc fh
+  | Error st -> put_status enc st);
+  Xdr.Enc.to_bytes enc
+
+let decode_mnt_res body =
+  let dec = Xdr.Dec.of_bytes body in
+  match get_status dec with NFS_OK -> Ok (get_fh dec) | st -> Error st
 
 (* {1 Scanning} *)
 

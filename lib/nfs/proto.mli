@@ -2,10 +2,13 @@
     with their XDR wire encodings.
 
     File handles are the protocol's 32-byte opaque cookies; here they
-    carry the inode number and generation, so a server can detect
-    stale handles after remove/reuse exactly like a real one. *)
+    carry the volume id ([fsid]), volume generation ([vgen]), inode
+    number and inode generation, so a server can route a handle to the
+    right export and detect stale handles after remove/reuse — or
+    after the volume itself was reformatted — exactly like a real
+    one. *)
 
-type fh = { inum : int; gen : int }
+type fh = { fsid : int; vgen : int; inum : int; gen : int }
 
 val fh_bytes : int
 (** 32, per RFC 1094. *)
@@ -58,6 +61,9 @@ type status =
   | NFSERR_NOSPC
   | NFSERR_NOTEMPTY
   | NFSERR_STALE
+  | NFSERR_XDEV
+      (** Cross-device link/rename: the two handles name different
+          volumes. *)
 
 val status_to_int : status -> int
 val status_of_int : int -> status
@@ -137,6 +143,18 @@ type res =
 
 val encode_res : res -> Bytes.t
 val decode_res : proc:int -> Bytes.t -> res
+
+(** {1 Mount protocol (mini)}
+
+    A toy MOUNT (RPC program {!Nfsg_rpc.Rpc.mount_program}) with the
+    single MNT procedure: export name in, root filehandle out. *)
+
+val proc_mnt : int
+
+val encode_mnt_args : string -> Bytes.t
+val decode_mnt_args : Bytes.t -> string
+val encode_mnt_res : (fh, status) result -> Bytes.t
+val decode_mnt_res : Bytes.t -> (fh, status) result
 
 (** {1 Scanning helpers (the mbuf hunter)} *)
 

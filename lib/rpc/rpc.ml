@@ -6,6 +6,7 @@ type reply = { rxid : int; stat : accept_stat; rbody : Bytes.t }
 
 let nfs_program = 100003
 let nfs_version = 2
+let mount_program = 100005
 let msg_call = 0
 let msg_reply = 1
 let rpc_version = 2

@@ -32,3 +32,7 @@ val peek_call : Bytes.t -> call option
 
 val nfs_program : int
 val nfs_version : int
+
+val mount_program : int
+(** The MOUNT service (100005), multiplexed over the same socket as
+    NFS; used to resolve an export name to a root filehandle. *)

@@ -110,12 +110,11 @@ let rto_for t klass =
     Stdlib.min t.params.max_rto (Stdlib.max candidate t.params.min_rto)
   end
 
-let call t ?(klass = Middle) ~proc body =
+let call t ?(klass = Middle) ?(prog = Rpc.nfs_program) ~proc body =
   t.next_xid <- t.next_xid + 1;
   let xid = t.next_xid in
   let payload =
-    Rpc.encode_call
-      { Rpc.xid; prog = Rpc.nfs_program; vers = Rpc.nfs_version; proc; body }
+    Rpc.encode_call { Rpc.xid; prog; vers = Rpc.nfs_version; proc; body }
   in
   let rec attempt n rto =
     if n > t.params.max_attempts then begin

@@ -40,8 +40,10 @@ val create :
     (private registry when omitted). *)
 
 val call :
-  t -> ?klass:op_class -> proc:int -> Bytes.t -> Rpc.accept_stat * Bytes.t
-(** Blocking remote call; returns the decoded reply body. *)
+  t -> ?klass:op_class -> ?prog:int -> proc:int -> Bytes.t -> Rpc.accept_stat * Bytes.t
+(** Blocking remote call; returns the decoded reply body. [prog]
+    defaults to {!Rpc.nfs_program}; pass {!Rpc.mount_program} to reach
+    the mount service. *)
 
 val rtt_estimate : t -> op_class -> Nfsg_sim.Time.t option
 (** Smoothed RTT for the class, once at least one sample exists. *)

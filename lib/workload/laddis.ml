@@ -176,9 +176,25 @@ let setup_proc eng ~make_client ~root cfg i =
     created = [];
   }
 
-let run eng ~make_client ~root ~offered cfg =
+(* Round-robin spread of load processes over exports: proc [i] works
+   under export [i mod exports]. With one export this is the classic
+   single-volume behaviour. *)
+let export_assignment ~procs ~exports =
+  if procs < 0 then invalid_arg "Laddis.export_assignment: negative procs";
+  if exports <= 0 then invalid_arg "Laddis.export_assignment: need at least one export";
+  List.init procs (fun i -> i mod exports)
+
+let run eng ~make_client ~root ?exports ~offered cfg =
   if offered <= 0.0 then invalid_arg "Laddis.run: offered load must be positive";
-  let states = List.init cfg.procs (setup_proc eng ~make_client ~root cfg) in
+  let exports = match exports with None | Some [] -> [ root ] | Some l -> l in
+  let roots = Array.of_list exports in
+  let assignment =
+    Array.of_list (export_assignment ~procs:cfg.procs ~exports:(Array.length roots))
+  in
+  let states =
+    List.init cfg.procs (fun i ->
+        setup_proc eng ~make_client ~root:roots.(assignment.(i)) cfg i)
+  in
   let samples = ref [] in
   let stop = ref false in
   let per_proc_rate = offered /. float_of_int cfg.procs in

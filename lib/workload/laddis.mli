@@ -31,14 +31,22 @@ type point = {
   ops_completed : int;
 }
 
+val export_assignment : procs:int -> exports:int -> int list
+(** Which export (index) each load process works under: round-robin,
+    [proc i -> i mod exports]. Raises [Invalid_argument] when
+    [exports <= 0]. *)
+
 val run :
   Nfsg_sim.Engine.t ->
   make_client:(int -> Nfsg_nfs.Client.t) ->
   root:Nfsg_nfs.Proto.fh ->
+  ?exports:Nfsg_nfs.Proto.fh list ->
   offered:float ->
   config ->
   point
 (** Set up the file tree, run warmup + measurement, return the point.
     Must run inside a simulation process. [make_client i] supplies the
     client stack for load process [i] (its own socket on the shared
-    segment). *)
+    segment). [exports] spreads the working set round-robin over
+    several volume roots per {!export_assignment} ([None] or [[]]:
+    everything under [root], the single-export behaviour). *)

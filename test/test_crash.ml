@@ -22,7 +22,7 @@ let run_crash_scenario ~crash_ms ~config ~accel =
   let rpc = Rpc_client.create eng ~sock ~server:"server" () in
   let acked : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let crashed = ref false in
-  let fh_ref = ref { Nfsg_nfs.Proto.inum = 0; gen = 0 } in
+  let fh_ref = ref { Nfsg_nfs.Proto.fsid = 0; vgen = 0; inum = 0; gen = 0 } in
   Engine.spawn eng ~name:"setup" (fun () ->
       let client = Client.create eng ~rpc ~biods:0 () in
       let fh, _ = Client.create_file client (Server.root_fh server) "victim" in

@@ -24,4 +24,5 @@ let () =
       ("crash", Test_crash.suite);
       ("experiments", Test_experiments.suite);
       ("fault", Test_fault.suite);
+      ("multivolume", Test_multivolume.suite);
     ]

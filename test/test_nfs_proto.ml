@@ -1,6 +1,6 @@
 open Nfsg_nfs
 
-let fh inum gen = { Proto.inum; gen }
+let fh inum gen = { Proto.fsid = 1; vgen = 1; inum; gen }
 
 let roundtrip_args args =
   let proc = Proto.proc_of_args args in
@@ -86,6 +86,7 @@ let test_status_codes_stable () =
       Proto.NFSERR_NOSPC;
       Proto.NFSERR_NOTEMPTY;
       Proto.NFSERR_STALE;
+      Proto.NFSERR_XDEV;
     ]
 
 let test_timeval_conversion () =

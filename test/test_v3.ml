@@ -15,7 +15,7 @@ let v3_client rig ?(biods = 8) addr =
   Client.create rig.eng ~rpc ~biods ~protocol:Client.V3 ()
 
 let test_proto_roundtrips () =
-  let fh = { Proto.inum = 9; gen = 2 } in
+  let fh = { Proto.fsid = 1; vgen = 1; inum = 9; gen = 2 } in
   let args =
     [
       Proto.Write3 { fh; offset = 8192; stable = Proto.Unstable; data = Bytes.make 100 'u' };
