@@ -45,7 +45,7 @@ let run_tables quick =
       let report = f () in
       progress "bench: %s done in %.1fs wall" name (Unix.gettimeofday () -. t0);
       print_newline ();
-      Report.print report)
+      print_string (Report.to_string report))
     tables
 
 let run_figures quick =
@@ -67,7 +67,7 @@ let run_ablations quick =
   let each (name, f) =
     progress "bench: ablation %s ..." name;
     print_newline ();
-    Report.print (f ())
+    print_string (Report.to_string (f ()))
   in
   List.iter each
     [
@@ -84,7 +84,7 @@ let run_extensions quick =
   let each (name, f) =
     progress "bench: extension %s ..." name;
     print_newline ();
-    Report.print (f ())
+    print_string (Report.to_string (f ()))
   in
   List.iter each
     [

@@ -1,0 +1,39 @@
+(* nfslint — the repo's determinism & crash-semantics lint.
+
+     nfslint [--list-rules] [-q] [PATH...]
+
+   Lints every .ml under the given paths (default: lib) and exits
+   non-zero if any unsuppressed error remains. Run it through dune:
+
+     dune build @lint *)
+
+module Diagnostic = Nfsg_lint.Diagnostic
+module Rules = Nfsg_lint.Rules
+module Lint = Nfsg_lint.Lint
+
+let rec ml_files path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun entry -> ml_files (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  if List.mem "--list-rules" args then begin
+    List.iter (fun (r : Rules.rule) -> Printf.printf "%s  %s\n" r.id r.synopsis) Rules.all;
+    exit 0
+  end;
+  let quiet = List.mem "-q" args in
+  let paths =
+    match List.filter (fun a -> a = "" || a.[0] <> '-') args with [] -> [ "lib" ] | ps -> ps
+  in
+  let files = List.concat_map ml_files paths in
+  let diags = List.concat_map (fun f -> Lint.lint_file f) files in
+  List.iter (fun d -> print_endline (Diagnostic.to_string d)) diags;
+  let errors = List.length (List.filter Diagnostic.is_error diags) in
+  let warnings = List.length diags - errors in
+  if not quiet then
+    Printf.printf "nfslint: %d file(s), %d error(s), %d warning(s)\n" (List.length files) errors
+      warnings;
+  exit (if errors > 0 then 1 else 0)

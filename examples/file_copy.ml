@@ -24,7 +24,7 @@ let () =
       ~title:(Printf.sprintf "%d MB file copy: %s" mb name)
       ~net ~accel:false ~spindles:1 ~biods ~total ()
   in
-  Report.print report;
+  print_string (Report.to_string report);
   print_newline ();
   print_endline "Compare the two sections: gathering multiplies client write speed";
   print_endline "once biods give the server something to gather, and cuts disk";

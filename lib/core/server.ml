@@ -32,6 +32,7 @@ let default_config =
    incarnation — it identifies the server boot, not a disk. A plain
    boot counter keeps runs deterministic. *)
 let boot_counter = ref 0
+let () = Reset.register ~name:"server.boot_counter" (fun () -> boot_counter := 0)
 
 type t = {
   eng : Engine.t;
@@ -66,22 +67,24 @@ let socket t = t.sock
 let addr t = t.addr
 let write_verifier t = t.verf
 let op_count t proc = Option.value ~default:0 (Hashtbl.find_opt t.op_counts proc)
+(* nfslint: allow D002 integer addition is commutative; the fold's result is order-independent *)
 let total_ops t = Hashtbl.fold (fun _ n acc -> acc + n) t.op_counts 0
 let metrics t = t.metrics
 
 let count_op t proc =
   Hashtbl.replace t.op_counts proc (1 + op_count t proc);
   Nfsg_stats.Metrics.incr
-    (Nfsg_stats.Metrics.counter t.metrics ~ns:"server" ("ops_" ^ Proto.proc_name proc))
+    (Nfsg_stats.Metrics.counter t.metrics ~ns:Nfsg_stats.Names.Ns.server
+       (Nfsg_stats.Names.ops (Proto.proc_name proc)))
 
 (* Per-volume op accounting, once dispatch has routed the request. The
    legacy single-volume server's namespace IS "server", so only the
    vol<k> namespaces add a second counter. *)
 let count_vol_op t vol proc =
   let ns = Volume.server_ns vol in
-  if ns <> "server" then
+  if ns <> Nfsg_stats.Names.Ns.server then
     Nfsg_stats.Metrics.incr
-      (Nfsg_stats.Metrics.counter t.metrics ~ns ("ops_" ^ Proto.proc_name proc))
+      (Nfsg_stats.Metrics.counter t.metrics ~ns (Nfsg_stats.Names.ops (Proto.proc_name proc)))
 
 (* {1 Dispatch} *)
 

@@ -23,13 +23,14 @@ type t = {
    volume was reformatted (or replaced) therefore carries a dead vgen
    and earns NFSERR_STALE, while handles held across a mere reboot
    keep working. Process-global so no two formats ever share one. *)
+(* nfslint: allow S001 vgen uniqueness is process-wide by design: resetting it would let a reformatted volume reuse a live generation and defeat NFSERR_STALE detection *)
 let generation_counter = ref 0
 
 let server_ns_of ~legacy_ns fsid =
-  if legacy_ns then "server" else Printf.sprintf "server.vol%d" fsid
+  if legacy_ns then Nfsg_stats.Names.Ns.server else Nfsg_stats.Names.Ns.server_vol fsid
 
 let write_layer_ns_of ~legacy_ns fsid =
-  if legacy_ns then "write_layer" else Printf.sprintf "write_layer.vol%d" fsid
+  if legacy_ns then Nfsg_stats.Names.Ns.write_layer else Nfsg_stats.Names.Ns.write_layer_vol fsid
 
 let mount eng ~fsid ?vgen ?(legacy_ns = false) ~sock ~cpu ~costs ~send_reply
     ?trace ?metrics ?(mkfs = true) ~wl_config spec =

@@ -55,18 +55,19 @@ type inst = {
 
 let make_inst metrics ~name =
   let module M = Nfsg_stats.Metrics in
-  let ns = "disk." ^ name in
+  let module Names = Nfsg_stats.Names in
+  let ns = Names.Ns.disk name in
   {
-    m_reads = M.counter metrics ~ns "reads";
-    m_writes = M.counter metrics ~ns "writes";
-    m_bytes_read = M.counter metrics ~ns "bytes_read";
-    m_bytes_written = M.counter metrics ~ns "bytes_written";
-    m_seek_us = M.histogram metrics ~ns "seek_us";
-    m_rot_us = M.histogram metrics ~ns "rotation_us";
-    m_xfer_us = M.histogram metrics ~ns "transfer_us";
-    m_service_us = M.histogram metrics ~ns "service_us";
-    m_queue_depth = M.histogram metrics ~ns "queue_depth";
-    m_queue_gauge = M.gauge metrics ~ns "queue_depth_peak";
+    m_reads = M.counter metrics ~ns Names.reads;
+    m_writes = M.counter metrics ~ns Names.writes;
+    m_bytes_read = M.counter metrics ~ns Names.bytes_read;
+    m_bytes_written = M.counter metrics ~ns Names.bytes_written;
+    m_seek_us = M.histogram metrics ~ns Names.seek_us;
+    m_rot_us = M.histogram metrics ~ns Names.rotation_us;
+    m_xfer_us = M.histogram metrics ~ns Names.transfer_us;
+    m_service_us = M.histogram metrics ~ns Names.service_us;
+    m_queue_depth = M.histogram metrics ~ns Names.queue_depth;
+    m_queue_gauge = M.gauge metrics ~ns Names.queue_depth_peak;
   }
 
 type state = {

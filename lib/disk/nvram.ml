@@ -44,21 +44,22 @@ type inst = {
 
 let make_inst metrics ~name =
   let module M = Nfsg_stats.Metrics in
-  let ns = "nvram." ^ name in
+  let module Names = Nfsg_stats.Names in
+  let ns = Names.Ns.nvram name in
   let i =
     {
-      m_accepted = M.counter metrics ~ns "writes_accepted";
-      m_declined = M.counter metrics ~ns "writes_declined";
-      m_passthrough = M.counter metrics ~ns "writes_passthrough";
-      m_read_hits = M.counter metrics ~ns "read_hits";
-      m_read_misses = M.counter metrics ~ns "read_misses";
-      m_flushes = M.counter metrics ~ns "flushes";
-      m_flush_retries = M.counter metrics ~ns "flush_retries";
-      m_battery_failures = M.counter metrics ~ns "battery_failures";
-      m_flush_bytes = M.histogram metrics ~ns ~least:512.0 "flush_batch_bytes";
-      m_dirty_gauge = M.gauge metrics ~ns "dirty_bytes";
-      m_dirty_peak = M.gauge metrics ~ns "dirty_bytes_peak";
-      m_battery_gauge = M.gauge metrics ~ns "battery_ok";
+      m_accepted = M.counter metrics ~ns Names.writes_accepted;
+      m_declined = M.counter metrics ~ns Names.writes_declined;
+      m_passthrough = M.counter metrics ~ns Names.writes_passthrough;
+      m_read_hits = M.counter metrics ~ns Names.read_hits;
+      m_read_misses = M.counter metrics ~ns Names.read_misses;
+      m_flushes = M.counter metrics ~ns Names.flushes;
+      m_flush_retries = M.counter metrics ~ns Names.flush_retries;
+      m_battery_failures = M.counter metrics ~ns Names.battery_failures;
+      m_flush_bytes = M.histogram metrics ~ns ~least:512.0 Names.flush_batch_bytes;
+      m_dirty_gauge = M.gauge metrics ~ns Names.dirty_bytes;
+      m_dirty_peak = M.gauge metrics ~ns Names.dirty_bytes_peak;
+      m_battery_gauge = M.gauge metrics ~ns Names.battery_ok;
     }
   in
   M.set i.m_battery_gauge 1.0;
@@ -173,6 +174,7 @@ let overlay st ~off buf =
 (* Weak registry: lets {!dirty_bytes} find the internal state of a
    device without pinning retired simulation worlds (and their 96 MB
    platters) in memory forever. *)
+(* nfslint: allow S001 weak ephemeron registry whose entries die with their devices; emptying it would orphan NVRAM devices that are still live *)
 let registry : (Device.t, state) Ephemeron.K1.t list ref = ref []
 
 let state_of dev =

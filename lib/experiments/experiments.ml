@@ -446,6 +446,7 @@ let ablation_dumb_pc ?(quick = false) () =
 module Json = Nfsg_stats.Json
 module Metrics = Nfsg_stats.Metrics
 module Histogram = Nfsg_stats.Histogram
+module Names = Nfsg_stats.Names
 
 let bench_biods = 7
 
@@ -476,7 +477,7 @@ let bench_writegather ?(quick = false) ?total () =
           failwith "bench_writegather: read-back mismatch";
         let trans = d1.Nfsg_disk.Device.transactions - d0.Nfsg_disk.Device.transactions in
         let lat =
-          match Metrics.find_histogram m ~ns:"nfs.client" "lat_us_WRITE" with
+          match Metrics.find_histogram m ~ns:Names.Ns.nfs_client (Names.lat_us "WRITE") with
           | Some h ->
               Json.Obj
                 [
@@ -487,7 +488,7 @@ let bench_writegather ?(quick = false) ?total () =
           | None -> Json.Null
         in
         let batch =
-          match Metrics.find_histogram m ~ns:"write_layer" "batch_size" with
+          match Metrics.find_histogram m ~ns:Names.Ns.write_layer Names.batch_size with
           | Some h ->
               Json.Obj
                 [
@@ -505,7 +506,7 @@ let bench_writegather ?(quick = false) ?total () =
         in
         let saved =
           Option.value ~default:0
-            (Metrics.find_counter m ~ns:"write_layer" "metadata_flushes_saved")
+            (Metrics.find_counter m ~ns:Names.Ns.write_layer Names.metadata_flushes_saved)
         in
         Json.Obj
           [

@@ -13,6 +13,7 @@ module Rpc_client = Nfsg_rpc.Rpc_client
 module Laddis = Nfsg_workload.Laddis
 module Metrics = Nfsg_stats.Metrics
 module Histogram = Nfsg_stats.Histogram
+module Names = Nfsg_stats.Names
 module Json = Nfsg_stats.Json
 module Report = Nfsg_stats.Report
 
@@ -134,26 +135,26 @@ let run_world ?fault cfg =
   in
   let vol_stats k =
     let fsid = k + 1 in
-    let wl_ns = Printf.sprintf "write_layer.vol%d" fsid in
-    let sv_ns = Printf.sprintf "server.vol%d" fsid in
+    let wl_ns = Names.Ns.write_layer_vol fsid in
+    let sv_ns = Names.Ns.server_vol fsid in
     let batches, mean_batch =
-      match Metrics.find_histogram metrics ~ns:wl_ns "batch_size" with
+      match Metrics.find_histogram metrics ~ns:wl_ns Names.batch_size with
       | Some h -> (Histogram.count h, Histogram.mean h)
       | None -> (0, 0.0)
     in
     let lat f =
-      match Metrics.find_histogram cms.(k) ~ns:"nfs.client" "lat_us_WRITE" with
+      match Metrics.find_histogram cms.(k) ~ns:Names.Ns.nfs_client (Names.lat_us "WRITE") with
       | Some h -> f h
       | None -> 0.0
     in
     {
       export = Printf.sprintf "/export%d" k;
       fsid;
-      writes = Option.value ~default:0 (Metrics.find_counter metrics ~ns:sv_ns "ops_WRITE");
+      writes = Option.value ~default:0 (Metrics.find_counter metrics ~ns:sv_ns (Names.ops "WRITE"));
       batches;
       mean_batch;
       flushes_saved =
-        Option.value ~default:0 (Metrics.find_counter metrics ~ns:wl_ns "metadata_flushes_saved");
+        Option.value ~default:0 (Metrics.find_counter metrics ~ns:wl_ns Names.metadata_flushes_saved);
       write_mean_us = lat Histogram.mean;
       write_p50_us = lat Histogram.median;
       write_p99_us = lat Histogram.p99;

@@ -53,6 +53,7 @@ type t = {
    every world an experiment builds into one registry without threading
    a parameter through every table/figure function. *)
 let sink : Metrics.t option ref = ref None
+let () = Reset.register ~name:"rig.metrics_sink" (fun () -> sink := None)
 let set_metrics_sink m = sink := m
 let metrics_sink () = !sink
 let metrics t = t.metrics

@@ -1,0 +1,32 @@
+(* A single nfslint finding. Diagnostics are plain data so the CLI,
+   the dune @lint gate and the fixture tests all render them the same
+   way. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;  (** e.g. "D001"; "LINT" for meta-diagnostics *)
+  severity : severity;
+  file : string;  (** repo-relative path, as given to the driver *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler convention *)
+  message : string;
+}
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let make ~rule ~severity ~file ~line ~col message =
+  { rule; severity; file; line; col; message }
+
+(* The compiler's file:line:col prefix, so editors and CI annotations
+   pick findings up without custom parsers. *)
+let to_string d =
+  Printf.sprintf "%s:%d:%d: %s [%s] %s" d.file d.line d.col (severity_name d.severity) d.rule
+    d.message
+
+let compare_loc a b =
+  match compare (a.file, a.line, a.col) (b.file, b.line, b.col) with
+  | 0 -> compare a.rule b.rule
+  | c -> c
+
+let is_error d = d.severity = Error

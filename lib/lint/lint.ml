@@ -1,0 +1,29 @@
+(* The nfslint driver: parse one .ml with the compiler's own parser,
+   run every rule, then fold in the suppression comments. Used by the
+   nfslint executable (the dune @lint gate) and by the fixture tests. *)
+
+let parse_diag ~rel exn =
+  let message =
+    match exn with
+    | Syntaxerr.Error _ -> "syntax error (file does not parse)"
+    | exn -> Printexc.to_string exn
+  in
+  [ Diagnostic.make ~rule:"PARSE" ~severity:Diagnostic.Error ~file:rel ~line:1 ~col:0 message ]
+
+let lint_source ~rel src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf rel;
+  match Parse.implementation lexbuf with
+  | exception exn -> parse_diag ~rel exn
+  | structure ->
+      let ctx = { Rules.rel } in
+      let raw = List.concat_map (fun (r : Rules.rule) -> r.run ctx structure) Rules.all in
+      let suppressions = Suppress.scan_source src in
+      Suppress.apply ~file:rel suppressions raw |> List.sort Diagnostic.compare_loc
+
+let lint_file ?rel path =
+  let rel = match rel with Some r -> r | None -> path in
+  let ic = open_in_bin path in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  lint_source ~rel src

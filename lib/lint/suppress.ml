@@ -1,0 +1,101 @@
+(* Suppression comments.
+
+   A diagnostic is silenced by a comment containing the marker (the
+   word "nfslint", a colon-space, then "allow"), a rule id and a
+   justification, on the same line as the finding or on the line
+   directly above it. The justification is mandatory: an allow
+   without one is itself a lint error, so every suppression in the
+   tree documents why the rule does not apply. See README "Static
+   analysis" for the exact syntax. *)
+
+type t = {
+  rule : string;
+  line : int;  (** line the comment starts on, 1-based *)
+  reason : string;
+  mutable used : bool;
+}
+
+let marker = "nfslint: allow"
+
+let is_rule_char c = (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+(* Parse everything after the marker: a rule id, then the reason up to
+   the end of the comment (or of the line, for multi-line comments). *)
+let parse_tail ~line tail =
+  let tail = String.trim tail in
+  let n = String.length tail in
+  let i = ref 0 in
+  while !i < n && is_rule_char tail.[!i] do
+    incr i
+  done;
+  let rule = String.sub tail 0 !i in
+  let rest = String.sub tail !i (n - !i) in
+  let rest =
+    match String.index_opt rest '*' with
+    | Some j when j + 1 < String.length rest && rest.[j + 1] = ')' -> String.sub rest 0 j
+    | _ -> rest
+  in
+  if rule = "" then None else Some { rule; line; reason = String.trim rest; used = false }
+
+let scan_source src =
+  let lines = String.split_on_char '\n' src in
+  let found = ref [] in
+  List.iteri
+    (fun i line ->
+      match
+        (* Plain substring search: the marker never appears outside a
+           comment in practice, and a false hit only creates an unused
+           suppression warning, never a silent pass. *)
+        let mlen = String.length marker in
+        let rec find from =
+          if from + mlen > String.length line then None
+          else if String.sub line from mlen = marker then Some (from + mlen)
+          else find (from + 1)
+        in
+        find 0
+      with
+      | None -> ()
+      | Some after -> (
+          let tail = String.sub line after (String.length line - after) in
+          match parse_tail ~line:(i + 1) tail with
+          | Some s -> found := s :: !found
+          | None -> ()))
+    lines;
+  List.rev !found
+
+(* A suppression covers its own line and the one below, so it can sit
+   at the end of the offending line or on its own line above it. *)
+let covers s (d : Diagnostic.t) =
+  s.rule = d.rule && (d.line = s.line || d.line = s.line + 1)
+
+let apply ~file suppressions diagnostics =
+  let kept =
+    List.filter
+      (fun d ->
+        match List.find_opt (fun s -> covers s d) suppressions with
+        | Some s ->
+            s.used <- true;
+            false
+        | None -> true)
+      diagnostics
+  in
+  let meta =
+    List.concat_map
+      (fun s ->
+        if s.reason = "" then
+          [
+            Diagnostic.make ~rule:"LINT" ~severity:Diagnostic.Error ~file ~line:s.line ~col:0
+              (Printf.sprintf "suppression of %s carries no justification; write \
+                               '(* nfslint: allow %s <reason> *)'"
+                 s.rule s.rule);
+          ]
+        else if not s.used then
+          [
+            Diagnostic.make ~rule:"LINT" ~severity:Diagnostic.Warning ~file ~line:s.line ~col:0
+              (Printf.sprintf "unused suppression: no %s diagnostic on this or the next line"
+                 s.rule);
+          ]
+        else [])
+      suppressions
+  in
+  kept @ meta

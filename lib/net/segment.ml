@@ -1,5 +1,6 @@
 open Nfsg_sim
 module Metrics = Nfsg_stats.Metrics
+module Names = Nfsg_stats.Names
 
 type params = {
   bandwidth : float;
@@ -141,7 +142,7 @@ let daemon t () =
 
 let create eng ?(seed = 0x5e9) ?metrics p =
   let m = match metrics with Some m -> m | None -> Metrics.create () in
-  let ns = "net" in
+  let ns = Names.Ns.net in
   let t =
     {
       eng;
@@ -152,11 +153,11 @@ let create eng ?(seed = 0x5e9) ?metrics p =
       loss = p.loss_prob;
       dup = 0.0;
       partitions = [];
-      sent = Metrics.counter m ~ns "datagrams_sent";
-      lost = Metrics.counter m ~ns "datagrams_lost";
-      duplicated = Metrics.counter m ~ns "datagrams_duplicated";
-      blackholed = Metrics.counter m ~ns "datagrams_blackholed";
-      bytes = Metrics.counter m ~ns "bytes_sent";
+      sent = Metrics.counter m ~ns Names.datagrams_sent;
+      lost = Metrics.counter m ~ns Names.datagrams_lost;
+      duplicated = Metrics.counter m ~ns Names.datagrams_duplicated;
+      blackholed = Metrics.counter m ~ns Names.datagrams_blackholed;
+      bytes = Metrics.counter m ~ns Names.bytes_sent;
       busy = Time.zero;
     }
   in

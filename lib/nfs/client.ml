@@ -2,6 +2,7 @@ open Nfsg_sim
 module Rpc = Nfsg_rpc.Rpc
 module Rpc_client = Nfsg_rpc.Rpc_client
 module Metrics = Nfsg_stats.Metrics
+module Names = Nfsg_stats.Names
 
 exception Error of Proto.status
 exception Verifier_changed
@@ -52,7 +53,7 @@ let do_call t ~klass args =
   (* Per-procedure completion latency, as the application sees it:
      includes every retransmission and RTO wait inside the call. *)
   let h =
-    Metrics.histogram t.metrics ~ns:"nfs.client" ("lat_us_" ^ Proto.proc_name proc)
+    Metrics.histogram t.metrics ~ns:Names.Ns.nfs_client (Names.lat_us (Proto.proc_name proc))
   in
   Metrics.span t.eng h (fun () ->
       let stat, body = Rpc_client.call t.rpc ~klass ~proc (Proto.encode_args args) in

@@ -1,5 +1,6 @@
 open Nfsg_sim
 module Metrics = Nfsg_stats.Metrics
+module Names = Nfsg_stats.Names
 
 type state = In_flight | Done of Bytes.t * Time.t
 
@@ -19,7 +20,7 @@ type t = {
   m_overflows : Metrics.counter;
 }
 
-let ns = "rpc.dupcache"
+let ns = Names.Ns.rpc_dupcache
 
 let create eng ?(capacity = 512) ?(ttl = Time.sec 6) ?metrics () =
   let m = match metrics with Some m -> m | None -> Metrics.create () in
@@ -28,11 +29,11 @@ let create eng ?(capacity = 512) ?(ttl = Time.sec 6) ?metrics () =
     capacity;
     ttl;
     table = Hashtbl.create 256;
-    m_drops = Metrics.counter m ~ns "drops";
-    m_replays = Metrics.counter m ~ns "replays";
-    m_evictions = Metrics.counter m ~ns "evictions";
-    m_expirations = Metrics.counter m ~ns "expirations";
-    m_overflows = Metrics.counter m ~ns "overflows";
+    m_drops = Metrics.counter m ~ns Names.drops;
+    m_replays = Metrics.counter m ~ns Names.replays;
+    m_evictions = Metrics.counter m ~ns Names.evictions;
+    m_expirations = Metrics.counter m ~ns Names.expirations;
+    m_overflows = Metrics.counter m ~ns Names.overflows;
   }
 
 let entries t = Hashtbl.length t.table

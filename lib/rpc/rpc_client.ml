@@ -1,5 +1,6 @@
 open Nfsg_sim
 module Metrics = Nfsg_stats.Metrics
+module Names = Nfsg_stats.Names
 
 type op_class = Light | Middle | Heavy
 
@@ -53,7 +54,7 @@ let demux t () =
 
 let create eng ~sock ~server ?(params = default_params) ?metrics () =
   let m = match metrics with Some m -> m | None -> Metrics.create () in
-  let ns = "rpc.client" in
+  let ns = Names.Ns.rpc_client in
   let t =
     {
       eng;
@@ -63,11 +64,11 @@ let create eng ~sock ~server ?(params = default_params) ?metrics () =
       pending = Hashtbl.create 64;
       rtt = Hashtbl.create 4;
       next_xid = 1;
-      sent = Metrics.counter m ~ns "datagrams_sent";
-      retrans = Metrics.counter m ~ns "retransmissions";
-      stale = Metrics.counter m ~ns "stale_replies";
-      timeouts = Metrics.counter m ~ns "timeouts";
-      rtt_us = Metrics.histogram m ~ns "rtt_us";
+      sent = Metrics.counter m ~ns Names.datagrams_sent;
+      retrans = Metrics.counter m ~ns Names.retransmissions;
+      stale = Metrics.counter m ~ns Names.stale_replies;
+      timeouts = Metrics.counter m ~ns Names.timeouts;
+      rtt_us = Metrics.histogram m ~ns Names.rtt_us;
     }
   in
   Engine.spawn eng ~name:(Nfsg_net.Socket.addr sock ^ "-rpc-demux") (demux t);

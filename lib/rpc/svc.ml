@@ -1,5 +1,6 @@
 open Nfsg_sim
 module Metrics = Nfsg_stats.Metrics
+module Names = Nfsg_stats.Names
 
 type transport = {
   id : int;
@@ -86,7 +87,12 @@ let svc_run t dispatch () =
                    one, later) finishes it via send_reply. We go
                    straight back to the socket for more work. *)
                 ()
-            | exception _ ->
+            | exception e ->
+                (* Simulator invariant failures must not be laundered
+                   into RPC errors. *)
+                (match e with
+                | Assert_failure _ | Out_of_memory | Stack_overflow -> raise e
+                | _ -> ());
                 (* An exception escaping the dispatch must never leave
                    the xid parked as in-progress: that would silently
                    blackhole every retransmission of the request. If no
@@ -110,7 +116,7 @@ let create eng ~sock ?dupcache ?(on_duplicate_drop = fun ~client:_ _ -> ()) ?met
     ~dispatch () =
   if nfsds <= 0 then invalid_arg "Svc.create: need at least one nfsd";
   let m = match metrics with Some m -> m | None -> Metrics.create () in
-  let ns = "rpc.svc" in
+  let ns = Names.Ns.rpc_svc in
   let t =
     {
       eng;
@@ -120,11 +126,11 @@ let create eng ~sock ?dupcache ?(on_duplicate_drop = fun ~client:_ _ -> ()) ?met
       free_handles = Queue.create ();
       next_id = 0;
       outstanding = 0;
-      received = Metrics.counter m ~ns "received";
-      garbage = Metrics.counter m ~ns "garbage";
-      dispatch_errors = Metrics.counter m ~ns "dispatch_errors";
-      dup_drops = Metrics.counter m ~ns "duplicate_drops";
-      dup_replays = Metrics.counter m ~ns "duplicate_replays";
+      received = Metrics.counter m ~ns Names.received;
+      garbage = Metrics.counter m ~ns Names.garbage;
+      dispatch_errors = Metrics.counter m ~ns Names.dispatch_errors;
+      dup_drops = Metrics.counter m ~ns Names.duplicate_drops;
+      dup_replays = Metrics.counter m ~ns Names.duplicate_replays;
     }
   in
   for i = 0 to nfsds - 1 do

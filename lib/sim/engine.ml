@@ -17,6 +17,7 @@ type _ Effect.t +=
 
 let current_name = ref "?"
 let self_name () = !current_name
+let () = Reset.register ~name:"engine.current_name" (fun () -> current_name := "?")
 
 let create () = { clock = Time.zero; seq = 0; events = Heap.create (); suspended = 0 }
 let now t = t.clock

@@ -1,0 +1,20 @@
+(** Registry of reset hooks for process-global mutable state.
+
+    Globals that survive [Server.crash]/[restart] by design register a
+    hook so test drivers can restore a pristine process between
+    independent simulated worlds; the S001 lint rule requires every
+    top-level mutable in lib/ to either register here or carry a
+    justified suppression. *)
+
+val register : name:string -> (unit -> unit) -> unit
+(** [register ~name f] adds hook [f]. Names must be unique
+    ("module.binding" by convention); a duplicate raises
+    [Invalid_argument]. *)
+
+val names : unit -> string list
+(** Registered hook names, sorted. *)
+
+val run_all : unit -> unit
+(** Run every hook, in name order. Only call between independent
+    simulated worlds: hooks reset identity counters (boot verifiers,
+    volume generations) whose uniqueness live worlds rely on. *)

@@ -1,0 +1,110 @@
+(* The central registry of metric namespaces and instrument names.
+
+   Every [Metrics.counter]/[gauge]/[histogram] registration and every
+   [Metrics.find_*] query in lib/ draws its strings from here (the
+   M001 lint rule forbids inline literals at those call sites), so a
+   namespace typo — "server.vol3" vs "server_vol3" — is an unbound
+   identifier at compile time instead of a silently empty query.
+
+   The values are part of the wire format of the metrics JSON and the
+   committed BENCH_*.json artifacts: renaming one is a breaking change
+   to every consumer of those files and to CI's byte-diffs. *)
+
+module Ns = struct
+  let net = "net"
+  let rpc_svc = "rpc.svc"
+  let rpc_client = "rpc.client"
+  let rpc_dupcache = "rpc.dupcache"
+  let nfs_client = "nfs.client"
+  let server = "server"
+  let write_layer = "write_layer"
+
+  (* Devices are named per instance ("rz26-0", "vol2-rz26-1", ...). *)
+  let disk name = "disk." ^ name
+  let nvram name = "nvram." ^ name
+
+  (* Multi-volume planes; the 1-volume legacy server keeps the plain
+     [server]/[write_layer] namespaces (see Volume.mount). *)
+  let server_vol fsid = Printf.sprintf "server.vol%d" fsid
+  let write_layer_vol fsid = Printf.sprintf "write_layer.vol%d" fsid
+end
+
+(* {1 net} *)
+
+let datagrams_sent = "datagrams_sent"
+let datagrams_lost = "datagrams_lost"
+let datagrams_duplicated = "datagrams_duplicated"
+let datagrams_blackholed = "datagrams_blackholed"
+let bytes_sent = "bytes_sent"
+
+(* {1 rpc.svc} *)
+
+let received = "received"
+let garbage = "garbage"
+let dispatch_errors = "dispatch_errors"
+let duplicate_drops = "duplicate_drops"
+let duplicate_replays = "duplicate_replays"
+
+(* {1 rpc.client} *)
+
+let retransmissions = "retransmissions"
+let stale_replies = "stale_replies"
+let timeouts = "timeouts"
+let rtt_us = "rtt_us"
+
+(* {1 rpc.dupcache} *)
+
+let drops = "drops"
+let replays = "replays"
+let evictions = "evictions"
+let expirations = "expirations"
+let overflows = "overflows"
+
+(* {1 disk.<name>} *)
+
+let reads = "reads"
+let writes = "writes"
+let bytes_read = "bytes_read"
+let bytes_written = "bytes_written"
+let seek_us = "seek_us"
+let rotation_us = "rotation_us"
+let transfer_us = "transfer_us"
+let service_us = "service_us"
+let queue_depth = "queue_depth"
+let queue_depth_peak = "queue_depth_peak"
+
+(* {1 nvram.<name>} *)
+
+let writes_accepted = "writes_accepted"
+let writes_declined = "writes_declined"
+let writes_passthrough = "writes_passthrough"
+let read_hits = "read_hits"
+let read_misses = "read_misses"
+let flushes = "flushes"
+let flush_retries = "flush_retries"
+let battery_failures = "battery_failures"
+let flush_batch_bytes = "flush_batch_bytes"
+let dirty_bytes = "dirty_bytes"
+let dirty_bytes_peak = "dirty_bytes_peak"
+let battery_ok = "battery_ok"
+
+(* {1 write_layer[.vol<k>]} *)
+
+let batches = "batches"
+let gathered_replies = "gathered_replies"
+let procrastinations = "procrastinations"
+let procrastinate_failures = "procrastinate_failures"
+let mbuf_hits = "mbuf_hits"
+let rescues = "rescues"
+let flush_failures = "flush_failures"
+let metadata_flushes_saved = "metadata_flushes_saved"
+let batch_size = "batch_size"
+let reply_latency_us = "reply_latency_us"
+
+(* {1 per-procedure families} *)
+
+(* server[.vol<k>]: one counter per NFS procedure, e.g. "ops_WRITE". *)
+let ops proc_name = "ops_" ^ proc_name
+
+(* nfs.client: per-procedure latency histograms, e.g. "lat_us_WRITE". *)
+let lat_us proc_name = "lat_us_" ^ proc_name

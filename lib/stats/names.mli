@@ -1,0 +1,109 @@
+(** Central registry of metric namespaces and instrument names.
+
+    The M001 lint rule forbids inline string literals at
+    [Metrics.counter]/[gauge]/[histogram]/[find_*] call sites: all
+    names come from here, so a namespace typo is a compile error.
+    These strings appear in the metrics JSON and the committed
+    BENCH_*.json artifacts — renaming one breaks CI's byte-diffs. *)
+
+module Ns : sig
+  val net : string
+  val rpc_svc : string
+  val rpc_client : string
+  val rpc_dupcache : string
+  val nfs_client : string
+  val server : string
+  val write_layer : string
+
+  val disk : string -> string
+  (** [disk name] is ["disk." ^ name], e.g. ["disk.rz26-0"]. *)
+
+  val nvram : string -> string
+  (** [nvram name] is ["nvram." ^ name]. *)
+
+  val server_vol : int -> string
+  (** [server_vol k] is ["server.vol<k>"] (multi-volume exports). *)
+
+  val write_layer_vol : int -> string
+  (** [write_layer_vol k] is ["write_layer.vol<k>"]. *)
+end
+
+(** {1 net} *)
+
+val datagrams_sent : string
+val datagrams_lost : string
+val datagrams_duplicated : string
+val datagrams_blackholed : string
+val bytes_sent : string
+
+(** {1 rpc.svc} *)
+
+val received : string
+val garbage : string
+val dispatch_errors : string
+val duplicate_drops : string
+val duplicate_replays : string
+
+(** {1 rpc.client} *)
+
+val retransmissions : string
+val stale_replies : string
+val timeouts : string
+val rtt_us : string
+
+(** {1 rpc.dupcache} *)
+
+val drops : string
+val replays : string
+val evictions : string
+val expirations : string
+val overflows : string
+
+(** {1 disk.<name>} *)
+
+val reads : string
+val writes : string
+val bytes_read : string
+val bytes_written : string
+val seek_us : string
+val rotation_us : string
+val transfer_us : string
+val service_us : string
+val queue_depth : string
+val queue_depth_peak : string
+
+(** {1 nvram.<name>} *)
+
+val writes_accepted : string
+val writes_declined : string
+val writes_passthrough : string
+val read_hits : string
+val read_misses : string
+val flushes : string
+val flush_retries : string
+val battery_failures : string
+val flush_batch_bytes : string
+val dirty_bytes : string
+val dirty_bytes_peak : string
+val battery_ok : string
+
+(** {1 write_layer[.vol<k>]} *)
+
+val batches : string
+val gathered_replies : string
+val procrastinations : string
+val procrastinate_failures : string
+val mbuf_hits : string
+val rescues : string
+val flush_failures : string
+val metadata_flushes_saved : string
+val batch_size : string
+val reply_latency_us : string
+
+(** {1 per-procedure families} *)
+
+val ops : string -> string
+(** [ops p] is ["ops_" ^ p] — the server[.vol<k>] op counters. *)
+
+val lat_us : string -> string
+(** [lat_us p] is ["lat_us_" ^ p] — nfs.client latency histograms. *)

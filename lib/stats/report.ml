@@ -55,4 +55,3 @@ let to_string t =
     lines;
   Buffer.contents buf
 
-let print t = print_string (to_string t)

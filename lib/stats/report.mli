@@ -23,5 +23,4 @@ val add_row : t -> string -> float list -> unit
 val add_text_row : t -> string -> string list -> unit
 
 val to_string : t -> string
-val print : t -> unit
-(** [to_string]/[print] render the table with aligned columns. *)
+(** [to_string] renders the table with aligned columns. *)

@@ -44,6 +44,7 @@ let touch c e =
 let make_room c =
   if Hashtbl.length c.table >= c.max_blocks then begin
     let victim = ref None in
+    (* nfslint: allow D002 min-selection over unique last_use ticks; exactly one block wins regardless of iteration order *)
     Hashtbl.iter
       (fun b e ->
         if e.dirty = None then

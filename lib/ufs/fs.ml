@@ -680,11 +680,17 @@ let statfs t =
     bsize = bsize t }
 
 let sync_all t =
-  Hashtbl.iter
-    (fun _ ino ->
+  (* Flush in inode-number order: each sync issues disk writes, so the
+     schedule (and simulated timing) must not depend on hash layout. *)
+  let inos =
+    Hashtbl.fold (fun inum ino acc -> (inum, ino) :: acc) t.incore []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (_, ino) ->
       syncdata t ino ~off:0 ~len:ino.size;
       fsync_metadata t ino)
-    t.incore;
+    inos;
   (* Bitmap and any other dirty metadata blocks. *)
   let dirty = Buffer_cache.dirty_blocks t.bcache Buffer_cache.Metadata in
   List.iter (fun b -> Buffer_cache.write_sync t.bcache b) dirty;

@@ -1,0 +1,3 @@
+(* D001 positive: wall-clock and unseeded randomness in lib/. *)
+let now () = Unix.gettimeofday ()
+let pick () = Random.int 6

@@ -1,0 +1,2 @@
+(* nfslint: allow D001 fixture: exercises the suppression path end to end *)
+let now () = Unix.gettimeofday ()

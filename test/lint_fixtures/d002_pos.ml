@@ -1,0 +1,2 @@
+(* D002 positive: fold result escapes with no sorted sink in the binding. *)
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

@@ -1,0 +1,3 @@
+let count tbl =
+  (* nfslint: allow D002 integer addition is commutative; order cannot show *)
+  Hashtbl.fold (fun _ _ n -> n + 1) tbl 0

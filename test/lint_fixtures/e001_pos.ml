@@ -1,0 +1,2 @@
+(* E001 positive: catch-all handler swallows the exception. *)
+let quietly f = try f () with _ -> ()

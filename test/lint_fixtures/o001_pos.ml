@@ -1,0 +1,2 @@
+(* O001 positive: direct stdout output from library code. *)
+let shout msg = print_string msg

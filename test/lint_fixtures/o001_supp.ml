@@ -1,0 +1,2 @@
+(* nfslint: allow O001 fixture: demonstrates a justified direct print *)
+let shout msg = print_string msg

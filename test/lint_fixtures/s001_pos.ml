@@ -1,0 +1,2 @@
+(* S001 positive: top-level mutable state with no reset hook. *)
+let cache : (int, string) Hashtbl.t = Hashtbl.create 16

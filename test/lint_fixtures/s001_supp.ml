@@ -1,0 +1,2 @@
+(* nfslint: allow S001 fixture: demonstrates justified persistent state *)
+let cache : (int, string) Hashtbl.t = Hashtbl.create 16

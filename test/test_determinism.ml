@@ -1,0 +1,62 @@
+(* Double-run determinism: the writegather bench, run twice inside one
+   process with the Reset registry fired in between, must render byte
+   for byte the same JSON. This is the property the @lint rules exist
+   to protect — any wall-clock read, unseeded RNG, hash-order leak or
+   stale process-global between runs shows up here as a byte diff. *)
+
+open Nfsg_sim
+module Json = Nfsg_stats.Json
+
+(* Small enough to stay sub-second, large enough that gathering,
+   clustering and the metadata-flush ledger all engage. *)
+let bench_total = 512 * 1024
+
+let run_once () =
+  Reset.run_all ();
+  Json.to_string ~pretty:true
+    (Nfsg_experiments.Experiments.bench_writegather ~total:bench_total ())
+
+let test_double_run () =
+  let first = run_once () in
+  let second = run_once () in
+  if not (String.equal first second) then begin
+    (* Point at the first differing line rather than dumping both blobs. *)
+    let la = String.split_on_char '\n' first and lb = String.split_on_char '\n' second in
+    let rec first_diff i = function
+      | a :: ta, b :: tb -> if String.equal a b then first_diff (i + 1) (ta, tb) else (i, a, b)
+      | a :: _, [] -> (i, a, "<end of second run>")
+      | [], b :: _ -> (i, "<end of first run>", b)
+      | [], [] -> (i, "", "")
+    in
+    let line, a, b = first_diff 1 (la, lb) in
+    Alcotest.failf "double-run JSON diverges at line %d:\n  run 1: %s\n  run 2: %s" line a b
+  end
+
+(* The registry itself: hooks the lint S001 dispositions rely on must
+   actually be registered. *)
+let test_reset_hooks_present () =
+  let names = Reset.names () in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " registered") true (List.mem n names))
+    [ "engine.current_name"; "rig.metrics_sink"; "server.boot_counter" ]
+
+let test_reset_duplicate_rejected () =
+  Reset.register ~name:"test.determinism.dup" (fun () -> ());
+  Alcotest.check_raises "duplicate hook name"
+    (Invalid_argument "Reset.register: duplicate hook test.determinism.dup") (fun () ->
+      Reset.register ~name:"test.determinism.dup" (fun () -> ()))
+
+let test_reset_runs_hooks () =
+  let hit = ref false in
+  Reset.register ~name:"test.determinism.probe" (fun () -> hit := true);
+  Reset.run_all ();
+  Alcotest.(check bool) "hook ran" true !hit
+
+let suite =
+  [
+    Alcotest.test_case "writegather bench twice, same bytes" `Quick test_double_run;
+    Alcotest.test_case "expected reset hooks registered" `Quick test_reset_hooks_present;
+    Alcotest.test_case "duplicate reset hook rejected" `Quick test_reset_duplicate_rejected;
+    Alcotest.test_case "run_all fires hooks" `Quick test_reset_runs_hooks;
+  ]

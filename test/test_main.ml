@@ -25,4 +25,6 @@ let () =
       ("experiments", Test_experiments.suite);
       ("fault", Test_fault.suite);
       ("multivolume", Test_multivolume.suite);
+      ("lint", Test_lint.suite);
+      ("determinism", Test_determinism.suite);
     ]
