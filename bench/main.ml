@@ -8,12 +8,14 @@
      dune exec bench/main.exe -- micro     only the Bechamel microbenches
      dune exec bench/main.exe -- writegather   only BENCH_writegather.json
      dune exec bench/main.exe -- multivolume   only BENCH_multivolume.json
+     dune exec bench/main.exe -- iosched       only BENCH_iosched.json
 
    Every non-micro run also writes BENCH_writegather.json (the paper's
-   core Standard/Gathering/NVRAM comparison, machine-readable) and
+   core Standard/Gathering/NVRAM comparison, machine-readable),
    BENCH_multivolume.json (the 3-export independence/fault-isolation
-   bench; fixed workload, committed and diffed by CI) to the current
-   directory.
+   bench) and BENCH_iosched.json (Fifo vs Elevator vs Deadline+merge
+   on one spindle; fixed workloads, committed and diffed by CI) to the
+   current directory.
 
    Paper-vs-measured commentary lives in EXPERIMENTS.md. *)
 
@@ -77,6 +79,7 @@ let run_ablations quick =
       ("mbuf hunter", fun () -> E.ablation_mbuf_hunter ~quick ());
       ("dumb PC penalty", fun () -> E.ablation_dumb_pc ~quick ());
       ("disk scheduler", fun () -> E.ablation_disk_scheduler ~quick ());
+      ("io scheduler + merge + deadline", fun () -> Nfsg_experiments.Iosched.report ~quick ());
     ]
 
 let run_extensions quick =
@@ -118,6 +121,20 @@ let run_multivolume () =
   output_string oc (Nfsg_stats.Json.to_string ~pretty:true json);
   close_out oc;
   progress "bench: wrote %s in %.1fs wall" multivolume_json_file (Unix.gettimeofday () -. t0)
+
+let iosched_json_file = "BENCH_iosched.json"
+
+(* Fifo (merge off) vs Elevator vs Deadline+merge under the same mixed
+   multi-client LADDIS-style load; fixed workload, committed and
+   byte-diffed by CI like the other two artifacts. *)
+let run_iosched () =
+  progress "bench: running iosched JSON bench ...";
+  let t0 = Unix.gettimeofday () in
+  let json = Nfsg_experiments.Iosched.bench_iosched () in
+  let oc = open_out iosched_json_file in
+  output_string oc (Nfsg_stats.Json.to_string ~pretty:true json);
+  close_out oc;
+  progress "bench: wrote %s in %.1fs wall" iosched_json_file (Unix.gettimeofday () -. t0)
 
 (* {1 Bechamel microbenchmarks}
 
@@ -223,9 +240,11 @@ let () =
   let micro_only = List.mem "micro" args in
   let writegather_only = List.mem "writegather" args in
   let multivolume_only = List.mem "multivolume" args in
+  let iosched_only = List.mem "iosched" args in
   if micro_only then run_micro ()
   else if writegather_only then run_writegather quick
   else if multivolume_only then run_multivolume ()
+  else if iosched_only then run_iosched ()
   else begin
     Printf.printf "NFS write gathering: full reproduction run (%s)\n"
       (if quick then "quick mode" else "paper-size workloads");
@@ -235,5 +254,6 @@ let () =
     run_extensions quick;
     run_writegather quick;
     run_multivolume ();
+    run_iosched ();
     run_micro ()
   end

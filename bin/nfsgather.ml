@@ -11,6 +11,21 @@ let quick_arg =
   let doc = "Run with a smaller file / shorter measurement (fast smoke mode)." in
   Arg.(value & flag & info [ "q"; "quick" ] ~doc)
 
+let scheduler_arg =
+  let policy =
+    Arg.enum
+      [
+        ("fifo", Nfsg_disk.Disk.Fifo);
+        ("elevator", Nfsg_disk.Disk.Elevator);
+        ("deadline", Nfsg_disk.Disk.Deadline);
+      ]
+  in
+  let doc =
+    "Force every simulated spindle onto the given I/O scheduling policy ($(docv) is one of \
+     fifo, elevator or deadline), overriding each experiment's own choice."
+  in
+  Arg.(value & opt (some policy) None & info [ "scheduler" ] ~docv:"POLICY" ~doc)
+
 let metrics_json_arg =
   let doc =
     "Write the typed-metrics registry of the run (every counter, gauge and histogram \
@@ -72,17 +87,19 @@ let names =
     "ablations"; "extensions"; "writegather"; "multivolume"; "chaos";
   ]
 
-let run quick metrics_json targets =
+let run quick scheduler metrics_json targets =
   let targets = if targets = [] || List.mem "all" targets then names else targets in
   let metrics = Option.map (fun _ -> Metrics.create ()) metrics_json in
   (* Rig-built worlds report into the shared sink; chaos (which builds
      its own world) takes the registry as a parameter. *)
   Nfsg_experiments.Rig.set_metrics_sink metrics;
+  Nfsg_experiments.Rig.set_scheduler_override scheduler;
   List.iteri
     (fun i name ->
       if i > 0 then print_newline ();
       run_experiment ?metrics quick name)
     targets;
+  Nfsg_experiments.Rig.set_scheduler_override None;
   Nfsg_experiments.Rig.set_metrics_sink None;
   match (metrics_json, metrics) with
   | Some file, Some m ->
@@ -102,6 +119,6 @@ let targets_arg =
 let cmd =
   let doc = "reproduce 'Improving the Write Performance of an NFS Server' (USENIX 1994)" in
   let info = Cmd.info "nfsgather" ~version:"1.0.0" ~doc in
-  Cmd.v info Term.(const run $ quick_arg $ metrics_json_arg $ targets_arg)
+  Cmd.v info Term.(const run $ quick_arg $ scheduler_arg $ metrics_json_arg $ targets_arg)
 
 let () = exit (Cmd.eval cmd)

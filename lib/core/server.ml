@@ -259,7 +259,7 @@ let dispatch_mount t (call : Rpc.call) =
   if call.Rpc.proc <> Proto.proc_mnt then Svc.Reply (Rpc.Proc_unavail, Bytes.create 0)
   else
     match Proto.decode_mnt_args call.Rpc.body with
-    | exception Nfsg_rpc.Xdr.Dec.Error _ -> Svc.Reply (Rpc.Garbage_args, Bytes.create 0)
+    | exception (Nfsg_rpc.Xdr.Dec.Error _ | Nfsg_rpc.Xdr.Decode_error _) -> Svc.Reply (Rpc.Garbage_args, Bytes.create 0)
     | name ->
         let res =
           match List.find_opt (fun v -> Volume.export v = name) t.volumes with
@@ -277,7 +277,7 @@ let make_dispatch t =
     else begin
       Resource.use t.cpu (t.config.costs.Cpu_model.rpc_decode + t.config.costs.Cpu_model.op_base);
       match Proto.decode_args ~proc:call.Rpc.proc call.Rpc.body with
-      | exception Nfsg_rpc.Xdr.Dec.Error _ -> Svc.Reply (Rpc.Garbage_args, Bytes.create 0)
+      | exception (Nfsg_rpc.Xdr.Dec.Error _ | Nfsg_rpc.Xdr.Decode_error _) -> Svc.Reply (Rpc.Garbage_args, Bytes.create 0)
       | Proto.Write { fh; offset; data } -> (
           count_op t Proto.proc_write;
           match
@@ -440,7 +440,7 @@ let make_internal eng ~segment ~addr ?trace ?metrics ~legacy_ns config vols =
               match List.find_opt (fun v -> Volume.owns v fh) t.volumes with
               | Some vol -> Write_layer.rescue (Volume.write_layer vol) ~inum:fh.Proto.inum
               | None -> ())
-          | _ | (exception Nfsg_rpc.Xdr.Dec.Error _) -> ())
+          | _ | (exception (Nfsg_rpc.Xdr.Dec.Error _ | Nfsg_rpc.Xdr.Decode_error _)) -> ())
       ~nfsds:config.nfsds
       ~dispatch:(fun tr call -> make_dispatch t tr call)
       ()

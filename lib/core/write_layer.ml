@@ -239,14 +239,22 @@ let flush_as_metadata_writer t g =
     let ordered = match t.cfg.reply_order with `Fifo -> batch | `Lifo -> List.rev batch in
     let n = List.length ordered in
     (match
-       ( if (not accel) && lo < hi then begin
-           charge_trip t;
-           emit t (Printf.sprintf "%dK data to disk (clustered)" ((hi - lo) / 1024));
-           Vfs.vop_syncdata g.vnode ~off:lo ~len:(hi - lo)
-         end;
+       if (not accel) && lo < hi then begin
+         (* Data clusters and the covering metadata go down as ONE
+            device submission (Fs.commit_range): the scheduler overlaps
+            and merges the clusters, and barriers keep the inode from
+            becoming stable ahead of its data. One trip into UFS
+            instead of the syncdata-then-fsync convoy. *)
+         charge_trip t;
+         emit t (Printf.sprintf "%dK data to disk (clustered)" ((hi - lo) / 1024));
+         emit t "Metadata to disk";
+         Vfs.vop_commit g.vnode ~off:lo ~len:(hi - lo)
+       end
+       else begin
          charge_trip t;
          emit t "Metadata to disk";
-         Vfs.vop_fsync g.vnode ~flags:[ Vfs.FWRITE; Vfs.FWRITE_METADATA ] )
+         Vfs.vop_fsync g.vnode ~flags:[ Vfs.FWRITE; Vfs.FWRITE_METADATA ]
+       end
      with
     | () ->
         Vfs.unlock g.vnode;

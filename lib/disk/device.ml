@@ -6,6 +6,7 @@ type t = {
   name : string;
   capacity : int;
   accelerated : unit -> bool;
+  submit : Io.item list -> unit;
   read : off:int -> len:int -> Bytes.t;
   write : off:int -> Bytes.t -> unit;
   flush : unit -> unit;

@@ -29,10 +29,20 @@ type t = {
           queries this per-operation to pick its policy (paper section
           6.3). Dynamic so an NVRAM battery failure can degrade the
           device to synchronous pass-through mid-run. *)
+  submit : Io.item list -> unit;
+      (** Queue a batch of tagged requests ({!Io.item}) for service,
+          in list order, without waiting for completion — the device
+          fills each request's [done_] when it is stable (or failed).
+          May charge submission-side time (NVRAM admission) but never
+          blocks on service. Barrier items order the queue; see
+          {!Io}. *)
   read : off:int -> len:int -> Bytes.t;
   write : off:int -> Bytes.t -> unit;
       (** On return the data is on {e stable} storage (platter or
-          NVRAM). May raise {!Io_error}. *)
+          NVRAM). May raise {!Io_error}. Thin blocking shims over
+          {!submit} ({!Io.blocking_read}/{!Io.blocking_write}); new
+          code outside lib/disk and lib/ufs goes through [submit]
+          (lint rule I001). *)
   flush : unit -> unit;
       (** Drain any buffered (NVRAM) state down to the platter. *)
   crash : unit -> unit;

@@ -30,26 +30,25 @@ let seek_time g ~cylinders ~distance =
     int_of_float (single +. ((full -. single) *. frac))
   end
 
-type scheduler = Fifo | Elevator
-
-type job =
-  | Read of { off : int; len : int; reply : Bytes.t Ivar.t }
-  | Write of { off : int; data : Bytes.t; reply : unit Ivar.t }
-
-let job_off = function Read { off; _ } -> off | Write { off; _ } -> off
+type scheduler = Fifo | Elevator | Deadline
 
 (* Per-spindle instruments: the service-time split the paper's disk
-   arguments rest on (seek vs rotation vs transfer), plus queue depth. *)
+   arguments rest on (seek vs rotation vs transfer), plus queue depth,
+   per-request queue wait, and the scheduler's merge/promotion work. *)
 type inst = {
   m_reads : Nfsg_stats.Metrics.counter;
   m_writes : Nfsg_stats.Metrics.counter;
   m_bytes_read : Nfsg_stats.Metrics.counter;
   m_bytes_written : Nfsg_stats.Metrics.counter;
+  m_merged : Nfsg_stats.Metrics.counter;
+  m_promotions : Nfsg_stats.Metrics.counter;
+  m_barriers : Nfsg_stats.Metrics.counter;
   m_seek_us : Nfsg_stats.Histogram.t;
   m_rot_us : Nfsg_stats.Histogram.t;
   m_xfer_us : Nfsg_stats.Histogram.t;
   m_service_us : Nfsg_stats.Histogram.t;
   m_queue_depth : Nfsg_stats.Histogram.t;
+  m_queue_wait_us : Nfsg_stats.Histogram.t;
   m_queue_gauge : Nfsg_stats.Metrics.gauge;
 }
 
@@ -62,20 +61,31 @@ let make_inst metrics ~name =
     m_writes = M.counter metrics ~ns Names.writes;
     m_bytes_read = M.counter metrics ~ns Names.bytes_read;
     m_bytes_written = M.counter metrics ~ns Names.bytes_written;
+    m_merged = M.counter metrics ~ns Names.merged_requests;
+    m_promotions = M.counter metrics ~ns Names.deadline_promotions;
+    m_barriers = M.counter metrics ~ns Names.barriers;
     m_seek_us = M.histogram metrics ~ns Names.seek_us;
     m_rot_us = M.histogram metrics ~ns Names.rotation_us;
     m_xfer_us = M.histogram metrics ~ns Names.transfer_us;
     m_service_us = M.histogram metrics ~ns Names.service_us;
     m_queue_depth = M.histogram metrics ~ns Names.queue_depth;
+    m_queue_wait_us = M.histogram metrics ~ns Names.queue_wait_us;
     m_queue_gauge = M.gauge metrics ~ns Names.queue_depth_peak;
   }
+
+(* A queued request with its submission instant, for queue-wait
+   accounting and deadline promotion. *)
+type pitem = { it : Io.item; enq : Time.t }
 
 type state = {
   eng : Engine.t;
   g : geometry;
   scheduler : scheduler;
+  deadline : Time.t;  (** max tolerated queue wait before promotion *)
+  merge : bool;
+  merge_limit : int;  (** upper bound on a coalesced transaction, bytes *)
   platter : Bytes.t;
-  mutable pending : job list;  (** arrival order (newest last) *)
+  mutable pending : pitem list;  (** arrival order (newest last) *)
   arrived : Condition.t;
   mutable head_cyl : int;
   mutable crashed : bool;
@@ -86,33 +96,77 @@ type state = {
   inst : inst;
 }
 
-(* Pick the next job per policy and remove it from the pending set. *)
-let take_next st =
-  match st.pending with
+(* The serviceable window: every request ahead of the first barrier.
+   The scheduler may reorder and merge freely inside the window but
+   never across its edge — that is the barrier's whole guarantee. *)
+let window st =
+  let rec go acc = function
+    | { it = Io.Req r; enq } :: rest -> go ((r, enq) :: acc) rest
+    | ({ it = Io.Barrier _; _ } :: _ | []) -> List.rev acc
+  in
+  go [] st.pending
+
+let req_cyl st (r : Io.req) = r.Io.off / st.g.track_bytes
+
+(* C-LOOK over the window: nearest cylinder at or beyond the head; if
+   none, wrap to the lowest pending cylinder. *)
+let elevator_pick st win =
+  let ahead = List.filter (fun (r, _) -> req_cyl st r >= st.head_cyl) win in
+  let best_of pool =
+    List.fold_left
+      (fun acc ((r, _) as c) ->
+        match acc with
+        | None -> Some c
+        | Some (b, _) -> if req_cyl st r < req_cyl st b then Some c else acc)
+      None pool
+  in
+  match best_of ahead with Some c -> Some c | None -> best_of win
+
+(* Pick the next request per policy. The window is in arrival order, so
+   its head is the oldest request — under [Deadline] a head that has
+   waited past the threshold is served out of elevator order, which
+   bounds the starvation a far-cylinder request can suffer while the
+   elevator feasts on a stream of near-head arrivals. *)
+let pick st =
+  match window st with
   | [] -> None
-  | jobs -> (
+  | (((_, first_enq) as first) :: _) as win -> (
       match st.scheduler with
-      | Fifo ->
-          let j = List.hd jobs in
-          st.pending <- List.tl jobs;
-          Some j
-      | Elevator ->
-          (* C-LOOK: nearest cylinder at or beyond the head; if none,
-             wrap to the lowest pending cylinder. *)
-          let cyl j = job_off j / st.g.track_bytes in
-          let ahead = List.filter (fun j -> cyl j >= st.head_cyl) jobs in
-          let best_of pool =
-            List.fold_left
-              (fun acc j -> match acc with None -> Some j | Some b -> if cyl j < cyl b then Some j else acc)
-              None pool
-          in
-          let chosen =
-            match best_of ahead with Some j -> Some j | None -> best_of jobs
-          in
-          (match chosen with
-          | Some j -> st.pending <- List.filter (fun x -> x != j) st.pending
-          | None -> ());
-          chosen)
+      | Fifo -> Some first
+      | Elevator -> elevator_pick st win
+      | Deadline ->
+          if Engine.now st.eng - first_enq > st.deadline then begin
+            Nfsg_stats.Metrics.incr st.inst.m_promotions;
+            Some first
+          end
+          else elevator_pick st win)
+
+let remove st (r : Io.req) =
+  st.pending <-
+    List.filter (fun p -> match p.it with Io.Req x -> x != r | Io.Barrier _ -> true) st.pending
+
+(* Chain physically adjacent same-direction requests from the window
+   onto [r], bounded by [merge_limit]: one seek, one rotational wait,
+   one transfer for the lot. The chain is returned in ascending offset
+   order, [r] first. *)
+let merge_chain st ((r, _) as leader) =
+  if not st.merge then [ leader ]
+  else begin
+    let rec grow chain tail_end total =
+      let next =
+        List.find_opt
+          (fun (x, _) ->
+            x.Io.op = r.Io.op && x.Io.off = tail_end && total + x.Io.len <= st.merge_limit)
+          (window st)
+      in
+      match next with
+      | Some ((x, _) as c) ->
+          remove st x;
+          grow (c :: chain) (x.Io.off + x.Io.len) (total + x.Io.len)
+      | None -> List.rev chain
+    in
+    grow [ leader ] (r.Io.off + r.Io.len) r.Io.len
+  end
 
 let cylinders st = Stdlib.max 1 (st.g.capacity / st.g.track_bytes)
 
@@ -156,59 +210,87 @@ let account st ~len ~busy =
   st.busy <- st.busy + busy;
   st.on_transaction ~bytes:len
 
+(* Service one coalesced transaction: the chain is contiguous, so its
+   span costs one seek + one rotational wait + one transfer. *)
+let service st chain =
+  let first = match chain with (r, _) :: _ -> r | [] -> assert false in
+  let total = List.fold_left (fun acc (r, _) -> acc + r.Io.len) 0 chain in
+  let start = Engine.now st.eng in
+  List.iter
+    (fun (_, enq) ->
+      Nfsg_stats.Histogram.add st.inst.m_queue_wait_us (Time.to_us_f (start - enq)))
+    chain;
+  let d = service_time st ~off:first.Io.off ~len:total in
+  Engine.delay d;
+  (* Data reaches the platter only if power held through the whole
+     transfer: a crash mid-transaction loses every request in it, and
+     the issuers never see a completion — like a powered-off drive. *)
+  if not st.crashed then begin
+    List.iter
+      (fun (r, _) ->
+        match r.Io.op with
+        | Io.Write -> Bytes.blit r.Io.buf 0 st.platter r.Io.off r.Io.len
+        | Io.Read -> Bytes.blit st.platter r.Io.off r.Io.buf 0 r.Io.len)
+      chain;
+    account st ~len:total ~busy:d;
+    (match first.Io.op with
+    | Io.Read ->
+        Nfsg_stats.Metrics.incr st.inst.m_reads;
+        Nfsg_stats.Metrics.add st.inst.m_bytes_read total
+    | Io.Write ->
+        Nfsg_stats.Metrics.incr st.inst.m_writes;
+        Nfsg_stats.Metrics.add st.inst.m_bytes_written total);
+    Nfsg_stats.Metrics.add st.inst.m_merged (List.length chain - 1);
+    List.iter (fun (r, _) -> Io.complete r) chain
+  end
+
 let daemon st () =
   let rec loop () =
-    let job =
-      let rec next () =
-        match take_next st with
-        | Some j -> j
-        | None ->
-            Condition.wait st.arrived;
-            next ()
-      in
-      next ()
-    in
-    (* Jobs arriving or in flight during a crash are silently dropped:
-       their issuers never get a completion, like a powered-off drive. *)
-    if not st.crashed then begin
-      match job with
-      | Read { off; len; reply } ->
-          check_bounds st ~off ~len;
-          let d = service_time st ~off ~len in
-          Engine.delay d;
-          if not st.crashed then begin
-            account st ~len ~busy:d;
-            Nfsg_stats.Metrics.incr st.inst.m_reads;
-            Nfsg_stats.Metrics.add st.inst.m_bytes_read len;
-            Ivar.fill reply (Bytes.sub st.platter off len)
-          end
-      | Write { off; data; reply } ->
-          let len = Bytes.length data in
-          check_bounds st ~off ~len;
-          let d = service_time st ~off ~len in
-          Engine.delay d;
-          (* Data reaches the platter only if power held through the
-             whole transfer: a crash mid-write loses the request. *)
-          if not st.crashed then begin
-            Bytes.blit data 0 st.platter off len;
-            account st ~len ~busy:d;
-            Nfsg_stats.Metrics.incr st.inst.m_writes;
-            Nfsg_stats.Metrics.add st.inst.m_bytes_written len;
-            Ivar.fill reply ()
-          end
-    end;
-    loop ()
+    if st.crashed then begin
+      (* Power is off: everything queued is lost — barriers included —
+         and completions never come. Keep draining arrivals until
+         recovery. *)
+      st.pending <- [];
+      Condition.wait st.arrived;
+      loop ()
+    end
+    else begin
+      match pick st with
+      | Some leader ->
+          remove st (fst leader);
+          let chain = merge_chain st leader in
+          service st chain;
+          loop ()
+      | None -> (
+          match st.pending with
+          | { it = Io.Barrier b; enq = _ } :: rest ->
+              (* The daemon is the only consumer and works strictly
+                 inside the window, so an empty window means everything
+                 ahead of this barrier is stable: retire it. *)
+              st.pending <- rest;
+              Nfsg_stats.Metrics.incr st.inst.m_barriers;
+              Ivar.fill b.done_ ();
+              loop ()
+          | _ :: _ -> assert false (* pick found nothing ⇒ head is a barrier *)
+          | [] ->
+              Condition.wait st.arrived;
+              loop ())
+    end
   in
   loop ()
 
-let create eng ?(name = "disk") ?metrics ?(on_transaction = fun ~bytes:_ -> ()) ?(scheduler = Fifo)
-    g =
+let create eng ?(name = "disk") ?metrics ?(on_transaction = fun ~bytes:_ -> ())
+    ?(scheduler = Fifo) ?(deadline = Time.of_ms_f 30.0) ?(merge = true)
+    ?(merge_limit = 128 * 1024) g =
   let metrics = match metrics with Some m -> m | None -> Nfsg_stats.Metrics.create () in
   let st =
     {
       eng;
       g;
       scheduler;
+      deadline;
+      merge;
+      merge_limit;
       platter = Bytes.make g.capacity '\000';
       pending = [];
       arrived = Condition.create ();
@@ -222,29 +304,36 @@ let create eng ?(name = "disk") ?metrics ?(on_transaction = fun ~bytes:_ -> ()) 
     }
   in
   Engine.spawn eng ~name:(name ^ "-daemon") (daemon st);
-  let submit job =
-    st.pending <- st.pending @ [ job ];
-    let depth = List.length st.pending in
-    Nfsg_stats.Histogram.add st.inst.m_queue_depth (float_of_int depth);
-    Nfsg_stats.Metrics.set_max st.inst.m_queue_gauge (float_of_int depth);
-    Condition.signal st.arrived
+  let submit items =
+    match items with
+    | [] -> ()
+    | _ ->
+        let enq = Engine.now st.eng in
+        List.iter
+          (fun it ->
+            (match it with
+            | Io.Req r -> check_bounds st ~off:r.Io.off ~len:r.Io.len
+            | Io.Barrier _ -> ());
+            st.pending <- st.pending @ [ { it; enq } ])
+          items;
+        let depth = List.length st.pending in
+        Nfsg_stats.Histogram.add st.inst.m_queue_depth (float_of_int depth);
+        Nfsg_stats.Metrics.set_max st.inst.m_queue_gauge (float_of_int depth);
+        Condition.signal st.arrived
   in
   let read ~off ~len =
     check_bounds st ~off ~len;
-    let reply = Ivar.create () in
-    submit (Read { off; len; reply });
-    Ivar.read reply
+    Io.blocking_read ~submit ~off ~len
   in
   let write ~off data =
     check_bounds st ~off ~len:(Bytes.length data);
-    let reply = Ivar.create () in
-    submit (Write { off; data = Bytes.copy data; reply });
-    Ivar.read reply
+    Io.blocking_write ~submit ~class_:`Sync_write ~off data
   in
   {
     Device.name;
     capacity = g.capacity;
     accelerated = (fun () -> false);
+    submit;
     read;
     write;
     flush = (fun () -> ());

@@ -12,12 +12,19 @@
     writes that each arrive "just too late" pays nearly a full rotation
     — the "missed rotations" the paper says clustering avoids.
 
-    Requests are served strictly FIFO by default (the reference port's
-    driver behaviour for the paper's single-writer workloads) or with a
-    C-LOOK elevator ([`Elevator]) that serves the pending request with
-    the nearest cylinder at or beyond the head, wrapping to the lowest
-    — the classic seek-reducing driver policy, benchable against FIFO
-    under mixed load. *)
+    The drive consumes a tagged submission queue ({!Io}): batches of
+    requests separated by barriers, serviced by a daemon whose
+    scheduler works over the whole pending window. [`Fifo] serves in
+    arrival order (the reference port's driver behaviour); [`Elevator]
+    is a C-LOOK sweep serving the nearest cylinder at or beyond the
+    head, wrapping to the lowest; [`Deadline] is the elevator plus
+    starvation control — a request whose queue wait exceeds the
+    deadline is served next regardless of position, bounding the tail
+    of the [queue_wait_us] histogram. Physically adjacent
+    same-direction requests are coalesced into single transactions
+    (one seek, one rotational wait, one transfer), counted by the
+    [merged_requests] metric. Nothing queued after a barrier is
+    serviced before everything ahead of it is stable. *)
 
 type geometry = {
   capacity : int;  (** bytes *)
@@ -34,7 +41,7 @@ val rz26 : ?capacity:int -> unit -> geometry
     Default [capacity] is 96 MiB — big enough for every experiment,
     small enough to hold in RAM. *)
 
-type scheduler = Fifo | Elevator
+type scheduler = Fifo | Elevator | Deadline
 
 val create :
   Nfsg_sim.Engine.t ->
@@ -42,15 +49,23 @@ val create :
   ?metrics:Nfsg_stats.Metrics.t ->
   ?on_transaction:(bytes:int -> unit) ->
   ?scheduler:scheduler ->
+  ?deadline:Nfsg_sim.Time.t ->
+  ?merge:bool ->
+  ?merge_limit:int ->
   geometry ->
   Device.t
 (** A fresh zero-filled disk served by a spawned daemon process.
-    [on_transaction] fires at each request completion, letting the
-    caller account driver/interrupt CPU cost. [metrics] registers the
-    spindle's instruments under namespace ["disk.<name>"]: read/write
-    counters, the seek/rotation/transfer service-time split
-    (histograms, µs) and queue-depth distribution (private registry
-    when omitted). *)
+    [on_transaction] fires at each physical transaction completion
+    (once per merged chain), letting the caller account
+    driver/interrupt CPU cost. [deadline] (default 30 ms) is the
+    [`Deadline] scheduler's promotion threshold; [merge] (default on)
+    enables adjacent-request coalescing bounded by [merge_limit]
+    (default 128 KiB). [metrics] registers the spindle's instruments
+    under namespace ["disk.<name>"]: read/write counters, the
+    seek/rotation/transfer service-time split (histograms, µs),
+    queue-depth and queue-wait distributions, and
+    merge/promotion/barrier counters (private registry when
+    omitted). *)
 
 val seek_time : geometry -> cylinders:int -> distance:int -> Nfsg_sim.Time.t
 (** Exposed for tests: seek duration for a head movement of [distance]

@@ -136,7 +136,16 @@ and flush_one st =
   | None -> ()
   | Some (off, data) -> (
       st.in_flight <- Some (off, data);
-      match st.backing.Device.write ~off data with
+      (* Drain as a background-class submission: the platter's
+         scheduler can tell a lazy drain from a latency-critical
+         synchronous write and merge/reorder it accordingly. The data
+         buffer is ours (it left the dirty map), so no copy. *)
+      let drain () =
+        let r = Io.write_req ~class_:`Bg_drain ~off data in
+        st.backing.Device.submit [ Io.Req r ];
+        Io.await r
+      in
+      match drain () with
       | () ->
           st.in_flight <- None;
           Nfsg_stats.Metrics.incr st.inst.m_flushes;
@@ -331,11 +340,47 @@ let create eng ?(name = "presto") ?(params = default_params) ?metrics
     if st.battery_ok then overlay st ~off buf;
     buf
   in
+  (* The board has no queue of its own: requests are serviced in the
+     submitter's process, at copy (or pass-through) speed, and are
+     stable the moment they complete — so a batch's barriers are
+     trivially in order. A failure ahead of a barrier poisons
+     everything behind it in the same batch (the post-barrier items
+     depend on the failed ones being stable). *)
+  let submit items =
+    check_power ();
+    let failed = ref None in
+    let poisoned = ref None in
+    List.iter
+      (fun item ->
+        match (!poisoned, item) with
+        | Some e, it -> Io.fail_item it e
+        | None, Io.Barrier b ->
+            (match !failed with Some e -> poisoned := Some e | None -> ());
+            Ivar.fill b.done_ ()
+        | None, Io.Req r -> (
+            match r.Io.op with
+            | Io.Write -> (
+                match write ~off:r.Io.off r.Io.buf with
+                | () -> Io.complete r
+                | exception e ->
+                    if !failed = None then failed := Some e;
+                    Io.fail r e)
+            | Io.Read -> (
+                match read ~off:r.Io.off ~len:r.Io.len with
+                | b ->
+                    Bytes.blit b 0 r.Io.buf 0 r.Io.len;
+                    Io.complete r
+                | exception e ->
+                    if !failed = None then failed := Some e;
+                    Io.fail r e)))
+      items
+  in
   let dev =
     {
       Device.name;
       capacity = backing.Device.capacity;
       accelerated = (fun () -> st.battery_ok);
+      submit;
       read;
       write;
       flush;

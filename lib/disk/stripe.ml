@@ -1,6 +1,6 @@
 open Nfsg_sim
 
-type t = { eng : Engine.t; chunk : int; members : Device.t array; capacity : int }
+type t = { chunk : int; members : Device.t array; capacity : int }
 
 (* Map a logical byte offset to (member index, member-local offset). *)
 let locate st off =
@@ -23,43 +23,117 @@ let split st ~off ~len =
   in
   go [] off len
 
-(* Run [f] on every piece in parallel and wait for all completions. *)
-let parallel_pieces st pieces f =
-  let ivars =
-    List.map
-      (fun piece ->
-        let iv = Ivar.create () in
-        Engine.spawn st.eng ~name:"stripe-io" (fun () ->
-            f piece;
-            Ivar.fill iv ());
-        iv)
-      pieces
-  in
-  List.iter Ivar.read ivars
+(* One epoch = the requests between two barriers. Each request is cut
+   into per-member pieces and the pieces go out as one batch per member
+   (no process per piece: completions chain through [Ivar.upon]). [k]
+   runs when every request of the epoch has completed, carrying the
+   first piece error if any — the gate that keeps an epoch behind a
+   barrier from starting before the previous one is stable on every
+   spindle, not just its own. *)
+let launch_epoch st reqs k =
+  let outstanding = ref (List.length reqs) in
+  let epoch_err = ref None in
+  if !outstanding = 0 then k None
+  else begin
+    let per_member = Array.make (Array.length st.members) [] in
+    let finish_req r err =
+      (match err with
+      | Some e ->
+          if !epoch_err = None then epoch_err := Some e;
+          Io.fail r e
+      | None -> Io.complete r);
+      decr outstanding;
+      if !outstanding = 0 then k !epoch_err
+    in
+    List.iter
+      (fun (r : Io.req) ->
+        match split st ~off:r.Io.off ~len:r.Io.len with
+        | [] -> finish_req r None
+        | pieces ->
+            let remaining = ref (List.length pieces) in
+            let perr = ref None in
+            List.iter
+              (fun (m, moff, loff, plen) ->
+                let pr =
+                  match r.Io.op with
+                  | Io.Write ->
+                      Io.write_req ~class_:r.Io.class_ ~off:moff
+                        (Bytes.sub r.Io.buf (loff - r.Io.off) plen)
+                  | Io.Read -> Io.read_req ~off:moff ~len:plen ()
+                in
+                Ivar.upon pr.Io.done_ (fun () ->
+                    (match pr.Io.error with
+                    | Some e -> if !perr = None then perr := Some e
+                    | None ->
+                        if r.Io.op = Io.Read then
+                          Bytes.blit pr.Io.buf 0 r.Io.buf (loff - r.Io.off) plen);
+                    decr remaining;
+                    if !remaining = 0 then finish_req r !perr);
+                per_member.(m) <- Io.Req pr :: per_member.(m))
+              pieces)
+      reqs;
+    Array.iteri
+      (fun m batch -> if batch <> [] then st.members.(m).Device.submit (List.rev batch))
+      per_member
+  end
 
-let create eng ?(name = "stripe") ~chunk members =
+(* A failed epoch poisons everything behind its barrier in the same
+   submission: the later items were ordered because they depend on the
+   earlier ones being stable, so they must not reach the spindles. *)
+let abort_tail exn items =
+  List.iter
+    (fun item ->
+      match item with Io.Req r -> Io.fail r exn | Io.Barrier b -> Ivar.fill b.done_ ())
+    items
+
+let rec submit_epochs st items =
+  match items with
+  | [] -> ()
+  | _ ->
+      let rec cut acc = function
+        | Io.Req r :: rest -> cut (r :: acc) rest
+        | (Io.Barrier _ :: _ | []) as rest -> (List.rev acc, rest)
+      in
+      let reqs, rest = cut [] items in
+      launch_epoch st reqs (fun err ->
+          match rest with
+          | [] -> ()
+          | Io.Barrier b :: tail -> (
+              match err with
+              | Some e ->
+                  Ivar.fill b.done_ ();
+                  abort_tail e tail
+              | None ->
+                  Ivar.fill b.done_ ();
+                  submit_epochs st tail)
+          | Io.Req _ :: _ -> assert false)
+
+let create _eng ?(name = "stripe") ~chunk members =
   if Array.length members = 0 then invalid_arg "Stripe.create: no members";
   if chunk <= 0 then invalid_arg "Stripe.create: chunk must be positive";
   let min_cap = Array.fold_left (fun acc m -> Stdlib.min acc m.Device.capacity) max_int members in
   let capacity = min_cap / chunk * chunk * Array.length members in
-  let st = { eng; chunk; members; capacity } in
+  let st = { chunk; members; capacity } in
   let check ~off ~len =
     if off < 0 || len < 0 || off + len > capacity then
       invalid_arg (Printf.sprintf "%s: request [%d, %d) outside capacity %d" name off (off + len) capacity)
   in
+  let submit items =
+    List.iter
+      (fun item ->
+        match item with
+        | Io.Req r -> check ~off:r.Io.off ~len:r.Io.len
+        | Io.Barrier _ -> ())
+      items;
+    submit_epochs st items
+  in
   let read ~off ~len =
     check ~off ~len;
-    let buf = Bytes.create len in
-    parallel_pieces st (split st ~off ~len) (fun (m, moff, loff, plen) ->
-        let piece = st.members.(m).Device.read ~off:moff ~len:plen in
-        Bytes.blit piece 0 buf (loff - off) plen);
-    buf
+    Io.blocking_read ~submit ~off ~len
   in
   let write ~off data =
-    let len = Bytes.length data in
-    check ~off ~len;
-    parallel_pieces st (split st ~off ~len) (fun (m, moff, loff, plen) ->
-        st.members.(m).Device.write ~off:moff (Bytes.sub data (loff - off) plen))
+    check ~off ~len:(Bytes.length data);
+    Io.blocking_write ~submit ~class_:`Sync_write ~off data
   in
   let on_all f = Array.iter f st.members in
   let all_stats () =
@@ -89,6 +163,7 @@ let create eng ?(name = "stripe") ~chunk members =
     Device.name;
     capacity;
     accelerated = (fun () -> Array.for_all (fun m -> m.Device.accelerated ()) members);
+    submit;
     read;
     write;
     flush = (fun () -> on_all (fun m -> m.Device.flush ()));

@@ -2,9 +2,15 @@
     "3 drive stripe set", provided by a disk striping driver).
 
     The logical byte space is cut into fixed-size chunks dealt
-    round-robin across members. A request spanning several chunks is
-    issued to the members in parallel and completes when every
-    sub-request has. *)
+    round-robin across members. A submitted request spanning several
+    chunks is cut into per-member pieces, issued as one batch per
+    member, and completes when every piece has — without spawning a
+    process per piece (completions chain through [Ivar.upon]). A
+    barrier is strict across spindles: requests behind it are not
+    released to {e any} member until everything ahead of it is stable
+    on {e every} member. Member [submit]s must be non-blocking (raw
+    disks and fault wrappers are; an NVRAM front-end belongs above the
+    stripe, not inside it). *)
 
 val create :
   Nfsg_sim.Engine.t -> ?name:string -> chunk:int -> Device.t array -> Device.t

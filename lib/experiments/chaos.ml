@@ -24,6 +24,7 @@ type config = {
   storm_loss_prob : float;
   dup_prob : float;
   nfsds : int;
+  scheduler : Disk.scheduler;  (** spindle I/O scheduling policy *)
 }
 
 let default =
@@ -39,6 +40,7 @@ let default =
     storm_loss_prob = 0.08;
     dup_prob = 0.02;
     nfsds = 8;
+    scheduler = Disk.Fifo;
   }
 
 type result = {
@@ -78,7 +80,7 @@ let run ?metrics cfg =
   let segment = Segment.create eng ~seed:(cfg.seed lxor 0x5e11) ~metrics Segment.fddi in
   Segment.set_loss_prob segment cfg.loss_prob;
   Segment.set_dup_prob segment cfg.dup_prob;
-  let disk = Disk.create eng ~name:"rz26" ~metrics Calib.disk_geometry in
+  let disk = Disk.create eng ~name:"rz26" ~metrics ~scheduler:cfg.scheduler Calib.disk_geometry in
   let injector, faulty = Fault_disk.wrap eng ~seed:(cfg.seed lxor 0xfa01) disk in
   let device =
     if cfg.accel then Nvram.create eng ~params:Calib.nvram_params ~metrics faulty else faulty

@@ -42,6 +42,9 @@ type config = {
   storm_loss_prob : float;  (** loss during fault windows *)
   dup_prob : float;  (** datagram duplication, the whole run *)
   nfsds : int;
+  scheduler : Nfsg_disk.Disk.scheduler;
+      (** spindle I/O scheduling policy; the crash promises must hold
+          under all of Fifo, Elevator and Deadline *)
 }
 
 val default : config

@@ -1,0 +1,237 @@
+open Nfsg_sim
+module Segment = Nfsg_net.Segment
+module Socket = Nfsg_net.Socket
+module Disk = Nfsg_disk.Disk
+module Server = Nfsg_core.Server
+module Write_layer = Nfsg_core.Write_layer
+module Client = Nfsg_nfs.Client
+module Rpc_client = Nfsg_rpc.Rpc_client
+module Laddis = Nfsg_workload.Laddis
+module Metrics = Nfsg_stats.Metrics
+module Histogram = Nfsg_stats.Histogram
+module Names = Nfsg_stats.Names
+module Json = Nfsg_stats.Json
+module Report = Nfsg_stats.Report
+
+(* The scheduler comparison: the same mixed multi-client LADDIS-style
+   load over one spindle, once per I/O scheduling policy. [`Fifo] with
+   merging off is the reference port's driver; [`Elevator] adds the
+   C-LOOK sweep plus adjacent-request coalescing; [`Deadline] keeps
+   both and bounds queue wait by promoting starved requests. *)
+
+type config = {
+  seed : int;
+  procs : int;
+  files_per_proc : int;
+  file_size : int;
+  offered : float;
+  warmup : Time.t;
+  measure : Time.t;
+  nfsds : int;
+}
+
+let default =
+  {
+    seed = 1994;
+    procs = 6;
+    files_per_proc = 4;
+    file_size = 64 * 1024;
+    offered = 160.0;
+    warmup = Time.sec 1;
+    measure = Time.sec 5;
+    nfsds = 12;
+  }
+
+type variant = {
+  label : string;
+  scheduler : Disk.scheduler;
+  merge : bool;
+  deadline : Time.t;  (* promotion threshold; only [`Deadline] reads it *)
+}
+
+(* The promotion threshold sits above the typical queue wait of the
+   saturating bench load: the point of Deadline is to promote only the
+   starved tail, not to degrade the sweep into arrival order. *)
+let variants =
+  [
+    { label = "fifo"; scheduler = Disk.Fifo; merge = false; deadline = Time.ms 300 };
+    { label = "elevator"; scheduler = Disk.Elevator; merge = true; deadline = Time.ms 300 };
+    { label = "deadline+merge"; scheduler = Disk.Deadline; merge = true; deadline = Time.ms 300 };
+  ]
+
+type row = {
+  variant : variant;
+  point : Laddis.point;
+  write_mean_us : float;
+  write_p50_us : float;
+  write_p99_us : float;
+  transactions : int;
+  merged : int;
+  promotions : int;
+  barriers : int;
+  queue_wait_p99_us : float;
+}
+
+let disk_name = "rz26"
+
+(* One world per variant: segment, one scheduled spindle, a gathering
+   server, [procs] independent client stacks under LADDIS load. Same
+   seed across variants — the offered traffic is identical; only the
+   order the spindle services it in differs. *)
+let run_variant cfg v =
+  let eng = Engine.create () in
+  let metrics = Metrics.create () in
+  let segment =
+    Segment.create eng ~seed:(cfg.seed lxor 0x3a7) ~metrics (Calib.segment_params Calib.Fddi)
+  in
+  let cpu_hook = ref (fun (_ : Time.t) -> ()) in
+  let costs = Calib.cpu_costs Calib.Fddi in
+  let driver_cost = costs.Nfsg_core.Cpu_model.driver_transaction in
+  let disk =
+    Disk.create eng ~name:disk_name ~metrics ~scheduler:v.scheduler ~merge:v.merge
+      ~deadline:v.deadline
+      ~on_transaction:(fun ~bytes:_ -> !cpu_hook driver_cost)
+      Calib.disk_geometry
+  in
+  let wl_config =
+    { Write_layer.default_gathering with Write_layer.procrastinate = Calib.procrastinate Calib.Fddi }
+  in
+  let config =
+    { Server.default_config with Server.nfsds = cfg.nfsds; write_layer = wl_config; costs }
+  in
+  let server = Server.make eng ~segment ~addr:"server" ~device:disk ~metrics config in
+  (cpu_hook := fun d -> Resource.charge (Server.cpu server) d);
+  let cm = Metrics.create () in
+  let make_client i =
+    let sock = Socket.create segment ~addr:(Printf.sprintf "client%d" i) () in
+    let rpc = Rpc_client.create eng ~sock ~server:"server" ~metrics:cm () in
+    Client.create eng ~rpc ~biods:4 ~metrics:cm ()
+  in
+  let lcfg =
+    {
+      Laddis.default_config with
+      Laddis.procs = cfg.procs;
+      files_per_proc = cfg.files_per_proc;
+      file_size = cfg.file_size;
+      warmup = cfg.warmup;
+      measure = cfg.measure;
+      seed = cfg.seed;
+    }
+  in
+  let out = ref None in
+  Engine.spawn eng ~name:"driver" (fun () ->
+      out :=
+        Some
+          (Laddis.run eng ~make_client ~root:(Server.root_fh server) ~offered:cfg.offered lcfg));
+  Engine.run eng;
+  let point =
+    match !out with Some p -> p | None -> failwith "Iosched.run_variant: load never finished"
+  in
+  let ns = Names.Ns.disk disk_name in
+  let counter name = Option.value ~default:0 (Metrics.find_counter metrics ~ns name) in
+  let lat f =
+    match Metrics.find_histogram cm ~ns:Names.Ns.nfs_client (Names.lat_us "WRITE") with
+    | Some h -> f h
+    | None -> 0.0
+  in
+  let stats = disk.Nfsg_disk.Device.spindle_stats () in
+  {
+    variant = v;
+    point;
+    write_mean_us = lat Histogram.mean;
+    write_p50_us = lat Histogram.median;
+    write_p99_us = lat Histogram.p99;
+    transactions = stats.Nfsg_disk.Device.transactions;
+    merged = counter Names.merged_requests;
+    promotions = counter Names.deadline_promotions;
+    barriers = counter Names.barriers;
+    queue_wait_p99_us =
+      (match Metrics.find_histogram metrics ~ns Names.queue_wait_us with
+      | Some h -> Histogram.p99 h
+      | None -> 0.0);
+  }
+
+let run ?(cfg = default) () = List.map (run_variant cfg) variants
+
+let report ?quick:_ () =
+  let rows = run () in
+  let report =
+    Report.create ~title:"I/O scheduling: one spindle under mixed LADDIS-style load"
+      ~columns:(List.map (fun r -> r.variant.label) rows)
+  in
+  let row name f = Report.add_row report name (List.map f rows) in
+  row "achieved ops/sec" (fun r -> r.point.Laddis.achieved);
+  row "WRITE latency mean (us)" (fun r -> r.write_mean_us);
+  row "WRITE latency p99 (us)" (fun r -> r.write_p99_us);
+  row "disk transactions" (fun r -> float_of_int r.transactions);
+  row "merged requests" (fun r -> float_of_int r.merged);
+  row "deadline promotions" (fun r -> float_of_int r.promotions);
+  row "queue wait p99 (us)" (fun r -> r.queue_wait_p99_us);
+  report
+
+(* {1 BENCH_iosched.json}
+
+   The committed artifact CI regenerates and diffs. One fixed modest
+   workload regardless of quick/full mode, so every environment
+   produces the same bytes. *)
+
+(* Saturating: the offered load is well past the spindle's service
+   rate, so a queue builds and the policies actually diverge — with
+   depth ~1 every scheduler is FIFO. *)
+let bench_cfg =
+  {
+    seed = 7;
+    procs = 12;
+    files_per_proc = 2;
+    file_size = 1024 * 1024;
+    offered = 170.0;
+    warmup = Time.ms 500;
+    measure = Time.sec 3;
+    nfsds = 12;
+  }
+
+let bench_iosched () =
+  let rows = run ~cfg:bench_cfg () in
+  let json_row r =
+    Json.Obj
+      [
+        ("scheduler", Json.String r.variant.label);
+        ("merge", Json.Bool r.variant.merge);
+        ("achieved_ops_s", Json.Float r.point.Laddis.achieved);
+        ("ops_completed", Json.Int r.point.Laddis.ops_completed);
+        ( "write_latency",
+          Json.Obj
+            [
+              ("mean_us", Json.Float r.write_mean_us);
+              ("p50_us", Json.Float r.write_p50_us);
+              ("p99_us", Json.Float r.write_p99_us);
+            ] );
+        ( "disk",
+          Json.Obj
+            [
+              ("transactions", Json.Int r.transactions);
+              ("merged_requests", Json.Int r.merged);
+              ("deadline_promotions", Json.Int r.promotions);
+              ("barriers", Json.Int r.barriers);
+              ("queue_wait_p99_us", Json.Float r.queue_wait_p99_us);
+            ] );
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "nfsgather-bench/1");
+      ("bench", Json.String "iosched");
+      ( "workload",
+        Json.Obj
+          [
+            ("net", Json.String "fddi");
+            ("procs", Json.Int bench_cfg.procs);
+            ("files_per_proc", Json.Int bench_cfg.files_per_proc);
+            ("file_bytes", Json.Int bench_cfg.file_size);
+            ("offered_ops_s", Json.Float bench_cfg.offered);
+            ("measure_ms", Json.Float (Time.to_ms_f bench_cfg.measure));
+            ("nfsds", Json.Int bench_cfg.nfsds);
+            ("seed", Json.Int bench_cfg.seed);
+          ] );
+      ("rows", Json.List (List.map json_row rows));
+    ]

@@ -58,6 +58,15 @@ let set_metrics_sink m = sink := m
 let metrics_sink () = !sink
 let metrics t = t.metrics
 
+(* Optional global override, same shape as the metrics sink: the
+   nfsgather --scheduler flag forces every rig-built spindle onto one
+   I/O scheduling policy without threading a parameter through every
+   table/figure function. *)
+let scheduler_override : Disk.scheduler option ref = ref None
+let () = Reset.register ~name:"rig.scheduler_override" (fun () -> scheduler_override := None)
+let set_scheduler_override s = scheduler_override := s
+let scheduler_of spec = Option.value !scheduler_override ~default:spec.disk_scheduler
+
 let make spec =
   if spec.volumes <= 0 then invalid_arg "Rig.make: need at least one volume";
   let eng = Engine.create () in
@@ -79,7 +88,7 @@ let make spec =
           in
           Disk.create eng ~name ~metrics
             ~on_transaction:(fun ~bytes:_ -> !cpu_hook driver_cost)
-            ~scheduler:spec.disk_scheduler Calib.disk_geometry)
+            ~scheduler:(scheduler_of spec) Calib.disk_geometry)
     in
     let base = if spec.spindles = 1 then disks.(0) else Stripe.create eng ~chunk:32768 disks in
     let device =

@@ -55,6 +55,12 @@ val metrics_sink : unit -> Nfsg_stats.Metrics.t option
     that needs per-world isolation (e.g. the writegather bench rows)
     save, clear and restore it. *)
 
+val set_scheduler_override : Nfsg_disk.Disk.scheduler option -> unit
+(** Install (or clear) a process-wide I/O scheduler that every
+    subsequent {!make} uses for its spindles in place of the spec's
+    [disk_scheduler] — how the nfsgather [--scheduler] flag reruns any
+    experiment under Fifo, Elevator or Deadline. *)
+
 val new_client :
   t -> ?biods:int -> ?protocol:Nfsg_nfs.Client.protocol -> string -> Nfsg_nfs.Client.t
 (** Attach a client host with the given address to the segment. *)

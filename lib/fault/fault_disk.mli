@@ -2,10 +2,14 @@
 
     {!wrap} interposes on any {!Nfsg_disk.Device.t} — a raw disk, a
     stripe member, or the platter {e underneath} an NVRAM front (so the
-    background flusher feels the faults too). Only the timed I/O paths
-    ([read] and [write]) are guarded; [flush], [crash]/[recover] and
-    the instantaneous [stable_read]/[stable_write] test hooks pass
-    through untouched, so recovery and assertions always see the truth.
+    background flusher feels the faults too). Only the timed I/O path
+    ([submit], and therefore the [read]/[write] shims over it) is
+    guarded, per request: a faulted request is answered by the injector
+    and never reaches the device, and a failure ahead of a barrier in a
+    batch fails the barrier's dependents too (see {!Nfsg_disk.Io}).
+    [flush], [crash]/[recover] and the instantaneous
+    [stable_read]/[stable_write] test hooks pass through untouched, so
+    recovery and assertions always see the truth.
 
     Three fault shapes, all driven by the simulation clock and a seeded
     RNG so a fault schedule replays bit-for-bit from the same seed:
@@ -33,6 +37,15 @@ val wrap : Nfsg_sim.Engine.t -> ?seed:int -> Nfsg_disk.Device.t -> t * Nfsg_disk
 val fail_next : ?n:int -> t -> unit
 (** Fail the next [n] (default 1) read/write transactions with
     [Io_error]. Cumulative with pending arms. *)
+
+val fail_tag : t -> int -> unit
+(** Fail the request carrying this {!Nfsg_disk.Io} tag when it is
+    submitted — surgical injection into one transfer of a batch. *)
+
+val fail_class : ?n:int -> t -> Nfsg_disk.Io.class_ -> unit
+(** Fail the next [n] (default 1) requests of the given class — e.g.
+    hit only the NVRAM drain ([`Bg_drain]) or only gathered cluster
+    flushes ([`Gather_flush]) while synchronous writes sail through. *)
 
 val error_window : t -> from_:Nfsg_sim.Time.t -> until:Nfsg_sim.Time.t -> prob:float -> unit
 (** During [\[from_, until)], each transaction fails independently with

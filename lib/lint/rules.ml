@@ -1,4 +1,4 @@
-(* The six nfslint rules. Read-only Parsetree analysis over a single
+(* The seven nfslint rules. Read-only Parsetree analysis over a single
    compilation unit: no typing, no ppx, so the whole of lib/ lints in
    milliseconds and the tool cannot alter what it checks.
 
@@ -438,6 +438,44 @@ let s001 ctx structure =
     structure_items structure;
     List.rev !diags
 
+(* {1 I001 — blocking device calls outside the storage layers} *)
+
+(* Device.read/write are thin blocking shims kept for the storage
+   layers themselves; everything above lib/disk and lib/ufs goes
+   through the tagged submission queue (Device.submit), where requests
+   carry a class and can be scheduled, merged and ordered by barriers.
+   A direct field call above those layers re-introduces the
+   one-request-at-a-time convoy the async I/O core removed. *)
+let i001 ctx structure =
+  if (not (in_lib ctx)) || in_dir "lib/disk" ctx.rel || in_dir "lib/ufs" ctx.rel then []
+  else
+    let diags = ref [] in
+    let open Ast_iterator in
+    let it =
+      {
+        default_iterator with
+        expr =
+          (fun self e ->
+            (match e.pexp_desc with
+            | Pexp_field (_, { txt; _ }) -> (
+                match List.rev (flatten txt) with
+                | (("read" | "write") as f) :: "Device" :: _ ->
+                    diags :=
+                      diag ctx ~rule:"I001" e.pexp_loc
+                        (Printf.sprintf
+                           "direct Device.%s outside lib/disk and lib/ufs: the blocking shims \
+                            belong to the storage layers; submit tagged requests \
+                            (Device.submit with Io.write_req/read_req) instead"
+                           f)
+                      :: !diags
+                | _ -> ())
+            | _ -> ());
+            default_iterator.expr self e);
+      }
+    in
+    it.Ast_iterator.structure it structure;
+    List.rev !diags
+
 type rule = { id : string; synopsis : string; run : ctx -> Parsetree.structure -> Diagnostic.t list }
 
 let all : rule list =
@@ -448,4 +486,5 @@ let all : rule list =
     { id = "O001"; synopsis = "direct stdout/stderr output from lib/"; run = o001 };
     { id = "M001"; synopsis = "metric/namespace string literal outside Nfsg_stats.Names"; run = m001 };
     { id = "S001"; synopsis = "top-level mutable state without a Reset hook"; run = s001 };
+    { id = "I001"; synopsis = "blocking Device.read/write call outside lib/disk and lib/ufs"; run = i001 };
   ]

@@ -92,4 +92,5 @@ let is_call bytes =
   Bytes.length bytes >= 8
   && Int32.to_int (Bytes.get_int32_be bytes 4) = msg_call
 
-let peek_call bytes = try Some (decode_call bytes) with Xdr.Dec.Error _ -> None
+let peek_call bytes =
+  try Some (decode_call bytes) with Xdr.Dec.Error _ | Xdr.Decode_error _ -> None

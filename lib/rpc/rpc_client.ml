@@ -41,7 +41,7 @@ let demux t () =
   let rec loop () =
     let _src, datagram = Nfsg_net.Socket.recv t.sock in
     (match Rpc.decode_reply datagram with
-    | exception Xdr.Dec.Error _ -> ()
+    | exception (Xdr.Dec.Error _ | Xdr.Decode_error _) -> ()
     | reply -> (
         match Hashtbl.find_opt t.pending reply.Rpc.rxid with
         | Some deliver ->

@@ -64,7 +64,7 @@ let svc_run t dispatch () =
     let client, datagram = Nfsg_net.Socket.recv t.sock in
     Metrics.incr t.received;
     (match Rpc.decode_call datagram with
-    | exception Xdr.Dec.Error _ -> Metrics.incr t.garbage
+    | exception (Xdr.Dec.Error _ | Xdr.Decode_error _) -> Metrics.incr t.garbage
     | call -> (
         let verdict =
           match t.dupcache with
@@ -97,16 +97,26 @@ let svc_run t dispatch () =
                    the xid parked as in-progress: that would silently
                    blackhole every retransmission of the request. If no
                    reply went out, forget the entry (so a retransmission
-                   re-executes) and answer with a system error; the
-                   error reply is deliberately NOT cached. If the
-                   dispatch had already replied before raising, the
-                   completed cache entry is correct — keep it. *)
-                Metrics.incr t.dispatch_errors;
+                   re-executes) and answer; the error reply is
+                   deliberately NOT cached. If the dispatch had already
+                   replied before raising, the completed cache entry is
+                   correct — keep it. A typed truncation from the
+                   argument decoder is the client's malformed packet,
+                   not a server fault: GARBAGE_ARGS, not SYSTEM_ERR. *)
+                let stat =
+                  match e with
+                  | Xdr.Decode_error _ ->
+                      Metrics.incr t.garbage;
+                      Rpc.Garbage_args
+                  | _ ->
+                      Metrics.incr t.dispatch_errors;
+                      Rpc.System_err
+                in
                 if tr.live then begin
                   (match t.dupcache with
                   | Some dc -> Dupcache.forget dc ~client ~xid:call.Rpc.xid
                   | None -> ());
-                  send_reply t tr Rpc.System_err (Bytes.create 0)
+                  send_reply t tr stat (Bytes.create 0)
                 end)));
     loop ()
   in

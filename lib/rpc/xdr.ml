@@ -1,5 +1,14 @@
 let pad4 n = (4 - (n mod 4)) mod 4
 
+exception Decode_error of { what : string; need : int; pos : int; have : int }
+
+let () =
+  Printexc.register_printer (function
+    | Decode_error { what; need; pos; have } ->
+        Some
+          (Printf.sprintf "Xdr.Decode_error: truncated %s: need %d at %d of %d" what need pos have)
+    | _ -> None)
+
 module Enc = struct
   type t = Buffer.t
 
@@ -48,24 +57,24 @@ module Dec = struct
 
   let of_bytes ?(pos = 0) buf = { buf; pos }
 
-  let need t n =
+  let need t ~what n =
     if t.pos + n > Bytes.length t.buf then
-      raise (Error (Printf.sprintf "truncated: need %d at %d of %d" n t.pos (Bytes.length t.buf)))
+      raise (Decode_error { what; need = n; pos = t.pos; have = Bytes.length t.buf })
 
   let uint32 t =
-    need t 4;
+    need t ~what:"uint32" 4;
     let v = Int32.to_int (Bytes.get_int32_be t.buf t.pos) land 0xFFFFFFFF in
     t.pos <- t.pos + 4;
     v
 
   let int32 t =
-    need t 4;
+    need t ~what:"int32" 4;
     let v = Int32.to_int (Bytes.get_int32_be t.buf t.pos) in
     t.pos <- t.pos + 4;
     v
 
   let uint64 t =
-    need t 8;
+    need t ~what:"uint64" 8;
     let v = Int64.to_int (Bytes.get_int64_be t.buf t.pos) in
     t.pos <- t.pos + 8;
     if v < 0 then raise (Error "uint64 overflow");
@@ -81,7 +90,7 @@ module Dec = struct
 
   let opaque_fixed t n =
     if n < 0 then raise (Error "negative opaque length");
-    need t (n + pad4 n);
+    need t ~what:"opaque" (n + pad4 n);
     let v = Bytes.sub t.buf t.pos n in
     t.pos <- t.pos + n + pad4 n;
     v

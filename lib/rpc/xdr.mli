@@ -1,6 +1,12 @@
 (** XDR (RFC 1014) serialisation: the wire encoding under SunRPC and
     NFS. Everything is big-endian and padded to 4-byte alignment. *)
 
+exception Decode_error of { what : string; need : int; pos : int; have : int }
+(** Truncated input: decoding a [what] needed [need] more bytes at
+    cursor [pos] of a [have]-byte buffer. A request body that raises
+    this is well-framed RPC but garbage arguments — {!Nfsg_rpc.Svc}
+    maps it to a [Garbage_args] reply rather than [System_err]. *)
+
 module Enc : sig
   type t
 
@@ -33,7 +39,9 @@ module Dec : sig
   type t
 
   exception Error of string
-  (** Raised on truncated or malformed input. *)
+  (** Raised on malformed (but not truncated) input — bad enum values,
+      framing that is not a call, and the like. Truncation raises the
+      typed {!Decode_error} instead. *)
 
   val of_bytes : ?pos:int -> Bytes.t -> t
   val uint32 : t -> int

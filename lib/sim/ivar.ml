@@ -21,5 +21,10 @@ let read iv =
           | Filled v -> wake v
           | Empty waiters -> iv.state <- Empty (wake :: waiters))
 
+let upon iv f =
+  match iv.state with
+  | Filled v -> f v
+  | Empty waiters -> iv.state <- Empty (f :: waiters)
+
 let peek iv = match iv.state with Filled v -> Some v | Empty _ -> None
 let is_filled iv = match iv.state with Filled _ -> true | Empty _ -> false

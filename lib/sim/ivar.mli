@@ -16,6 +16,14 @@ val read : 'a t -> 'a
 (** Blocks the calling process until filled; returns immediately if
     already filled. *)
 
+val upon : 'a t -> ('a -> unit) -> unit
+(** [upon iv f] runs [f v] when the ivar is filled with [v] —
+    immediately if it already is. Unlike {!read} this does not block
+    and may be called outside a process; [f] runs in whatever context
+    calls {!fill} and must not block. Completion chaining for device
+    request pipelines ({!Nfsg_disk.Io}) without spawning a process per
+    link. *)
+
 val peek : 'a t -> 'a option
 (** Non-blocking view of the value. *)
 

@@ -72,6 +72,10 @@ let transfer_us = "transfer_us"
 let service_us = "service_us"
 let queue_depth = "queue_depth"
 let queue_depth_peak = "queue_depth_peak"
+let queue_wait_us = "queue_wait_us"
+let merged_requests = "merged_requests"
+let deadline_promotions = "deadline_promotions"
+let barriers = "barriers"
 
 (* {1 nvram.<name>} *)
 

@@ -72,6 +72,21 @@ val service_us : string
 val queue_depth : string
 val queue_depth_peak : string
 
+val queue_wait_us : string
+(** Histogram: submission-to-service-start wait per request, µs — the
+    starvation measure the Deadline scheduler bounds. *)
+
+val merged_requests : string
+(** Counter: requests absorbed into a physically adjacent neighbour's
+    transaction (k-way merge counts k-1). *)
+
+val deadline_promotions : string
+(** Counter: starved requests the Deadline scheduler served out of
+    elevator order. *)
+
+val barriers : string
+(** Counter: barrier items retired by the scheduler. *)
+
 (** {1 nvram.<name>} *)
 
 val writes_accepted : string

@@ -132,7 +132,11 @@ let dirty_blocks c kind =
   Hashtbl.fold (fun b e acc -> if e.dirty = Some kind then b :: acc else acc) c.table []
   |> List.sort compare
 
-let sync_clustered c blocks ~max_cluster =
+(* One snapshotted cluster write plus the restore record needed to
+   re-dirty its blocks if the request fails. *)
+type prepared = (Io.req * (entry * kind option) list) list
+
+let prepare c ~class_ ~max_cluster blocks =
   let eligible =
     List.sort_uniq compare (List.filter (fun b -> is_dirty c b) blocks)
   in
@@ -147,10 +151,14 @@ let sync_clustered c blocks ~max_cluster =
         | [] -> runs acc [ b ] rest
         | r -> runs (List.rev r :: acc) [ b ] rest)
   in
-  let flush_run run =
+  let snap_run run =
     match run with
-    | [] -> ()
-    | first :: _ -> (
+    | [] -> None
+    | first :: _ ->
+        (* Snapshot into the request buffer so later in-core mutations
+           don't leak into a write already in flight, and mark the
+           blocks clean now: a writer dirtying one mid-flight must not
+           have its new bytes considered durable. *)
         let n = List.length run in
         let big = Bytes.create (n * c.bsize) in
         let was =
@@ -165,20 +173,44 @@ let sync_clustered c blocks ~max_cluster =
               | None -> assert false)
             run
         in
-        try c.dev.Device.write ~off:(first * c.bsize) big
-        with exn ->
+        Some (Io.write_req ~class_ ~off:(first * c.bsize) big, was)
+  in
+  List.filter_map snap_run (runs [] [] eligible)
+
+let prepared_items p = List.map (fun (r, _) -> Io.Req r) p
+
+let await_prepared ps =
+  let all = List.concat ps in
+  (* Park on every request before looking at any outcome: a failure
+     must not leave later clusters un-awaited. *)
+  List.iter (fun (r, _) -> Nfsg_sim.Ivar.read r.Io.done_) all;
+  let first_err = ref None in
+  List.iter
+    (fun (r, was) ->
+      match r.Io.error with
+      | None -> ()
+      | Some exn ->
+          if !first_err = None then first_err := Some exn;
           (* Failed transaction: nothing reached the platter, so every
-             block of the run must stay dirty for the next sync. *)
+             block of the run must stay dirty for the next sync. A kind
+             recorded by a concurrent writer while the request was in
+             flight takes precedence. *)
           List.iter
             (fun (e, k) ->
               match (e.dirty, k) with
               | None, Some _ -> e.dirty <- k
               | Some Data, Some Metadata -> e.dirty <- Some Metadata
               | _ -> ())
-            was;
-          raise exn)
-  in
-  List.iter flush_run (runs [] [] eligible)
+            was)
+    all;
+  match !first_err with Some exn -> raise exn | None -> ()
+
+let sync_clustered c blocks ~max_cluster =
+  match prepare c ~class_:`Gather_flush ~max_cluster blocks with
+  | [] -> ()
+  | p ->
+      c.dev.Device.submit (prepared_items p);
+      await_prepared [ p ]
 
 let install c b bytes =
   if not (Hashtbl.mem c.table b) then begin

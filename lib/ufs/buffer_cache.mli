@@ -48,7 +48,30 @@ val write_sync : t -> int -> unit
 val sync_clustered : t -> int list -> max_cluster:int -> unit
 (** Write the given dirty blocks, coalescing device-contiguous runs
     into single transactions of at most [max_cluster] bytes. Blocks
-    that are not cached or not dirty are skipped. Clears dirtiness. *)
+    that are not cached or not dirty are skipped. Clears dirtiness.
+    Equivalent to {!prepare} + submit + {!await_prepared} in one
+    call. *)
+
+type prepared
+(** A set of snapshotted cluster writes whose dirty flags have been
+    cleared, paired with the restore records needed to re-dirty them
+    if a request fails. *)
+
+val prepare : t -> class_:Nfsg_disk.Io.class_ -> max_cluster:int -> int list -> prepared
+(** [prepare c ~class_ ~max_cluster blocks] snapshots the dirty subset
+    of [blocks] into device-contiguous {!Nfsg_disk.Io.write_req}s (at
+    most [max_cluster] bytes each) and marks the blocks clean. Nothing
+    is submitted: the caller interleaves the items from
+    {!prepared_items} with barriers and other work in a single
+    [Device.submit], then calls {!await_prepared}. *)
+
+val prepared_items : prepared -> Nfsg_disk.Io.item list
+
+val await_prepared : prepared list -> unit
+(** Block until every request of every prepared set completes. Blocks
+    of failed requests are re-dirtied (they never reached stable
+    storage, so a later sync must retry them); then the first failure
+    is re-raised. *)
 
 val dirty_blocks : t -> kind -> int list
 (** Sorted block numbers currently dirty with the given kind. *)

@@ -1,5 +1,6 @@
 open Nfsg_sim
 module Device = Nfsg_disk.Device
+module Io = Nfsg_disk.Io
 
 type inode = {
   inum : int;
@@ -252,31 +253,49 @@ let dinode_of_incore (i : inode) =
     gen = i.gen;
   }
 
-(* Serialise the in-core inode into its table block and write the block
-   synchronously (one disk transaction). *)
-let write_inode_sync t (ino : inode) =
+(* Serialise the in-core inode into its table block (delayed write);
+   the caller decides when the block reaches the device. *)
+let encode_inode t (ino : inode) =
   let blk, off = Layout.inode_block t.sb ino.inum in
   let buf = Buffer_cache.get t.bcache blk in
   Bytes.blit (Layout.encode_dinode (dinode_of_incore ino)) 0 buf off Layout.inode_size;
   Buffer_cache.mark_dirty t.bcache blk Buffer_cache.Metadata;
-  Buffer_cache.write_sync t.bcache blk
+  blk
+
+let write_inode_sync t (ino : inode) =
+  Buffer_cache.write_sync t.bcache (encode_inode t ino)
+
+(* Build the inode's metadata commit as one submission batch: its dirty
+   indirect blocks, then — behind a barrier, because the inode must
+   never point to an indirect block whose pointers are not yet on disk —
+   its table block. [restore] puts the indirect list back (merged with
+   any blocks dirtied meanwhile) after a failed await, so the next
+   fsync retries everything that is not yet durable. *)
+let meta_commit t (ino : inode) =
+  let indirects = List.sort compare ino.dirty_indirects in
+  ino.dirty_indirects <- [];
+  let iblk = encode_inode t ino in
+  let p_ind =
+    Buffer_cache.prepare t.bcache ~class_:`Sync_write ~max_cluster:t.cluster_max indirects
+  in
+  let p_ino = Buffer_cache.prepare t.bcache ~class_:`Sync_write ~max_cluster:(bsize t) [ iblk ] in
+  let ind_items = Buffer_cache.prepared_items p_ind in
+  let items =
+    ind_items
+    @ (if ind_items = [] then [] else [ Io.barrier () ])
+    @ Buffer_cache.prepared_items p_ino
+  in
+  let restore exn =
+    ino.dirty_indirects <- List.sort_uniq compare (indirects @ ino.dirty_indirects);
+    raise exn
+  in
+  (items, [ p_ind; p_ino ], restore)
 
 let fsync_metadata t (ino : inode) =
   if ino.meta_dirty <> `Clean || ino.dirty_indirects <> [] then begin
-    (* Indirect blocks first: the inode must never point to an indirect
-       block whose pointers are not yet on disk. *)
-    let indirects = List.sort compare ino.dirty_indirects in
-    ino.dirty_indirects <- [];
-    (try
-       List.iter (fun b -> Buffer_cache.write_sync t.bcache b) indirects;
-       write_inode_sync t ino
-     with exn ->
-       (* A device error mid-flush must leave the inode flushable: put
-          the indirect list back (merged with any blocks dirtied while
-          we were writing) and keep meta_dirty as it was, so the next
-          fsync retries everything that is not yet durable. *)
-       ino.dirty_indirects <- List.sort_uniq compare (indirects @ ino.dirty_indirects);
-       raise exn);
+    let items, preps, restore = meta_commit t ino in
+    t.dev.Device.submit items;
+    (try Buffer_cache.await_prepared preps with exn -> restore exn);
     ino.meta_dirty <- `Clean
   end
 
@@ -462,6 +481,49 @@ let syncdata t (ino : inode) ~off ~len =
       end
     in
     Buffer_cache.sync_clustered t.bcache (collect first []) ~max_cluster:t.cluster_max
+  end
+
+(* One gathered commit for a byte range: the range's delayed data
+   clusters, then — behind barriers — the inode's indirect blocks and
+   the inode itself, all in a single submission. The device overlaps
+   and merges the data clusters freely while the barriers keep metadata
+   from becoming stable ahead of the data it describes. Semantically
+   [syncdata] followed by [fsync_metadata], without the synchronous
+   convoy of one-at-a-time transactions. *)
+let commit_range t (ino : inode) ~off ~len =
+  let data_blocks =
+    if len <= 0 then []
+    else begin
+      let bs = bsize t in
+      let first = off / bs and last = (off + len - 1) / bs in
+      let rec collect fbn acc =
+        if fbn > last then List.rev acc
+        else
+          let b = bmap t ino fbn ~alloc_missing:false ~near:None in
+          collect (fbn + 1) (if b = 0 then acc else b :: acc)
+      in
+      collect first []
+    end
+  in
+  let p_data =
+    Buffer_cache.prepare t.bcache ~class_:`Gather_flush ~max_cluster:t.cluster_max data_blocks
+  in
+  let data_items = Buffer_cache.prepared_items p_data in
+  if ino.meta_dirty = `Clean && ino.dirty_indirects = [] then begin
+    match data_items with
+    | [] -> ()
+    | items ->
+        t.dev.Device.submit items;
+        Buffer_cache.await_prepared [ p_data ]
+  end
+  else begin
+    let meta_items, preps, restore = meta_commit t ino in
+    let items =
+      data_items @ (if data_items = [] then [] else [ Io.barrier () ]) @ meta_items
+    in
+    t.dev.Device.submit items;
+    (try Buffer_cache.await_prepared (p_data :: preps) with exn -> restore exn);
+    ino.meta_dirty <- `Clean
   end
 
 let fsync t (ino : inode) =

@@ -109,8 +109,17 @@ val syncdata : t -> inode -> off:int -> len:int -> unit
     range, clustering device-contiguous runs up to {!cluster_max}. *)
 
 val fsync_metadata : t -> inode -> unit
-(** VOP_FSYNC(FWRITE_METADATA): synchronously write the inode and any
-    dirty indirect blocks. No-op when clean. *)
+(** VOP_FSYNC(FWRITE_METADATA): commit the inode and any dirty
+    indirect blocks in one device submission, the inode table block
+    ordered behind the indirects by a barrier. No-op when clean. *)
+
+val commit_range : t -> inode -> off:int -> len:int -> unit
+(** Gathered commit of a byte range: delayed data clusters, then —
+    behind barriers — dirty indirect blocks, then the inode, as a
+    single device submission. Semantically {!syncdata} followed by
+    {!fsync_metadata}, but the device may overlap and merge the data
+    clusters while the barriers keep metadata from becoming stable
+    ahead of the data it describes. *)
 
 val fsync : t -> inode -> unit
 (** Full fsync: {!syncdata} over the whole file then

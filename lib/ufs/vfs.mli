@@ -45,6 +45,12 @@ val vop_read : vnode -> off:int -> len:int -> Bytes.t
 val vop_write : vnode -> off:int -> Bytes.t -> flags:io_flag list -> unit
 val vop_fsync : vnode -> flags:fsync_flag list -> unit
 val vop_syncdata : vnode -> off:int -> len:int -> unit
+
+val vop_commit : vnode -> off:int -> len:int -> unit
+(** Gathered flush of data plus metadata as one device submission
+    ({!Fs.commit_range}): data clusters overlap and merge, barriers
+    keep the inode and indirect blocks ordered behind the data. *)
+
 val vop_lookup : vnode -> string -> vnode
 val vop_create : vnode -> string -> Layout.ftype -> vnode
 val vop_remove : vnode -> string -> unit

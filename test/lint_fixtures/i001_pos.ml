@@ -1,0 +1,2 @@
+(* I001 positive: blocking device call above the storage layers. *)
+let slurp (dev : Nfsg_disk.Device.t) = dev.Nfsg_disk.Device.read ~off:0 ~len:512

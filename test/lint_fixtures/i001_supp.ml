@@ -1,0 +1,4 @@
+(* I001 suppressed: crash-recovery tooling reads synchronously on purpose. *)
+let slurp (dev : Nfsg_disk.Device.t) =
+  (* nfslint: allow I001 fixture: recovery replay is single-request by design *)
+  dev.Nfsg_disk.Device.read ~off:0 ~len:512

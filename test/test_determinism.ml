@@ -16,9 +16,7 @@ let run_once () =
   Json.to_string ~pretty:true
     (Nfsg_experiments.Experiments.bench_writegather ~total:bench_total ())
 
-let test_double_run () =
-  let first = run_once () in
-  let second = run_once () in
+let check_same_bytes first second =
   if not (String.equal first second) then begin
     (* Point at the first differing line rather than dumping both blobs. *)
     let la = String.split_on_char '\n' first and lb = String.split_on_char '\n' second in
@@ -31,6 +29,17 @@ let test_double_run () =
     let line, a, b = first_diff 1 (la, lb) in
     Alcotest.failf "double-run JSON diverges at line %d:\n  run 1: %s\n  run 2: %s" line a b
   end
+
+let test_double_run () = check_same_bytes (run_once ()) (run_once ())
+
+(* Same property for the committed scheduler-comparison artifact: three
+   whole worlds per run (one per policy), byte for byte. *)
+let run_iosched_once () =
+  Reset.run_all ();
+  Json.to_string ~pretty:true (Nfsg_experiments.Iosched.bench_iosched ())
+
+let test_double_run_iosched () =
+  check_same_bytes (run_iosched_once ()) (run_iosched_once ())
 
 (* The registry itself: hooks the lint S001 dispositions rely on must
    actually be registered. *)
@@ -56,6 +65,7 @@ let test_reset_runs_hooks () =
 let suite =
   [
     Alcotest.test_case "writegather bench twice, same bytes" `Quick test_double_run;
+    Alcotest.test_case "iosched bench twice, same bytes" `Quick test_double_run_iosched;
     Alcotest.test_case "expected reset hooks registered" `Quick test_reset_hooks_present;
     Alcotest.test_case "duplicate reset hook rejected" `Quick test_reset_duplicate_rejected;
     Alcotest.test_case "run_all fires hooks" `Quick test_reset_runs_hooks;

@@ -346,6 +346,32 @@ let test_chaos_acceptance () =
   let r3 = Chaos.run { Chaos.default with Chaos.seed = 43 } in
   Alcotest.(check bool) "different seed diverges" true (r3.Chaos.digest <> r.Chaos.digest)
 
+(* The crash promises are scheduler-independent: however the spindle
+   reorders its queue, no acked write may be lost and no non-idempotent
+   op re-executed. Run the quick chaos scenario under all three. *)
+let test_chaos_all_schedulers () =
+  List.iter
+    (fun (name, scheduler) ->
+      let cfg =
+        {
+          Chaos.default with
+          Chaos.cycles = 1;
+          writers = 1;
+          blocks_per_writer = 60;
+          burst_ops = 4;
+          scheduler;
+        }
+      in
+      let r = Chaos.run cfg in
+      check_clean name r;
+      Alcotest.(check int) (name ^ ": one crash") 1 r.Chaos.crashes;
+      Alcotest.(check int) (name ^ ": one restart") 1 r.Chaos.restarts)
+    [
+      ("fifo", Nfsg_disk.Disk.Fifo);
+      ("elevator", Nfsg_disk.Disk.Elevator);
+      ("deadline", Nfsg_disk.Disk.Deadline);
+    ]
+
 let test_chaos_accelerated () =
   let r = Chaos.run { Chaos.default with Chaos.accel = true } in
   check_clean "chaos+presto" r;
@@ -371,5 +397,6 @@ let suite =
     Alcotest.test_case "partition ride-through." `Quick test_partition_ride_through;
     Alcotest.test_case "crash/restart ride-through." `Quick test_crash_restart_ride_through;
     Alcotest.test_case "chaos acceptance." `Quick test_chaos_acceptance;
+    Alcotest.test_case "chaos under all three schedulers." `Quick test_chaos_all_schedulers;
     Alcotest.test_case "chaos with Presto + battery failure." `Quick test_chaos_accelerated;
   ]

@@ -8,6 +8,7 @@ let () =
       ("stats", Test_stats.suite);
       ("extent-map", Test_extent_map.suite);
       ("disk", Test_disk.suite);
+      ("iosched", Test_iosched.suite);
       ("nvram", Test_nvram.suite);
       ("stripe", Test_stripe.suite);
       ("net", Test_net.suite);

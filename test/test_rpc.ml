@@ -272,6 +272,42 @@ let test_garbage_counted () =
   Engine.run eng;
   Alcotest.(check int) "garbage dropped" 1 (Svc.garbage_dropped svc)
 
+let test_truncated_write_garbage_args () =
+  let eng = Engine.create () in
+  let segment = Segment.create eng Segment.fddi in
+  let ssock = Socket.create segment ~addr:"server" () in
+  let svc =
+    Svc.create eng ~sock:ssock ~nfsds:1
+      ~dispatch:(fun _ call ->
+        (* Decode the arguments the way the NFS server does: the typed
+           Xdr.Decode_error escapes the dispatch and Svc must map it to
+           GARBAGE_ARGS rather than SYSTEM_ERR. *)
+        match Nfsg_nfs.Proto.decode_args ~proc:call.Rpc.proc call.Rpc.body with
+        | _ -> Svc.Reply (Rpc.Success, Bytes.create 0))
+      ()
+  in
+  let csock = Socket.create segment ~addr:"client" () in
+  let rpc = Rpc_client.create eng ~sock:csock ~server:"server" () in
+  let full =
+    Nfsg_nfs.Proto.encode_args
+      (Nfsg_nfs.Proto.Write
+         {
+           fh = { Nfsg_nfs.Proto.fsid = 1; vgen = 1; inum = 2; gen = 1 };
+           offset = 0;
+           data = Bytes.make 8192 'w';
+         })
+  in
+  (* Cut the opaque payload short: still well-framed RPC, but the WRITE
+     data's declared length now runs past the end of the body. *)
+  let truncated = Bytes.sub full 0 (Bytes.length full - 4000) in
+  let stat, _ =
+    run_driver eng (fun () ->
+        Rpc_client.call rpc ~proc:Nfsg_nfs.Proto.proc_write truncated)
+  in
+  Alcotest.(check bool) "GARBAGE_ARGS reply" true (stat = Rpc.Garbage_args);
+  Alcotest.(check int) "counted as garbage" 1 (Svc.garbage_dropped svc);
+  Alcotest.(check int) "not a dispatch error" 0 (Svc.dispatch_errors svc)
+
 let suite =
   [
     Alcotest.test_case "call encode/decode" `Quick test_call_roundtrip;
@@ -290,4 +326,6 @@ let suite =
     Alcotest.test_case "delayed replies via handle cache" `Quick test_delayed_reply_architecture;
     Alcotest.test_case "double reply rejected" `Quick test_double_reply_rejected;
     Alcotest.test_case "garbage datagrams dropped" `Quick test_garbage_counted;
+    Alcotest.test_case "truncated WRITE args get GARBAGE_ARGS" `Quick
+      test_truncated_write_garbage_args;
   ]

@@ -36,9 +36,18 @@ let test_string_roundtrip () =
 
 let test_truncation_raises () =
   let dec = Xdr.Dec.of_bytes (Bytes.make 2 'x') in
-  match Xdr.Dec.uint32 dec with
-  | _ -> Alcotest.fail "expected Error"
-  | exception Xdr.Dec.Error _ -> ()
+  (match Xdr.Dec.uint32 dec with
+  | _ -> Alcotest.fail "expected Decode_error"
+  | exception Xdr.Decode_error { what = "uint32"; need = 4; pos = 0; have = 2 } -> ());
+  (* A declared opaque length running past the end of the buffer is the
+     same typed error, with the cursor past the length word. *)
+  let enc = Xdr.Enc.create () in
+  Xdr.Enc.uint32 enc 64;
+  Xdr.Enc.raw enc (Bytes.make 10 'x');
+  let dec = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes enc) in
+  match Xdr.Dec.opaque dec with
+  | _ -> Alcotest.fail "expected Decode_error"
+  | exception Xdr.Decode_error { what = "opaque"; need = 64; pos = 4; have = 14 } -> ()
 
 let test_uint32_range_checked () =
   let enc = Xdr.Enc.create () in
