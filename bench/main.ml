@@ -9,13 +9,15 @@
      dune exec bench/main.exe -- writegather   only BENCH_writegather.json
      dune exec bench/main.exe -- multivolume   only BENCH_multivolume.json
      dune exec bench/main.exe -- iosched       only BENCH_iosched.json
+     dune exec bench/main.exe -- raid          only BENCH_raid.json
 
    Every non-micro run also writes BENCH_writegather.json (the paper's
    core Standard/Gathering/NVRAM comparison, machine-readable),
    BENCH_multivolume.json (the 3-export independence/fault-isolation
-   bench) and BENCH_iosched.json (Fifo vs Elevator vs Deadline+merge
-   on one spindle; fixed workloads, committed and diffed by CI) to the
-   current directory.
+   bench), BENCH_iosched.json (Fifo vs Elevator vs Deadline+merge on
+   one spindle) and BENCH_raid.json (RAID level x gathering over a
+   3-drive array, with degraded service and online rebuild; fixed
+   workloads, committed and diffed by CI) to the current directory.
 
    Paper-vs-measured commentary lives in EXPERIMENTS.md. *)
 
@@ -136,6 +138,20 @@ let run_iosched () =
   close_out oc;
   progress "bench: wrote %s in %.1fs wall" iosched_json_file (Unix.gettimeofday () -. t0)
 
+let raid_json_file = "BENCH_raid.json"
+
+(* RAID level x write gathering over a 3-drive array, plus degraded
+   service and an online rebuild per redundant level; fixed workload,
+   committed and byte-diffed by CI. *)
+let run_raid () =
+  progress "bench: running raid JSON bench ...";
+  let t0 = Unix.gettimeofday () in
+  let json = Nfsg_experiments.Raid.bench_raid () in
+  let oc = open_out raid_json_file in
+  output_string oc (Nfsg_stats.Json.to_string ~pretty:true json);
+  close_out oc;
+  progress "bench: wrote %s in %.1fs wall" raid_json_file (Unix.gettimeofday () -. t0)
+
 (* {1 Bechamel microbenchmarks}
 
    Wall-clock cost of the hot substrate operations: these bound how
@@ -241,10 +257,12 @@ let () =
   let writegather_only = List.mem "writegather" args in
   let multivolume_only = List.mem "multivolume" args in
   let iosched_only = List.mem "iosched" args in
+  let raid_only = List.mem "raid" args in
   if micro_only then run_micro ()
   else if writegather_only then run_writegather quick
   else if multivolume_only then run_multivolume ()
   else if iosched_only then run_iosched ()
+  else if raid_only then run_raid ()
   else begin
     Printf.printf "NFS write gathering: full reproduction run (%s)\n"
       (if quick then "quick mode" else "paper-size workloads");
@@ -255,5 +273,6 @@ let () =
     run_writegather quick;
     run_multivolume ();
     run_iosched ();
+    run_raid ();
     run_micro ()
   end

@@ -26,6 +26,22 @@ let scheduler_arg =
   in
   Arg.(value & opt (some policy) None & info [ "scheduler" ] ~docv:"POLICY" ~doc)
 
+let raid_level_arg =
+  let level =
+    Arg.enum
+      [
+        ("raid0", Nfsg_disk.Stripe.Raid0);
+        ("raid1", Nfsg_disk.Stripe.Raid1);
+        ("raid5", Nfsg_disk.Stripe.Raid5);
+      ]
+  in
+  let doc =
+    "Serve every multi-spindle experiment from a redundant array at the given RAID level \
+     ($(docv) is one of raid0, raid1 or raid5) instead of the plain stripe set; the chaos rig \
+     additionally fail-stops and rebuilds one member per fault cycle."
+  in
+  Arg.(value & opt (some level) None & info [ "raid-level" ] ~docv:"LEVEL" ~doc)
+
 let metrics_json_arg =
   let doc =
     "Write the typed-metrics registry of the run (every counter, gauge and histogram \
@@ -34,7 +50,7 @@ let metrics_json_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE" ~doc)
 
-let run_experiment ?metrics quick = function
+let run_experiment ?metrics ?raid_level quick = function
   | "table1" -> print_report (E.table1 ~quick ())
   | "table2" -> print_report (E.table2 ~quick ())
   | "table3" -> print_report (E.table3 ~quick ())
@@ -70,12 +86,14 @@ let run_experiment ?metrics quick = function
   | "writegather" ->
       print_string (Nfsg_stats.Json.to_string ~pretty:true (E.bench_writegather ~quick ()))
   | "multivolume" -> print_report (Nfsg_experiments.Multivolume.report ~quick ())
+  | "raid" -> print_report (Nfsg_experiments.Raid.report ~quick ())
   | "chaos" ->
       let module Chaos = Nfsg_experiments.Chaos in
       let cfg =
         if quick then { Chaos.default with Chaos.cycles = 2; blocks_per_writer = 60 }
         else Chaos.default
       in
+      let cfg = { cfg with Chaos.array_level = raid_level } in
       let r = Chaos.run ?metrics cfg in
       Fmt.pr "%a@." Chaos.pp_result r;
       List.iter print_endline r.Chaos.timeline
@@ -84,21 +102,23 @@ let run_experiment ?metrics quick = function
 let names =
   [
     "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure1"; "figure2"; "figure3";
-    "ablations"; "extensions"; "writegather"; "multivolume"; "chaos";
+    "ablations"; "extensions"; "writegather"; "multivolume"; "raid"; "chaos";
   ]
 
-let run quick scheduler metrics_json targets =
+let run quick scheduler raid_level metrics_json targets =
   let targets = if targets = [] || List.mem "all" targets then names else targets in
   let metrics = Option.map (fun _ -> Metrics.create ()) metrics_json in
   (* Rig-built worlds report into the shared sink; chaos (which builds
      its own world) takes the registry as a parameter. *)
   Nfsg_experiments.Rig.set_metrics_sink metrics;
   Nfsg_experiments.Rig.set_scheduler_override scheduler;
+  Nfsg_experiments.Rig.set_raid_level_override raid_level;
   List.iteri
     (fun i name ->
       if i > 0 then print_newline ();
-      run_experiment ?metrics quick name)
+      run_experiment ?metrics ?raid_level quick name)
     targets;
+  Nfsg_experiments.Rig.set_raid_level_override None;
   Nfsg_experiments.Rig.set_scheduler_override None;
   Nfsg_experiments.Rig.set_metrics_sink None;
   match (metrics_json, metrics) with
@@ -112,13 +132,13 @@ let run quick scheduler metrics_json targets =
 let targets_arg =
   let doc =
     "Experiments to run: table1..table6, figure1..figure3, ablations, extensions, writegather, \
-     multivolume, chaos, or all (default)."
+     multivolume, raid, chaos, or all (default)."
   in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
 let cmd =
   let doc = "reproduce 'Improving the Write Performance of an NFS Server' (USENIX 1994)" in
   let info = Cmd.info "nfsgather" ~version:"1.0.0" ~doc in
-  Cmd.v info Term.(const run $ quick_arg $ scheduler_arg $ metrics_json_arg $ targets_arg)
+  Cmd.v info Term.(const run $ quick_arg $ scheduler_arg $ raid_level_arg $ metrics_json_arg $ targets_arg)
 
 let () = exit (Cmd.eval cmd)

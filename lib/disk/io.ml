@@ -47,14 +47,14 @@ let write_req ?tag ~class_ ~off data =
     error = None;
   }
 
-let read_req ?tag ~off ~len () =
+let read_req ?tag ?(class_ = `Read) ~off ~len () =
   let tag = match tag with Some t -> t | None -> fresh_tag () in
   {
     op = Read;
     off;
     len;
     buf = Bytes.create len;
-    class_ = `Read;
+    class_;
     tag;
     done_ = Ivar.create ();
     error = None;

@@ -66,7 +66,10 @@ val write_req : ?tag:int -> class_:class_ -> off:int -> Bytes.t -> req
 (** The bytes become the request's buffer without copying: pass a
     snapshot the caller will not mutate. *)
 
-val read_req : ?tag:int -> off:int -> len:int -> unit -> req
+val read_req : ?tag:int -> ?class_:class_ -> off:int -> len:int -> unit -> req
+(** [class_] defaults to [`Read]; rebuild resilver reads pass
+    [`Bg_drain] so they yield to foreground traffic in the queue. *)
+
 val barrier : ?tag:int -> unit -> item
 
 val class_name : class_ -> string

@@ -4,7 +4,10 @@ module Socket = Nfsg_net.Socket
 module Disk = Nfsg_disk.Disk
 module Nvram = Nfsg_disk.Nvram
 module Device = Nfsg_disk.Device
+module Stripe = Nfsg_disk.Stripe
 module Fault_disk = Nfsg_fault.Fault_disk
+module Metrics = Nfsg_stats.Metrics
+module Names = Nfsg_stats.Names
 module Server = Nfsg_core.Server
 module Write_layer = Nfsg_core.Write_layer
 module Fs = Nfsg_ufs.Fs
@@ -25,6 +28,10 @@ type config = {
   dup_prob : float;
   nfsds : int;
   scheduler : Disk.scheduler;  (** spindle I/O scheduling policy *)
+  array_level : Stripe.level option;
+      (** serve from a redundant array instead of one spindle, adding
+          whole-member fail-stop, degraded service and online rebuild
+          to every fault cycle *)
 }
 
 let default =
@@ -41,6 +48,7 @@ let default =
     dup_prob = 0.02;
     nfsds = 8;
     scheduler = Disk.Fifo;
+    array_level = None;
   }
 
 type result = {
@@ -58,6 +66,10 @@ type result = {
   flush_failures : int;
   errors_injected : int;
   io_error_replies : int;
+  member_failures : int;  (** array members fail-stopped (0 without an array) *)
+  rebuilds_completed : int;
+  degraded_reads : int;
+  degraded_writes : int;
   fsck_errors : string list;
   timeline : string list;
   digest : string;
@@ -80,8 +92,37 @@ let run ?metrics cfg =
   let segment = Segment.create eng ~seed:(cfg.seed lxor 0x5e11) ~metrics Segment.fddi in
   Segment.set_loss_prob segment cfg.loss_prob;
   Segment.set_dup_prob segment cfg.dup_prob;
-  let disk = Disk.create eng ~name:"rz26" ~metrics ~scheduler:cfg.scheduler Calib.disk_geometry in
-  let injector, faulty = Fault_disk.wrap eng ~seed:(cfg.seed lxor 0xfa01) disk in
+  (* The device stack under test. [array_level = None] keeps the
+     classic single-spindle rig, byte-identical to earlier revisions;
+     a level builds a redundant array whose members each carry their
+     own injector (whole-spindle fail-stop), with the classic
+     top-level injector wrapping the array itself. *)
+  let base, member_injectors, array =
+    match cfg.array_level with
+    | None ->
+        let disk =
+          Disk.create eng ~name:"rz26" ~metrics ~scheduler:cfg.scheduler Calib.disk_geometry
+        in
+        (disk, [||], None)
+    | Some level ->
+        let n = match level with Stripe.Raid1 -> 2 | _ -> 3 in
+        let wrapped =
+          Array.init n (fun i ->
+              let m =
+                Disk.create eng
+                  ~name:(Printf.sprintf "rz26-m%d" i)
+                  ~metrics ~scheduler:cfg.scheduler
+                  (Disk.rz26 ~capacity:(16 * 1024 * 1024) ())
+              in
+              Fault_disk.wrap eng ~seed:(cfg.seed lxor (0xfa10 + i)) m)
+        in
+        let arr =
+          Stripe.create_array eng ~name:"array" ~metrics ~level ~chunk:32768
+            (Array.map snd wrapped)
+        in
+        (Stripe.device arr, Array.map fst wrapped, Some arr)
+  in
+  let injector, faulty = Fault_disk.wrap eng ~seed:(cfg.seed lxor 0xfa01) base in
   let device =
     if cfg.accel then Nvram.create eng ~params:Calib.nvram_params ~metrics faulty else faulty
   in
@@ -120,6 +161,7 @@ let run ?metrics cfg =
 
   let tick = Time.of_ms_f 20.0 in
   let rec wait_for pred = if not (pred ()) then begin Engine.delay tick; wait_for pred end in
+  let rebuild_pace = Time.of_us_f 500.0 in
 
   (* Every per-incarnation statistic must be read before the
      incarnation is crashed away. *)
@@ -309,6 +351,19 @@ let run ?metrics cfg =
           ~until:(now + Time.of_ms_f 780.0);
         note "disk hang window +620..+780ms"
       end;
+      (* Whole-spindle loss: fail-stop one array member for the rest of
+         the storm and the crash that follows — service must continue
+         degraded, and the journal replay on recovery must cope with
+         the hole. *)
+      let victim_member = ref (-1) in
+      (match array with
+      | Some arr when Stripe.level arr <> Stripe.Raid0 ->
+          let v = k mod Array.length member_injectors in
+          victim_member := v;
+          Fault_disk.fail_stop member_injectors.(v);
+          Stripe.fail_member arr v;
+          note "array member %d fail-stopped" v
+      | _ -> ());
       let victim_writer = Printf.sprintf "w%d" (k mod cfg.writers) in
       Segment.partition segment ~a:"server" ~b:victim_writer ~until:(now + Time.of_ms_f 900.0);
       note "partition server<->%s for 900ms" victim_writer;
@@ -327,6 +382,43 @@ let run ?metrics cfg =
       note "server restart #%d after %.0fms outage" !restarts (Time.to_sec_f outage *. 1e3);
       Segment.set_loss_prob segment cfg.loss_prob;
       verify (Printf.sprintf "cycle %d" (k + 1)) ~all:false;
+      (* Replace the dead spindle and resilver it online, under
+         whatever load is still running. Odd cycles crash the server
+         mid-rebuild: the resilver must abort cleanly and restart from
+         scratch without inventing data. Waiting for completion before
+         the next cycle keeps the array single-failure at all times. *)
+      (match array with
+      | Some arr when !victim_member >= 0 ->
+          let v = !victim_member in
+          Fault_disk.revive member_injectors.(v);
+          if Stripe.member_state arr v = Stripe.Failed then begin
+            Stripe.rebuild ~pace:rebuild_pace arr ~member:v;
+            note "member %d replaced, rebuild started" v;
+            if k mod 2 = 1 then begin
+              Engine.delay (Time.of_ms_f 120.0);
+              if Stripe.rebuild_active arr then begin
+                harvest ();
+                incr crashes;
+                note "server crash #%d (mid-rebuild)" !crashes;
+                Server.crash !server;
+                Engine.delay (Time.of_ms_f 300.0);
+                server := Server.restart !server;
+                incr restarts;
+                note "server restart #%d (mid-rebuild)" !restarts;
+                verify (Printf.sprintf "cycle %d mid-rebuild" (k + 1)) ~all:false;
+                if Stripe.member_state arr v = Stripe.Failed then begin
+                  Stripe.rebuild ~pace:rebuild_pace arr ~member:v;
+                  note "rebuild restarted after crash"
+                end
+              end
+            end;
+            wait_for (fun () -> not (Stripe.rebuild_active arr));
+            note "member %d rebuild %s" v
+              (match Stripe.member_state arr v with
+              | Stripe.Active -> "complete"
+              | _ -> "aborted")
+          end
+      | _ -> ());
       let elapsed = Engine.now eng - cycle_start in
       if elapsed < span then Engine.delay (span - elapsed)
     done;
@@ -360,6 +452,20 @@ let run ?metrics cfg =
          !io_error_replies (Segment.datagrams_sent segment) (Segment.datagrams_lost segment)
          (Segment.datagrams_duplicated segment)
          (Segment.datagrams_blackholed segment));
+    let raid_counter name =
+      if Option.is_some array then
+        Option.value ~default:0 (Metrics.find_counter metrics ~ns:(Names.Ns.raid "array") name)
+      else 0
+    in
+    (* Only array runs carry the raid line, so classic digests are
+       byte-identical to earlier revisions. *)
+    if Option.is_some array then
+      Buffer.add_string buf
+        (Printf.sprintf " raid=%d/%d/%d/%d"
+           (raid_counter Names.member_failures)
+           (raid_counter Names.rebuilds_completed)
+           (raid_counter Names.degraded_reads)
+           (raid_counter Names.degraded_writes));
     result :=
       Some
         {
@@ -377,6 +483,10 @@ let run ?metrics cfg =
           flush_failures = !flush_failures;
           errors_injected = Fault_disk.errors_injected injector;
           io_error_replies = !io_error_replies;
+          member_failures = raid_counter Names.member_failures;
+          rebuilds_completed = raid_counter Names.rebuilds_completed;
+          degraded_reads = raid_counter Names.degraded_reads;
+          degraded_writes = raid_counter Names.degraded_writes;
           fsck_errors = !fsck_errors;
           timeline;
           digest = Digest.to_hex (Digest.string (Buffer.contents buf));
@@ -397,4 +507,9 @@ let pp_result ppf r =
      digest %s@]"
     r.acked (List.length r.lost) r.crashes r.issued_creates r.completed_creates r.executed_creates
     r.issued_removes r.completed_removes r.executed_removes r.spurious_nonidem r.flush_failures
-    r.errors_injected r.io_error_replies r.digest
+    r.errors_injected r.io_error_replies r.digest;
+  if r.member_failures > 0 then
+    Fmt.pf ppf
+      "@.array: %d member fail-stop(s), %d rebuild(s) completed, %d degraded reads, %d degraded \
+       writes"
+      r.member_failures r.rebuilds_completed r.degraded_reads r.degraded_writes

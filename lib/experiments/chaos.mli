@@ -45,6 +45,16 @@ type config = {
   scheduler : Nfsg_disk.Disk.scheduler;
       (** spindle I/O scheduling policy; the crash promises must hold
           under all of Fifo, Elevator and Deadline *)
+  array_level : Nfsg_disk.Stripe.level option;
+      (** [None] (the default) is the classic single-spindle rig.
+          [Some Raid1]/[Some Raid5] serve from a redundant array (2 or
+          3 members, each behind its own fault injector) and extend
+          every cycle's fault plan: one member fail-stops during the
+          storm, the crash and restart happen degraded, and after
+          verification the member is replaced and resilvered online —
+          with the server crashed {e mid-rebuild} on odd cycles. The
+          no-acked-write-lost ledger, the duplicate-cache invariant and
+          the digest reproducibility are asserted across all of it. *)
 }
 
 val default : config
@@ -64,6 +74,11 @@ type result = {
   flush_failures : int;  (** gathered batches failed with NFSERR_IO *)
   errors_injected : int;
   io_error_replies : int;  (** NFSERR_IO write replies clients retried through *)
+  member_failures : int;
+      (** array members fail-stopped over the run (0 without an array) *)
+  rebuilds_completed : int;  (** online resilvers that ran to completion *)
+  degraded_reads : int;  (** reads served by reconstruction or failover *)
+  degraded_writes : int;  (** writes committed with a member missing *)
   fsck_errors : string list;
   timeline : string list;  (** timestamped fault/verification log *)
   digest : string;  (** hex digest of timeline + ledger + counters *)

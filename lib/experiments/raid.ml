@@ -1,0 +1,299 @@
+open Nfsg_sim
+module Segment = Nfsg_net.Segment
+module Socket = Nfsg_net.Socket
+module Disk = Nfsg_disk.Disk
+module Device = Nfsg_disk.Device
+module Io = Nfsg_disk.Io
+module Stripe = Nfsg_disk.Stripe
+module Server = Nfsg_core.Server
+module Write_layer = Nfsg_core.Write_layer
+module Client = Nfsg_nfs.Client
+module Rpc_client = Nfsg_rpc.Rpc_client
+module Metrics = Nfsg_stats.Metrics
+module Names = Nfsg_stats.Names
+module Json = Nfsg_stats.Json
+module Report = Nfsg_stats.Report
+
+(* The redundancy comparison: the same multi-writer streaming load over
+   a 3-drive array, once per RAID level, with write gathering on and
+   off. The interesting cell is RAID-5 x gathering: individual 8 KB
+   WRITEs commit as chunk read-modify-writes, while a gathered flush
+   hands the array runs long enough to cover whole parity rows — the
+   full-stripe commits that skip the read phase entirely. The bench
+   then fails one member of each redundant array, serves reads and
+   writes degraded, and rebuilds it online under measurement. *)
+
+type config = {
+  seed : int;
+  members : int;  (** spindles per array *)
+  member_capacity : int;
+  chunk : int;
+  writers : int;
+  blocks_per_writer : int;  (** 8 KB blocks streamed per writer *)
+  nfsds : int;
+  sample_blocks : int;  (** blocks read back healthy/degraded/rebuilt *)
+  degraded_write_blocks : int;  (** blocks written while degraded *)
+  rebuild_pace : Time.t;
+}
+
+let default =
+  {
+    seed = 1994;
+    members = 3;
+    member_capacity = 6 * 1024 * 1024;
+    chunk = 8192;
+    writers = 4;
+    blocks_per_writer = 48;
+    nfsds = 8;
+    sample_blocks = 16;
+    degraded_write_blocks = 8;
+    rebuild_pace = Time.of_us_f 200.0;
+  }
+
+type variant = { level : Stripe.level; gather : bool }
+
+let variants =
+  [
+    { level = Stripe.Raid0; gather = false };
+    { level = Stripe.Raid0; gather = true };
+    { level = Stripe.Raid1; gather = false };
+    { level = Stripe.Raid1; gather = true };
+    { level = Stripe.Raid5; gather = false };
+    { level = Stripe.Raid5; gather = true };
+  ]
+
+let label v = Stripe.level_name v.level ^ if v.gather then "+gather" else ""
+
+type redundancy = {
+  degraded_read_blocks : int;
+  degraded_read_mean_us : float;
+  degraded_reads : int;  (** reconstructed / failed-over reads (counter) *)
+  degraded_writes : int;  (** writes committed with a member missing *)
+  rebuild_ms : float;
+  rebuild_chunks : int;
+  rebuild_bytes : int;
+  reverified : bool;  (** sample blocks byte-equal healthy/degraded/rebuilt *)
+}
+
+type row = {
+  variant : variant;
+  elapsed_ms : float;
+  written_kb_s : float;
+  member_transactions : int;
+  full_stripe_writes : int;
+  rmw_writes : int;
+  full_stripe_fraction : float;
+  redundancy : redundancy option;  (** [None] for RAID-0 *)
+}
+
+let bs = 8192
+let block w b = Bytes.init bs (fun j -> Char.chr ((j + (31 * w) + (131 * b)) mod 251))
+
+(* One world per variant: same seed, same offered traffic; only the
+   array level and the server's write layer differ. *)
+let run_variant cfg v =
+  let eng = Engine.create () in
+  let metrics = Metrics.create () in
+  let segment =
+    Segment.create eng ~seed:(cfg.seed lxor 0x3a7) ~metrics (Calib.segment_params Calib.Fddi)
+  in
+  let members =
+    Array.init cfg.members (fun i ->
+        Disk.create eng
+          ~name:(Printf.sprintf "m%d" i)
+          ~metrics
+          (Disk.rz26 ~capacity:cfg.member_capacity ()))
+  in
+  let arr =
+    Stripe.create_array eng ~name:"array" ~metrics ~level:v.level ~chunk:cfg.chunk members
+  in
+  let device = Stripe.device arr in
+  let write_layer =
+    if v.gather then
+      { Write_layer.default_gathering with Write_layer.procrastinate = Calib.procrastinate Calib.Fddi }
+    else Write_layer.standard
+  in
+  let sconfig = { Server.default_config with Server.nfsds = cfg.nfsds; write_layer } in
+  let server = Server.make eng ~segment ~addr:"server" ~device ~metrics sconfig in
+
+  let writers_done = ref 0 in
+  let tick = Time.of_ms_f 5.0 in
+  let rec wait_for pred = if not (pred ()) then begin Engine.delay tick; wait_for pred end in
+  let writer w () =
+    let sock = Socket.create segment ~addr:(Printf.sprintf "w%d" w) () in
+    let rpc = Rpc_client.create eng ~sock ~server:"server" ~metrics () in
+    let client = Client.create eng ~rpc ~biods:4 ~metrics () in
+    let root = Server.root_fh server in
+    let fh, _ = Client.create_file client root (Printf.sprintf "f%d" w) in
+    let f = Client.open_file client fh in
+    for b = 0 to cfg.blocks_per_writer - 1 do
+      Client.write f ~off:(b * bs) (block w b)
+    done;
+    Client.close f;
+    incr writers_done
+  in
+
+  let elapsed = ref 0 in
+  let redundancy = ref None in
+  Engine.spawn eng ~name:"driver" (fun () ->
+      let t0 = Engine.now eng in
+      for w = 0 to cfg.writers - 1 do
+        Engine.spawn eng ~name:(Printf.sprintf "writer%d" w) (writer w)
+      done;
+      wait_for (fun () -> !writers_done = cfg.writers);
+      elapsed := Engine.now eng - t0;
+
+      (* Degraded service and online rebuild, straight at the array:
+         read a spread of blocks healthy, fail a member, read them
+         again (reconstructed or failed over), stream some writes into
+         untouched space, then resilver the member and re-verify. *)
+      if v.level <> Stripe.Raid0 then begin
+        let submit = device.Device.submit in
+        (* Stride coprime to the row width so the samples cycle through
+           every member's data chunks, including the failed one. *)
+        let sample i = i * 5 * cfg.chunk in
+        let healthy =
+          Array.init cfg.sample_blocks (fun i ->
+              Io.blocking_read ~submit ~off:(sample i) ~len:bs)
+        in
+        Stripe.fail_member arr 1;
+        let d0 = Engine.now eng in
+        let degraded =
+          Array.init cfg.sample_blocks (fun i ->
+              Io.blocking_read ~submit ~off:(sample i) ~len:bs)
+        in
+        let read_mean_us =
+          Time.to_sec_f (Engine.now eng - d0) *. 1e6 /. float_of_int cfg.sample_blocks
+        in
+        let wbase = device.Device.capacity / 2 in
+        for k = 0 to cfg.degraded_write_blocks - 1 do
+          Io.blocking_write ~submit ~class_:`Sync_write ~off:(wbase + (k * bs)) (block 99 k)
+        done;
+        Stripe.rebuild ~pace:cfg.rebuild_pace arr ~member:1;
+        let r0 = Engine.now eng in
+        wait_for (fun () -> not (Stripe.rebuild_active arr));
+        let rebuild_ms = Time.to_ms_f (Engine.now eng - r0) in
+        let rebuilt =
+          Array.init cfg.sample_blocks (fun i ->
+              Io.blocking_read ~submit ~off:(sample i) ~len:bs)
+        in
+        let reverified =
+          Stripe.member_state arr 1 = Stripe.Active
+          && Array.for_all2 Bytes.equal healthy degraded
+          && Array.for_all2 Bytes.equal healthy rebuilt
+        in
+        let counter name =
+          Option.value ~default:0 (Metrics.find_counter metrics ~ns:(Names.Ns.raid "array") name)
+        in
+        redundancy :=
+          Some
+            {
+              degraded_read_blocks = cfg.sample_blocks;
+              degraded_read_mean_us = read_mean_us;
+              degraded_reads = counter Names.degraded_reads;
+              degraded_writes = counter Names.degraded_writes;
+              rebuild_ms;
+              rebuild_chunks = counter Names.rebuild_chunks;
+              rebuild_bytes = counter Names.rebuild_bytes;
+              reverified;
+            }
+      end);
+  Engine.run eng;
+  let counter name =
+    Option.value ~default:0 (Metrics.find_counter metrics ~ns:(Names.Ns.raid "array") name)
+  in
+  let stats =
+    Array.fold_left
+      (fun acc d -> Device.add_stats acc (d.Device.spindle_stats ()))
+      Device.zero_stats members
+  in
+  let fsw = counter Names.full_stripe_writes and rmw = counter Names.rmw_writes in
+  let written = cfg.writers * cfg.blocks_per_writer * bs in
+  {
+    variant = v;
+    elapsed_ms = Time.to_ms_f !elapsed;
+    written_kb_s =
+      float_of_int written /. 1024.0 /. Time.to_sec_f (Stdlib.max 1 !elapsed);
+    member_transactions = stats.Device.transactions;
+    full_stripe_writes = fsw;
+    rmw_writes = rmw;
+    full_stripe_fraction =
+      (if fsw + rmw = 0 then 0.0 else float_of_int fsw /. float_of_int (fsw + rmw));
+    redundancy = !redundancy;
+  }
+
+let run ?(cfg = default) () = List.map (run_variant cfg) variants
+
+let report ?quick:_ () =
+  let rows = run () in
+  let report =
+    Report.create ~title:"Redundant arrays: RAID level x write gathering, 3 spindles"
+      ~columns:(List.map (fun r -> label r.variant) rows)
+  in
+  let row name f = Report.add_row report name (List.map f rows) in
+  row "streamed kb/s" (fun r -> r.written_kb_s);
+  row "member transactions" (fun r -> float_of_int r.member_transactions);
+  row "full-stripe writes" (fun r -> float_of_int r.full_stripe_writes);
+  row "rmw writes" (fun r -> float_of_int r.rmw_writes);
+  row "full-stripe fraction" (fun r -> r.full_stripe_fraction);
+  row "degraded read mean (us)" (fun r ->
+      match r.redundancy with Some d -> d.degraded_read_mean_us | None -> 0.0);
+  row "rebuild (ms)" (fun r ->
+      match r.redundancy with Some d -> d.rebuild_ms | None -> 0.0);
+  report
+
+(* {1 BENCH_raid.json}
+
+   The committed artifact CI regenerates and diffs, like the other
+   bench JSON files: one fixed workload, byte-deterministic output. *)
+
+let bench_cfg = default
+
+let bench_raid () =
+  let rows = run ~cfg:bench_cfg () in
+  let json_row r =
+    Json.Obj
+      [
+        ("level", Json.String (Stripe.level_name r.variant.level));
+        ("gather", Json.Bool r.variant.gather);
+        ("elapsed_ms", Json.Float r.elapsed_ms);
+        ("written_kb_s", Json.Float r.written_kb_s);
+        ("member_transactions", Json.Int r.member_transactions);
+        ("full_stripe_writes", Json.Int r.full_stripe_writes);
+        ("rmw_writes", Json.Int r.rmw_writes);
+        ("full_stripe_fraction", Json.Float r.full_stripe_fraction);
+        ( "redundancy",
+          match r.redundancy with
+          | None -> Json.Null
+          | Some d ->
+              Json.Obj
+                [
+                  ("degraded_read_blocks", Json.Int d.degraded_read_blocks);
+                  ("degraded_read_mean_us", Json.Float d.degraded_read_mean_us);
+                  ("degraded_reads", Json.Int d.degraded_reads);
+                  ("degraded_writes", Json.Int d.degraded_writes);
+                  ("rebuild_ms", Json.Float d.rebuild_ms);
+                  ("rebuild_chunks", Json.Int d.rebuild_chunks);
+                  ("rebuild_bytes", Json.Int d.rebuild_bytes);
+                  ("reverified", Json.Bool d.reverified);
+                ] );
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "nfsgather-bench/1");
+      ("bench", Json.String "raid");
+      ( "workload",
+        Json.Obj
+          [
+            ("net", Json.String "fddi");
+            ("members", Json.Int bench_cfg.members);
+            ("member_capacity", Json.Int bench_cfg.member_capacity);
+            ("chunk", Json.Int bench_cfg.chunk);
+            ("writers", Json.Int bench_cfg.writers);
+            ("blocks_per_writer", Json.Int bench_cfg.blocks_per_writer);
+            ("nfsds", Json.Int bench_cfg.nfsds);
+            ("seed", Json.Int bench_cfg.seed);
+          ] );
+      ("rows", Json.List (List.map json_row rows));
+    ]

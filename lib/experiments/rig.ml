@@ -67,6 +67,14 @@ let () = Reset.register ~name:"rig.scheduler_override" (fun () -> scheduler_over
 let set_scheduler_override s = scheduler_override := s
 let scheduler_of spec = Option.value !scheduler_override ~default:spec.disk_scheduler
 
+(* Same shape again for the array level: the nfsgather --raid-level
+   flag turns every rig-built multi-spindle stripe set into a RAID-1
+   or RAID-5 array. Cleared by Reset so one CLI run cannot leak its
+   level into the next experiment. *)
+let raid_level_override : Stripe.level option ref = ref None
+let () = Reset.register ~name:"rig.raid_level_override" (fun () -> raid_level_override := None)
+let set_raid_level_override l = raid_level_override := l
+
 let make spec =
   if spec.volumes <= 0 then invalid_arg "Rig.make: need at least one volume";
   let eng = Engine.create () in
@@ -90,7 +98,13 @@ let make spec =
             ~on_transaction:(fun ~bytes:_ -> !cpu_hook driver_cost)
             ~scheduler:(scheduler_of spec) Calib.disk_geometry)
     in
-    let base = if spec.spindles = 1 then disks.(0) else Stripe.create eng ~chunk:32768 disks in
+    let base =
+      if spec.spindles = 1 then disks.(0)
+      else
+        match !raid_level_override with
+        | None -> Stripe.create eng ~chunk:32768 disks
+        | Some level -> Stripe.create eng ~metrics ~level ~chunk:32768 disks
+    in
     let device =
       if spec.accel then
         Nvram.create eng ~params:Calib.nvram_params ~metrics ~cpu_charge:(fun d -> !cpu_hook d)

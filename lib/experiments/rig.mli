@@ -61,6 +61,14 @@ val set_scheduler_override : Nfsg_disk.Disk.scheduler option -> unit
     [disk_scheduler] — how the nfsgather [--scheduler] flag reruns any
     experiment under Fifo, Elevator or Deadline. *)
 
+val set_raid_level_override : Nfsg_disk.Stripe.level option -> unit
+(** Install (or clear) a process-wide RAID level for every subsequent
+    multi-spindle {!make} — how the nfsgather [--raid-level] flag
+    reruns any striped experiment over a RAID-1 or RAID-5 array
+    instead of the plain RAID-0 stripe set. Specs with one spindle are
+    unaffected; the level must fit the spindle count (RAID-1 needs 2
+    members, RAID-5 needs 3). *)
+
 val new_client :
   t -> ?biods:int -> ?protocol:Nfsg_nfs.Client.protocol -> string -> Nfsg_nfs.Client.t
 (** Attach a client host with the given address to the segment. *)

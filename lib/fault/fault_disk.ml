@@ -20,11 +20,27 @@ type t = {
   mutable errors_injected : int;
   mutable slowdowns : int;
   mutable hangs : int;
+  mutable failed_stop : bool;
+  mutable fail_stops : int;
 }
 
 let errors_injected t = t.errors_injected
 let slowdowns t = t.slowdowns
 let hangs t = t.hangs
+let fail_stops t = t.fail_stops
+let is_failed t = t.failed_stop
+
+(* Fail-stop: the whole spindle is gone — every request errors
+   immediately and even the stable paths refuse, unlike the transient
+   arms, which model a disk that is still a disk. This is the fault an
+   array driver is built to survive. *)
+let fail_stop t =
+  if not t.failed_stop then begin
+    t.failed_stop <- true;
+    t.fail_stops <- t.fail_stops + 1
+  end
+
+let revive t = t.failed_stop <- false
 
 let fail_next ?(n = 1) t =
   if n < 0 then invalid_arg "Fault_disk.fail_next: need n >= 0";
@@ -120,6 +136,15 @@ let slow_twin t ~start ~factor (r : Io.req) =
    this batch, everything behind the barrier fails too — the barrier
    ordered them because they depend on the failed data being stable. *)
 let rec deliver t (dev : Device.t) items =
+  if t.failed_stop then begin
+    let e = Device.Io_error (t.name ^ ": fail-stopped") in
+    List.iter
+      (fun item -> match item with Io.Req _ -> Io.fail_item item e | Io.Barrier b -> Ivar.fill b.done_ ())
+      items
+  end
+  else deliver_live t dev items
+
+and deliver_live t (dev : Device.t) items =
   let now = Engine.now t.eng in
   prune t now;
   match List.find_opt (fun w -> in_window w now) t.hang_windows with
@@ -178,9 +203,14 @@ let wrap eng ?(seed = 0xd15c) (dev : Device.t) =
       errors_injected = 0;
       slowdowns = 0;
       hangs = 0;
+      failed_stop = false;
+      fail_stops = 0;
     }
   in
   let submit items = deliver t dev items in
+  let check_stop () =
+    if t.failed_stop then raise (Device.Io_error (t.name ^ ": fail-stopped"))
+  in
   let wrapped =
     {
       dev with
@@ -188,6 +218,17 @@ let wrap eng ?(seed = 0xd15c) (dev : Device.t) =
       submit;
       read = (fun ~off ~len -> Io.blocking_read ~submit ~off ~len);
       write = (fun ~off data -> Io.blocking_write ~submit ~class_:`Sync_write ~off data);
+      (* The transient arms never guard the stable paths — they model a
+         disk that still works. Fail-stop is the spindle being gone, so
+         here even stable ops refuse. *)
+      stable_read =
+        (fun ~off ~len ->
+          check_stop ();
+          dev.Device.stable_read ~off ~len);
+      stable_write =
+        (fun ~off data ->
+          check_stop ();
+          dev.Device.stable_write ~off data);
     }
   in
   (t, wrapped)

@@ -11,6 +11,13 @@
     [stable_read]/[stable_write] test hooks pass through untouched, so
     recovery and assertions always see the truth.
 
+    The one exception is {!fail_stop}: it models the spindle being
+    {e gone} — every request errors immediately and even the stable
+    paths raise — where the transient arms model a disk that is still
+    a disk. Fail-stop is what a redundant array ({!Nfsg_disk.Stripe})
+    is built to survive; {!revive} models plugging in a replacement
+    (whose stale contents the array must then {!Nfsg_disk.Stripe.rebuild}).
+
     Three fault shapes, all driven by the simulation clock and a seeded
     RNG so a fault schedule replays bit-for-bit from the same seed:
 
@@ -61,11 +68,28 @@ val hang_window : t -> from_:Nfsg_sim.Time.t -> until:Nfsg_sim.Time.t -> unit
 (** Transactions issued inside the window block until [until], then
     proceed normally. *)
 
+val fail_stop : t -> unit
+(** Whole-spindle loss, effective immediately and until {!revive}:
+    every submitted request fails with [Io_error] and the stable paths
+    raise. Distinct from the transient windows, which never guard
+    stable ops. Idempotent while already stopped. *)
+
+val revive : t -> unit
+(** The replacement disk is in the cage: requests flow again. Platter
+    contents are whatever the device held — stale until rebuilt. *)
+
+val is_failed : t -> bool
+
 val clear : t -> unit
-(** Disarm everything: pending [fail_next] counts and all windows. *)
+(** Disarm everything: pending [fail_next] counts and all windows.
+    Does not revive a fail-stopped spindle. *)
 
 (** {1 Statistics} *)
 
 val errors_injected : t -> int
 val slowdowns : t -> int
 val hangs : t -> int
+
+val fail_stops : t -> int
+(** Number of {!fail_stop} transitions (re-stopping while already
+    stopped does not count). *)

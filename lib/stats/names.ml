@@ -22,6 +22,7 @@ module Ns = struct
   (* Devices are named per instance ("rz26-0", "vol2-rz26-1", ...). *)
   let disk name = "disk." ^ name
   let nvram name = "nvram." ^ name
+  let raid name = "raid." ^ name
 
   (* Multi-volume planes; the 1-volume legacy server keeps the plain
      [server]/[write_layer] namespaces (see Volume.mount). *)
@@ -91,6 +92,20 @@ let flush_batch_bytes = "flush_batch_bytes"
 let dirty_bytes = "dirty_bytes"
 let dirty_bytes_peak = "dirty_bytes_peak"
 let battery_ok = "battery_ok"
+
+(* {1 raid.<name>} *)
+
+let degraded_reads = "degraded_reads"
+let degraded_writes = "degraded_writes"
+let full_stripe_writes = "full_stripe_writes"
+let rmw_writes = "rmw_writes"
+let member_failures = "member_failures"
+let rebuilds_started = "rebuilds_started"
+let rebuilds_completed = "rebuilds_completed"
+let rebuild_chunks = "rebuild_chunks"
+let rebuild_bytes = "rebuild_bytes"
+let rebuild_active = "rebuild_active"
+let journal_replays = "journal_replays"
 
 (* {1 write_layer[.vol<k>]} *)
 

@@ -21,6 +21,9 @@ module Ns : sig
   val nvram : string -> string
   (** [nvram name] is ["nvram." ^ name]. *)
 
+  val raid : string -> string
+  (** [raid name] is ["raid." ^ name] (redundant array instruments). *)
+
   val server_vol : int -> string
   (** [server_vol k] is ["server.vol<k>"] (multi-volume exports). *)
 
@@ -101,6 +104,20 @@ val flush_batch_bytes : string
 val dirty_bytes : string
 val dirty_bytes_peak : string
 val battery_ok : string
+
+(** {1 raid.<name>} *)
+
+val degraded_reads : string
+val degraded_writes : string
+val full_stripe_writes : string
+val rmw_writes : string
+val member_failures : string
+val rebuilds_started : string
+val rebuilds_completed : string
+val rebuild_chunks : string
+val rebuild_bytes : string
+val rebuild_active : string
+val journal_replays : string
 
 (** {1 write_layer[.vol<k>]} *)
 

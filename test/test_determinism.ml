@@ -41,6 +41,14 @@ let run_iosched_once () =
 let test_double_run_iosched () =
   check_same_bytes (run_iosched_once ()) (run_iosched_once ())
 
+(* And for the committed redundancy artifact: six worlds per run (level
+   x gathering), each with a member failure and an online rebuild. *)
+let run_raid_once () =
+  Reset.run_all ();
+  Json.to_string ~pretty:true (Nfsg_experiments.Raid.bench_raid ())
+
+let test_double_run_raid () = check_same_bytes (run_raid_once ()) (run_raid_once ())
+
 (* The registry itself: hooks the lint S001 dispositions rely on must
    actually be registered. *)
 let test_reset_hooks_present () =
@@ -66,6 +74,7 @@ let suite =
   [
     Alcotest.test_case "writegather bench twice, same bytes" `Quick test_double_run;
     Alcotest.test_case "iosched bench twice, same bytes" `Quick test_double_run_iosched;
+    Alcotest.test_case "raid bench twice, same bytes" `Quick test_double_run_raid;
     Alcotest.test_case "expected reset hooks registered" `Quick test_reset_hooks_present;
     Alcotest.test_case "duplicate reset hook rejected" `Quick test_reset_duplicate_rejected;
     Alcotest.test_case "run_all fires hooks" `Quick test_reset_runs_hooks;

@@ -71,6 +71,44 @@ let test_fault_disk_unit () =
       Fault_disk.clear inj);
   Engine.run eng
 
+(* fail_stop/revive: whole-spindle loss, distinct from the transient
+   arms — every request errors and even stable ops raise, until the
+   replacement is plugged in. *)
+let test_fail_stop_revive () =
+  let eng = Engine.create () in
+  let disk = Disk.create eng disk_geometry in
+  let inj, dev = Fault_disk.wrap eng disk in
+  let data = Bytes.make 8192 'z' in
+  Engine.spawn eng ~name:"driver" (fun () ->
+      dev.Device.write ~off:0 data;
+      Fault_disk.fail_stop inj;
+      Alcotest.(check bool) "reports failed" true (Fault_disk.is_failed inj);
+      (try
+         dev.Device.write ~off:8192 data;
+         Alcotest.fail "fail-stopped write must raise"
+       with Device.Io_error _ -> ());
+      (try
+         ignore (dev.Device.read ~off:0 ~len:512);
+         Alcotest.fail "fail-stopped read must raise"
+       with Device.Io_error _ -> ());
+      (* unlike the transient arms, fail-stop guards the stable paths *)
+      (try
+         ignore (dev.Device.stable_read ~off:0 ~len:512);
+         Alcotest.fail "fail-stopped stable read must raise"
+       with Device.Io_error _ -> ());
+      (try
+         dev.Device.stable_write ~off:0 (Bytes.make 512 'q');
+         Alcotest.fail "fail-stopped stable write must raise"
+       with Device.Io_error _ -> ());
+      (* re-stopping while stopped is not a second transition *)
+      Fault_disk.fail_stop inj;
+      Alcotest.(check int) "one transition" 1 (Fault_disk.fail_stops inj);
+      Fault_disk.revive inj;
+      Alcotest.(check bool) "revived" false (Fault_disk.is_failed inj);
+      (* the platter kept its pre-failure contents *)
+      Alcotest.(check bytes) "contents survive" data (dev.Device.read ~off:0 ~len:8192));
+  Engine.run eng
+
 let test_nvram_battery () =
   let eng = Engine.create () in
   let disk = Disk.create eng disk_geometry in
@@ -388,6 +426,7 @@ let test_chaos_accelerated () =
 let suite =
   [
     Alcotest.test_case "fault-disk primitives." `Quick test_fault_disk_unit;
+    Alcotest.test_case "fail-stop and revive." `Quick test_fail_stop_revive;
     Alcotest.test_case "nvram battery failure." `Quick test_nvram_battery;
     Alcotest.test_case "nvram flusher rides through disk errors." `Quick
       test_nvram_flusher_rides_through;
