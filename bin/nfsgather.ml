@@ -42,6 +42,20 @@ let raid_level_arg =
   in
   Arg.(value & opt (some level) None & info [ "raid-level" ] ~docv:"LEVEL" ~doc)
 
+let monitor_interval_arg =
+  let doc =
+    "Drive an nfsmon top-like reporter over every simulated world the selected experiments \
+     build, printing per-client-station activity every $(docv) milliseconds of simulated time."
+  in
+  Arg.(value & opt (some float) None & info [ "monitor-interval" ] ~docv:"MS" ~doc)
+
+let long_op_threshold_arg =
+  let doc =
+    "Arm long-op journey tracing in every simulated server: ops slower end-to-end than $(docv) \
+     milliseconds leave a full per-phase journey record, dumped after each experiment."
+  in
+  Arg.(value & opt (some float) None & info [ "long-op-threshold" ] ~docv:"MS" ~doc)
+
 let metrics_json_arg =
   let doc =
     "Write the typed-metrics registry of the run (every counter, gauge and histogram \
@@ -86,6 +100,13 @@ let run_experiment ?metrics ?raid_level quick = function
   | "writegather" ->
       print_string (Nfsg_stats.Json.to_string ~pretty:true (E.bench_writegather ~quick ()))
   | "multivolume" -> print_report (Nfsg_experiments.Multivolume.report ~quick ())
+  | "iosched-probe" ->
+      (* The tail investigation behind the deadline-p99 fix: rerun the
+         bench world with journey tracing armed and dump the evidence
+         for the two ends of the comparison. *)
+      print_string (Nfsg_experiments.Iosched.investigate "deadline+merge");
+      print_newline ();
+      print_string (Nfsg_experiments.Iosched.investigate "fifo")
   | "raid" -> print_report (Nfsg_experiments.Raid.report ~quick ())
   | "chaos" ->
       let module Chaos = Nfsg_experiments.Chaos in
@@ -104,8 +125,11 @@ let names =
     "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure1"; "figure2"; "figure3";
     "ablations"; "extensions"; "writegather"; "multivolume"; "raid"; "chaos";
   ]
+(* iosched-probe is runnable by name but not part of "all": it reruns
+   the saturating bench world twice and exists for investigations, not
+   for the paper-reproduction sweep. *)
 
-let run quick scheduler raid_level metrics_json targets =
+let run quick scheduler raid_level monitor_interval long_op_threshold metrics_json targets =
   let targets = if targets = [] || List.mem "all" targets then names else targets in
   let metrics = Option.map (fun _ -> Metrics.create ()) metrics_json in
   (* Rig-built worlds report into the shared sink; chaos (which builds
@@ -113,11 +137,20 @@ let run quick scheduler raid_level metrics_json targets =
   Nfsg_experiments.Rig.set_metrics_sink metrics;
   Nfsg_experiments.Rig.set_scheduler_override scheduler;
   Nfsg_experiments.Rig.set_raid_level_override raid_level;
+  Nfsg_experiments.Rig.set_monitor_interval
+    (Option.map Nfsg_sim.Time.of_ms_f monitor_interval);
+  Nfsg_experiments.Rig.set_long_op_threshold
+    (Option.map Nfsg_sim.Time.of_ms_f long_op_threshold);
+  if monitor_interval <> None || long_op_threshold <> None then
+    Nfsg_experiments.Rig.set_monitor_emit (Some print_string);
   List.iteri
     (fun i name ->
       if i > 0 then print_newline ();
       run_experiment ?metrics ?raid_level quick name)
     targets;
+  Nfsg_experiments.Rig.set_monitor_emit None;
+  Nfsg_experiments.Rig.set_long_op_threshold None;
+  Nfsg_experiments.Rig.set_monitor_interval None;
   Nfsg_experiments.Rig.set_raid_level_override None;
   Nfsg_experiments.Rig.set_scheduler_override None;
   Nfsg_experiments.Rig.set_metrics_sink None;
@@ -132,13 +165,16 @@ let run quick scheduler raid_level metrics_json targets =
 let targets_arg =
   let doc =
     "Experiments to run: table1..table6, figure1..figure3, ablations, extensions, writegather, \
-     multivolume, raid, chaos, or all (default)."
+     multivolume, raid, chaos, iosched-probe, or all (default; excludes iosched-probe)."
   in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
 let cmd =
   let doc = "reproduce 'Improving the Write Performance of an NFS Server' (USENIX 1994)" in
   let info = Cmd.info "nfsgather" ~version:"1.0.0" ~doc in
-  Cmd.v info Term.(const run $ quick_arg $ scheduler_arg $ raid_level_arg $ metrics_json_arg $ targets_arg)
+  Cmd.v info
+    Term.(
+      const run $ quick_arg $ scheduler_arg $ raid_level_arg $ monitor_interval_arg
+      $ long_op_threshold_arg $ metrics_json_arg $ targets_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,39 @@
+(* nfsmon: demonstrate the live operability plane on a canned
+   deterministic world — interval reports with per-station attribution,
+   the journey phase summary, and the long-op records a mid-run disk
+   slowdown leaves behind. CI byte-diffs this output against NFSMON.txt.
+
+   To watch a real experiment instead, use
+   `nfsgather --monitor-interval MS <experiment>`. *)
+
+open Cmdliner
+module Demo = Nfsg_experiments.Monitor_demo
+module Time = Nfsg_sim.Time
+
+let interval_arg =
+  let doc = "Reporting interval in milliseconds of simulated time." in
+  Arg.(value & opt float 200.0 & info [ "i"; "interval" ] ~docv:"MS" ~doc)
+
+let threshold_arg =
+  let doc =
+    "Long-op threshold in milliseconds: ops slower end-to-end than this leave a journey \
+     record in the long-op ring."
+  in
+  Arg.(value & opt float 60.0 & info [ "t"; "threshold" ] ~docv:"MS" ~doc)
+
+let run interval threshold =
+  let cfg =
+    {
+      Demo.default with
+      Demo.interval = Time.of_ms_f interval;
+      threshold = Time.of_ms_f threshold;
+    }
+  in
+  print_string (Demo.run ~cfg ())
+
+let cmd =
+  let doc = "top-like live monitoring of the simulated NFS server (canned demo world)" in
+  let info = Cmd.info "nfsmon" ~version:"1.0.0" ~doc in
+  Cmd.v info Term.(const run $ interval_arg $ threshold_arg)
+
+let () = exit (Cmd.eval cmd)

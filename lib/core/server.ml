@@ -14,6 +14,7 @@ type config = {
   dupcache : bool;
   rcvbuf : int;
   cache_blocks : int option;
+  long_op_threshold : Time.t option;
 }
 
 let default_config =
@@ -24,6 +25,7 @@ let default_config =
     dupcache = true;
     rcvbuf = 256 * 1024;
     cache_blocks = None;
+    long_op_threshold = None;
   }
 
 (* Write verifier (NFSv3): changes across server incarnations so a
@@ -47,6 +49,7 @@ type t = {
   op_counts : (int, int) Hashtbl.t;
   trace : Nfsg_stats.Trace.t option;
   metrics : Nfsg_stats.Metrics.t;
+  journeys : Nfsg_stats.Journey.plane;
 }
 
 let volumes t = t.volumes
@@ -70,6 +73,12 @@ let op_count t proc = Option.value ~default:0 (Hashtbl.find_opt t.op_counts proc
 (* nfslint: allow D002 integer addition is commutative; the fold's result is order-independent *)
 let total_ops t = Hashtbl.fold (fun _ n acc -> acc + n) t.op_counts 0
 let metrics t = t.metrics
+let journeys t = t.journeys
+
+(* Stamp this transport's journey (if the svc attached one) at the
+   engine's current instant. *)
+let jstamp t tr stamp =
+  match Svc.journey_of tr with Some j -> stamp j ~now:(Engine.now t.eng) | None -> ()
 
 let count_op t proc =
   Hashtbl.replace t.op_counts proc (1 + op_count t proc);
@@ -271,13 +280,23 @@ let dispatch_mount t (call : Rpc.call) =
 
 let make_dispatch t =
   fun tr (call : Rpc.call) ->
-    ignore tr;
     if call.Rpc.prog = Rpc.mount_program then dispatch_mount t call
     else if call.Rpc.prog <> Rpc.nfs_program then Svc.Reply (Rpc.Prog_unavail, Bytes.create 0)
     else begin
       Resource.use t.cpu (t.config.costs.Cpu_model.rpc_decode + t.config.costs.Cpu_model.op_base);
       match Proto.decode_args ~proc:call.Rpc.proc call.Rpc.body with
       | exception (Nfsg_rpc.Xdr.Dec.Error _ | Nfsg_rpc.Xdr.Decode_error _) -> Svc.Reply (Rpc.Garbage_args, Bytes.create 0)
+      | decoded ->
+      (match Svc.journey_of tr with
+      | Some j ->
+          let payload =
+            match decoded with
+            | Proto.Write { data; _ } | Proto.Write3 { data; _ } -> Bytes.length data
+            | _ -> 0
+          in
+          Nfsg_stats.Journey.set_op j ~proc:(Proto.proc_name call.Rpc.proc) ~bytes:payload
+      | None -> ());
+      match decoded with
       | Proto.Write { fh; offset; data } -> (
           count_op t Proto.proc_write;
           match
@@ -312,6 +331,9 @@ let make_dispatch t =
                   with
                   | () ->
                       Vfs.unlock v;
+                      (* The unstable write's journey ends at the cache:
+                         no gather wait, no disk — COMMIT pays those. *)
+                      jstamp t tr Nfsg_stats.Journey.stamp_queued;
                       Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
                       Svc.Reply
                         ( Rpc.Success,
@@ -345,17 +367,20 @@ let make_dispatch t =
               Svc.Reply (Rpc.Success, Proto.encode_res (Proto.RCommit (Error Proto.NFSERR_STALE)))
           | vol, v -> (
               count_vol_op t vol Proto.proc_commit;
+              jstamp t tr Nfsg_stats.Journey.stamp_queued;
               match
                 Vfs.with_lock v (fun () ->
                     Resource.use t.cpu t.config.costs.Cpu_model.ufs_trip;
                     let len =
                       if count = 0 then (Vfs.vop_getattr v).Fs.size - offset else count
                     in
+                    jstamp t tr Nfsg_stats.Journey.stamp_disk_submit;
                     if len > 0 then Vfs.vop_syncdata v ~off:offset ~len;
                     Resource.use t.cpu t.config.costs.Cpu_model.ufs_trip;
                     Vfs.vop_fsync v ~flags:[ Vfs.FWRITE; Vfs.FWRITE_METADATA ])
               with
               | () ->
+                  jstamp t tr Nfsg_stats.Journey.stamp_disk_complete;
                   Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
                   Svc.Reply
                     ( Rpc.Success,
@@ -413,6 +438,10 @@ let make_internal eng ~segment ~addr ?trace ?metrics ~legacy_ns config vols =
       vols
   in
   incr boot_counter;
+  let journeys =
+    Nfsg_stats.Journey.create eng ~metrics ?threshold:config.long_op_threshold
+      ?event_trace:trace ()
+  in
   let t =
     {
       eng;
@@ -427,11 +456,12 @@ let make_internal eng ~segment ~addr ?trace ?metrics ~legacy_ns config vols =
       op_counts = Hashtbl.create 16;
       trace;
       metrics;
+      journeys;
     }
   in
   let dupcache = if config.dupcache then Some (Dupcache.create eng ~metrics ()) else None in
   let svc =
-    Svc.create eng ~sock ?dupcache ~metrics
+    Svc.create eng ~sock ?dupcache ~journeys ~metrics
       ~on_duplicate_drop:(fun ~client:_ call ->
         if call.Rpc.prog = Rpc.nfs_program && call.Rpc.proc = Proto.proc_write then
           match Proto.decode_args ~proc:call.Rpc.proc call.Rpc.body with

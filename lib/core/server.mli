@@ -17,6 +17,10 @@ type config = {
   dupcache : bool;
   rcvbuf : int;  (** server socket buffer (DEC OSF/1: 256 KiB max) *)
   cache_blocks : int option;  (** buffer-cache bound; None = plenty of RAM *)
+  long_op_threshold : Nfsg_sim.Time.t option;
+      (** ops slower end-to-end than this emit a long-op record into the
+          journey plane's ring; [None] disables long-op tracing (journey
+          histograms and station attribution stay on regardless) *)
 }
 
 val default_config : config
@@ -101,6 +105,11 @@ val total_ops : t -> int
 val metrics : t -> Nfsg_stats.Metrics.t
 (** The registry this server's layers report into (per-procedure
     counters live under namespace ["server"] as [ops_<PROC>]). *)
+
+val journeys : t -> Nfsg_stats.Journey.plane
+(** The live operability plane: per-phase journey histograms
+    (namespace ["journey"]), per-client station attribution
+    (namespaces ["station.<client>"]) and the long-op record ring. *)
 
 val crash : t -> unit
 (** Power-fail the server: volatile state gone, in-flight requests

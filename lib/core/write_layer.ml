@@ -7,6 +7,7 @@ module Trace = Nfsg_stats.Trace
 module Metrics = Nfsg_stats.Metrics
 module Names = Nfsg_stats.Names
 module Histogram = Nfsg_stats.Histogram
+module Journey = Nfsg_stats.Journey
 
 type mode = Standard | Gathering | Unsafe_async
 
@@ -197,6 +198,11 @@ let gstate_of t vnode =
 
 let charge_trip t = Resource.use t.cpu t.costs.Cpu_model.ufs_trip
 
+(* Journey stamps for the operability plane; no-ops when the service
+   runs without one. *)
+let jstamp t tr stamp =
+  match Svc.journey_of tr with Some j -> stamp j ~now:(Engine.now t.eng) | None -> ()
+
 (* The mbuf hunter (section 6.5): grep the socket buffer for another
    WRITE to the same file. "A gross violation of kernel layering, but
    with a fast server this technique is often a win." The fsid must
@@ -238,26 +244,45 @@ let flush_as_metadata_writer t g =
     let accel = Vfs.accelerated g.vnode in
     let ordered = match t.cfg.reply_order with `Fifo -> batch | `Lifo -> List.rev batch in
     let n = List.length ordered in
+    (* Every descriptor in the batch rides this covering flush: its
+       gather wait ends here, its disk phase starts here. A failed
+       round re-stamps on the retry (last-write-wins) — the pair the
+       reply actually waited on. *)
+    List.iter (fun (d : descriptor) -> jstamp t d.tr Journey.stamp_disk_submit) ordered;
     (match
-       if (not accel) && lo < hi then begin
-         (* Data clusters and the covering metadata go down as ONE
-            device submission (Fs.commit_range): the scheduler overlaps
-            and merges the clusters, and barriers keep the inode from
-            becoming stable ahead of its data. One trip into UFS
-            instead of the syncdata-then-fsync convoy. *)
-         charge_trip t;
-         emit t (Printf.sprintf "%dK data to disk (clustered)" ((hi - lo) / 1024));
-         emit t "Metadata to disk";
-         Vfs.vop_commit g.vnode ~off:lo ~len:(hi - lo)
-       end
-       else begin
-         charge_trip t;
-         emit t "Metadata to disk";
-         Vfs.vop_fsync g.vnode ~flags:[ Vfs.FWRITE; Vfs.FWRITE_METADATA ]
-       end
+       let await =
+         try
+           if (not accel) && lo < hi then begin
+             (* Data clusters and the covering metadata go down as ONE
+                device submission (Fs.commit_range): the scheduler
+                overlaps and merges the clusters, and barriers keep the
+                inode from becoming stable ahead of its data. One trip
+                into UFS instead of the syncdata-then-fsync convoy. *)
+             charge_trip t;
+             emit t (Printf.sprintf "%dK data to disk (clustered)" ((hi - lo) / 1024));
+             emit t "Metadata to disk";
+             Vfs.vop_commit_begin g.vnode ~off:lo ~len:(hi - lo)
+           end
+           else begin
+             charge_trip t;
+             emit t "Metadata to disk";
+             Vfs.vop_commit_begin g.vnode ~off:0 ~len:0
+           end
+         with exn ->
+           Vfs.unlock g.vnode;
+           raise exn
+       in
+       (* The submission is down and the snapshots are private copies:
+          drop the vnode lock before parking on the device. A WRITE
+          arriving mid-flush now enters the cache and the gather queue
+          in microseconds on its own nfsd instead of convoying the
+          whole nfsd pool behind this device round-trip — only the
+          metadata writer blocks, as section 6.8 intends. *)
+       Vfs.unlock g.vnode;
+       await ()
      with
     | () ->
-        Vfs.unlock g.vnode;
+        List.iter (fun (d : descriptor) -> jstamp t d.tr Journey.stamp_disk_complete) ordered;
         let attr = fattr_of_vnode t g.vnode in
         if n > 0 then emit t (Printf.sprintf "%d Write Repl%s" n (if n = 1 then "y" else "ies"));
         List.iter (fun d -> reply_ok t d attr) ordered;
@@ -270,7 +295,6 @@ let flush_as_metadata_writer t g =
            n-1 inode flushes a standard server would have issued. *)
         if n > 1 then Metrics.add t.meta_flushes_saved (n - 1)
     | exception Nfsg_disk.Device.Io_error _ ->
-        Vfs.unlock g.vnode;
         (* The blocks stayed dirty in the cache (UFS restores the dirty
            flags on a failed sync); widen the range back so the next
            round's syncdata covers them again. *)
@@ -310,6 +334,10 @@ let reply_fail t tr fail status =
    vnode lock, reply sent by the same nfsd that did the work. *)
 let handle_standard t tr ~respond ~fail vnode ~off ~data =
   Vfs.lock vnode;
+  (* Synchronous path: the write goes straight to disk, so queued and
+     disk-submit are the same instant. *)
+  jstamp t tr Journey.stamp_queued;
+  jstamp t tr Journey.stamp_disk_submit;
   (match
      ( charge_trip t;
        emit t (Printf.sprintf "%dK data to disk" (Bytes.length data / 1024));
@@ -318,6 +346,7 @@ let handle_standard t tr ~respond ~fail vnode ~off ~data =
   | () ->
       if Fs.meta_dirty (Vfs.inode_of vnode) = `Clean then emit t "Metadata to disk";
       Vfs.unlock vnode;
+      jstamp t tr Journey.stamp_disk_complete;
       Metrics.incr t.batches;
       Metrics.incr t.gathered;
       Histogram.add t.batch_size_h 1.0;
@@ -361,6 +390,7 @@ let handle_gathering t tr ~respond ~fail vnode ~off ~data =
         { tr; seq = t.seq; client = Svc.client_of tr; arrived = Engine.now t.eng; respond; fail }
       in
       g.queue <- d :: g.queue;
+      jstamp t tr Journey.stamp_queued;
       g.lo <- Stdlib.min g.lo off;
       g.hi <- Stdlib.max g.hi (off + Bytes.length data);
       (* SIVA93 variant: use the first write's disk time as the latency
@@ -453,6 +483,9 @@ let handle_unsafe_async t tr ~respond ~fail vnode ~off ~data =
    with
   | () ->
       Vfs.unlock vnode;
+      (* Volatile acknowledgement: queued into the cache is as far as
+         this op's journey ever gets. *)
+      jstamp t tr Journey.stamp_queued;
       Metrics.incr t.batches;
       Metrics.incr t.gathered;
       Histogram.add t.batch_size_h 1.0;

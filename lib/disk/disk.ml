@@ -73,9 +73,11 @@ let make_inst metrics ~name =
     m_queue_gauge = M.gauge metrics ~ns Names.queue_depth_peak;
   }
 
-(* A queued request with its submission instant, for queue-wait
-   accounting and deadline promotion. *)
-type pitem = { it : Io.item; enq : Time.t }
+(* A queued request with its submission instant (for queue-wait
+   accounting and deadline promotion) and its submission batch: every
+   item of one [submit] call shares a batch id, and a barrier orders
+   only the items of its own batch. *)
+type pitem = { it : Io.item; enq : Time.t; batch : int }
 
 type state = {
   eng : Engine.t;
@@ -86,6 +88,7 @@ type state = {
   merge_limit : int;  (** upper bound on a coalesced transaction, bytes *)
   platter : Bytes.t;
   mutable pending : pitem list;  (** arrival order (newest last) *)
+  mutable next_batch : int;
   arrived : Condition.t;
   mutable head_cyl : int;
   mutable crashed : bool;
@@ -96,13 +99,26 @@ type state = {
   inst : inst;
 }
 
-(* The serviceable window: every request ahead of the first barrier.
-   The scheduler may reorder and merge freely inside the window but
-   never across its edge — that is the barrier's whole guarantee. *)
+(* The serviceable window: every request not ordered behind a barrier
+   of its own submission batch. A barrier promises only that its
+   batch's later items stay behind its batch's earlier items — one
+   gathered flush's inode behind that flush's data — so requests of
+   OTHER batches pass it freely and the scheduler may reorder and
+   merge across it. A device-global fence here would lace a busy queue
+   with serialization points (one per concurrent file flush) and
+   flatten every scheduling policy back to FIFO at the tail. *)
 let window st =
+  let fenced = Hashtbl.create 4 in
   let rec go acc = function
-    | { it = Io.Req r; enq } :: rest -> go ((r, enq) :: acc) rest
-    | ({ it = Io.Barrier _; _ } :: _ | []) -> List.rev acc
+    | [] -> List.rev acc
+    | p :: rest -> (
+        match p.it with
+        | Io.Barrier _ ->
+            Hashtbl.replace fenced p.batch ();
+            go acc rest
+        | Io.Req r ->
+            if Hashtbl.mem fenced p.batch then go acc rest
+            else go ((r, p.enq) :: acc) rest)
   in
   go [] st.pending
 
@@ -144,6 +160,28 @@ let pick st =
 let remove st (r : Io.req) =
   st.pending <-
     List.filter (fun p -> match p.it with Io.Req x -> x != r | Io.Barrier _ -> true) st.pending
+
+(* Retire every barrier with no earlier same-batch request still
+   pending: its ordering promise is discharged. Runs only between
+   service rounds in the daemon (the sole consumer), so a batch's
+   requests are either still ahead of their barrier in [pending] or
+   already durable — never invisibly in flight. *)
+let retire_barriers st =
+  let live = Hashtbl.create 4 in
+  st.pending <-
+    List.filter
+      (fun p ->
+        match p.it with
+        | Io.Req _ ->
+            Hashtbl.replace live p.batch ();
+            true
+        | Io.Barrier b ->
+            Hashtbl.mem live p.batch
+            ||
+            (Nfsg_stats.Metrics.incr st.inst.m_barriers;
+             Ivar.fill b.done_ ();
+             false))
+      st.pending
 
 (* Chain physically adjacent same-direction requests from the window
    onto [r], bounded by [merge_limit]: one seek, one rotational wait,
@@ -255,26 +293,20 @@ let daemon st () =
       loop ()
     end
     else begin
+      retire_barriers st;
       match pick st with
       | Some leader ->
           remove st (fst leader);
           let chain = merge_chain st leader in
           service st chain;
           loop ()
-      | None -> (
-          match st.pending with
-          | { it = Io.Barrier b; enq = _ } :: rest ->
-              (* The daemon is the only consumer and works strictly
-                 inside the window, so an empty window means everything
-                 ahead of this barrier is stable: retire it. *)
-              st.pending <- rest;
-              Nfsg_stats.Metrics.incr st.inst.m_barriers;
-              Ivar.fill b.done_ ();
-              loop ()
-          | _ :: _ -> assert false (* pick found nothing ⇒ head is a barrier *)
-          | [] ->
-              Condition.wait st.arrived;
-              loop ())
+      | None ->
+          (* After retirement, any non-empty queue leads with a
+             serviceable request — pick finding nothing means the
+             queue is empty. *)
+          assert (st.pending = []);
+          Condition.wait st.arrived;
+          loop ()
     end
   in
   loop ()
@@ -293,6 +325,7 @@ let create eng ?(name = "disk") ?metrics ?(on_transaction = fun ~bytes:_ -> ())
       merge_limit;
       platter = Bytes.make g.capacity '\000';
       pending = [];
+      next_batch = 0;
       arrived = Condition.create ();
       head_cyl = 0;
       crashed = false;
@@ -309,12 +342,14 @@ let create eng ?(name = "disk") ?metrics ?(on_transaction = fun ~bytes:_ -> ())
     | [] -> ()
     | _ ->
         let enq = Engine.now st.eng in
+        st.next_batch <- st.next_batch + 1;
+        let batch = st.next_batch in
         List.iter
           (fun it ->
             (match it with
             | Io.Req r -> check_bounds st ~off:r.Io.off ~len:r.Io.len
             | Io.Barrier _ -> ());
-            st.pending <- st.pending @ [ { it; enq } ])
+            st.pending <- st.pending @ [ { it; enq; batch } ])
           items;
         let depth = List.length st.pending in
         Nfsg_stats.Histogram.add st.inst.m_queue_depth (float_of_int depth);

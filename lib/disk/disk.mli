@@ -23,8 +23,11 @@
     of the [queue_wait_us] histogram. Physically adjacent
     same-direction requests are coalesced into single transactions
     (one seek, one rotational wait, one transfer), counted by the
-    [merged_requests] metric. Nothing queued after a barrier is
-    serviced before everything ahead of it is stable. *)
+    [merged_requests] metric. A barrier fences only its own
+    submission batch: the batch's later items wait for its earlier
+    ones, while other batches' requests are scheduled straight across
+    it — one gathered flush's data/metadata ordering never collapses
+    the whole queue into submission order. *)
 
 type geometry = {
   capacity : int;  (** bytes *)

@@ -12,11 +12,14 @@
     {2 Ordering}
 
     Within one submission, items are queued in list order. A
-    {!item.Barrier} divides the queue: nothing submitted after a
-    barrier (in the same batch or a later one) is serviced before
-    everything ahead of it is stable. That is the whole crash-ordering
-    story — "metadata never lands before its data" is a data batch, a
-    barrier, then the metadata writes.
+    {!item.Barrier} divides {e its own submission}: nothing of the
+    same submission queued after the barrier is serviced before
+    everything of that submission ahead of it is stable. That is the
+    whole crash-ordering story — "metadata never lands before its
+    data" is a data batch, a barrier, then the metadata writes, in one
+    submission. Requests of {e other} submissions owe the barrier
+    nothing: a device may reorder and merge them straight across it,
+    so one file's flush ordering never serializes its neighbours'.
 
     {2 Failure}
 

@@ -70,6 +70,10 @@ type result = {
   rebuilds_completed : int;
   degraded_reads : int;
   degraded_writes : int;
+  trace_dropped : int;
+      (** journey/trace ring records overwritten before anyone read
+          them — the drop-safety audit: losing observability must be
+          visible, not silent *)
   fsck_errors : string list;
   timeline : string list;
   digest : string;
@@ -452,6 +456,12 @@ let run ?metrics cfg =
          !io_error_replies (Segment.datagrams_sent segment) (Segment.datagrams_lost segment)
          (Segment.datagrams_duplicated segment)
          (Segment.datagrams_blackholed segment));
+    (* Drop-safety audit: observability loss is part of the run's
+       identity. The counter is monotone across the crash/restart
+       cycles above (a restarted server's fresh rings never rewind
+       it), so two equal-config runs must agree on it exactly. *)
+    let trace_dropped = Nfsg_stats.Journey.dropped (Server.journeys !server) in
+    Buffer.add_string buf (Printf.sprintf " td=%d" trace_dropped);
     let raid_counter name =
       if Option.is_some array then
         Option.value ~default:0 (Metrics.find_counter metrics ~ns:(Names.Ns.raid "array") name)
@@ -487,6 +497,7 @@ let run ?metrics cfg =
           rebuilds_completed = raid_counter Names.rebuilds_completed;
           degraded_reads = raid_counter Names.degraded_reads;
           degraded_writes = raid_counter Names.degraded_writes;
+          trace_dropped;
           fsck_errors = !fsck_errors;
           timeline;
           digest = Digest.to_hex (Digest.string (Buffer.contents buf));
@@ -504,10 +515,11 @@ let pp_result ppf r =
      creates %d issued / %d completed / %d executed; removes %d/%d/%d@,\
      spurious non-idempotent re-executions: %d@,\
      flush failures: %d; disk errors injected: %d; NFSERR_IO write replies: %d@,\
+     trace records dropped: %d@,\
      digest %s@]"
     r.acked (List.length r.lost) r.crashes r.issued_creates r.completed_creates r.executed_creates
     r.issued_removes r.completed_removes r.executed_removes r.spurious_nonidem r.flush_failures
-    r.errors_injected r.io_error_replies r.digest;
+    r.errors_injected r.io_error_replies r.trace_dropped r.digest;
   if r.member_failures > 0 then
     Fmt.pf ppf
       "@.array: %d member fail-stop(s), %d rebuild(s) completed, %d degraded reads, %d degraded \

@@ -78,7 +78,15 @@ let disk_name = "rz26"
    server, [procs] independent client stacks under LADDIS load. Same
    seed across variants — the offered traffic is identical; only the
    order the spindle services it in differs. *)
-let run_variant cfg v =
+type world = {
+  eng : Engine.t;
+  metrics : Metrics.t;  (** server-side registry *)
+  cm : Metrics.t;  (** client-side registry *)
+  disk : Nfsg_disk.Device.t;
+  server : Server.t;
+}
+
+let build_world ?long_op_threshold cfg v =
   let eng = Engine.create () in
   let metrics = Metrics.create () in
   let segment =
@@ -97,7 +105,13 @@ let run_variant cfg v =
     { Write_layer.default_gathering with Write_layer.procrastinate = Calib.procrastinate Calib.Fddi }
   in
   let config =
-    { Server.default_config with Server.nfsds = cfg.nfsds; write_layer = wl_config; costs }
+    {
+      Server.default_config with
+      Server.nfsds = cfg.nfsds;
+      write_layer = wl_config;
+      costs;
+      long_op_threshold;
+    }
   in
   let server = Server.make eng ~segment ~addr:"server" ~device:disk ~metrics config in
   (cpu_hook := fun d -> Resource.charge (Server.cpu server) d);
@@ -107,6 +121,10 @@ let run_variant cfg v =
     let rpc = Rpc_client.create eng ~sock ~server:"server" ~metrics:cm () in
     Client.create eng ~rpc ~biods:4 ~metrics:cm ()
   in
+  (segment, make_client, { eng; metrics; cm; disk; server })
+
+let drive (segment, make_client, w) cfg =
+  ignore (segment : Segment.t);
   let lcfg =
     {
       Laddis.default_config with
@@ -119,22 +137,25 @@ let run_variant cfg v =
     }
   in
   let out = ref None in
-  Engine.spawn eng ~name:"driver" (fun () ->
+  Engine.spawn w.eng ~name:"driver" (fun () ->
       out :=
         Some
-          (Laddis.run eng ~make_client ~root:(Server.root_fh server) ~offered:cfg.offered lcfg));
-  Engine.run eng;
-  let point =
-    match !out with Some p -> p | None -> failwith "Iosched.run_variant: load never finished"
-  in
+          (Laddis.run w.eng ~make_client ~root:(Server.root_fh w.server) ~offered:cfg.offered
+             lcfg));
+  Engine.run w.eng;
+  match !out with Some p -> p | None -> failwith "Iosched.drive: load never finished"
+
+let run_variant cfg v =
+  let ((_, _, w) as world) = build_world cfg v in
+  let point = drive world cfg in
   let ns = Names.Ns.disk disk_name in
-  let counter name = Option.value ~default:0 (Metrics.find_counter metrics ~ns name) in
+  let counter name = Option.value ~default:0 (Metrics.find_counter w.metrics ~ns name) in
   let lat f =
-    match Metrics.find_histogram cm ~ns:Names.Ns.nfs_client (Names.lat_us "WRITE") with
+    match Metrics.find_histogram w.cm ~ns:Names.Ns.nfs_client (Names.lat_us "WRITE") with
     | Some h -> f h
     | None -> 0.0
   in
-  let stats = disk.Nfsg_disk.Device.spindle_stats () in
+  let stats = w.disk.Nfsg_disk.Device.spindle_stats () in
   {
     variant = v;
     point;
@@ -146,7 +167,7 @@ let run_variant cfg v =
     promotions = counter Names.deadline_promotions;
     barriers = counter Names.barriers;
     queue_wait_p99_us =
-      (match Metrics.find_histogram metrics ~ns Names.queue_wait_us with
+      (match Metrics.find_histogram w.metrics ~ns Names.queue_wait_us with
       | Some h -> Histogram.p99 h
       | None -> 0.0);
   }
@@ -235,3 +256,59 @@ let bench_iosched () =
           ] );
       ("rows", Json.List (List.map json_row rows));
     ]
+
+(* {1 The long-op probe}
+
+   Run one variant of the same saturating bench world with journey
+   tracing armed and report the evidence side by side: what the client
+   measured, what the server's journey plane measured, and what the
+   RPC layer was doing in between. This is the nfsmon/long-op
+   walkthrough of EXPERIMENTS.md, as a reproducible command
+   (nfsgather iosched-probe). *)
+
+let investigate ?(cfg = bench_cfg) ?(threshold = Time.ms 300) label =
+  let v =
+    match List.find_opt (fun v -> v.label = label) variants with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Iosched.investigate: unknown variant %S" label)
+  in
+  let ((_, _, w) as world) = build_world ~long_op_threshold:threshold cfg v in
+  let point = drive world cfg in
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "iosched probe: variant=%s threshold=%.0fms achieved=%.1f ops/s" v.label
+    (Time.to_ms_f threshold) point.Laddis.achieved;
+  let client_h f =
+    match Metrics.find_histogram w.cm ~ns:Names.Ns.nfs_client (Names.lat_us "WRITE") with
+    | Some h -> f h
+    | None -> 0.0
+  in
+  line "client WRITE latency (us): mean=%.0f p50=%.0f p99=%.0f" (client_h Histogram.mean)
+    (client_h Histogram.median) (client_h Histogram.p99);
+  let jh name f =
+    match Metrics.find_histogram w.metrics ~ns:Names.Ns.journey name with
+    | Some h -> f h
+    | None -> 0.0
+  in
+  line "server journey total (us): mean=%.0f p50=%.0f p99=%.0f" (jh Names.total_us Histogram.mean)
+    (jh Names.total_us Histogram.median)
+    (jh Names.total_us Histogram.p99);
+  line "server phase p99 (us): sock_wait=%.0f dupcache=%.0f prep=%.0f gather_wait=%.0f disk=%.0f reply=%.0f"
+    (jh (Names.phase_us Names.phase_sock_wait) Histogram.p99)
+    (jh (Names.phase_us Names.phase_dupcache) Histogram.p99)
+    (jh (Names.phase_us Names.phase_prep) Histogram.p99)
+    (jh (Names.phase_us Names.phase_gather_wait) Histogram.p99)
+    (jh (Names.phase_us Names.phase_disk) Histogram.p99)
+    (jh (Names.phase_us Names.phase_reply) Histogram.p99);
+  let cc name = Option.value ~default:0 (Metrics.find_counter w.cm ~ns:Names.Ns.rpc_client name) in
+  line "client rpc: timeouts=%d retransmissions=%d stale_replies=%d" (cc Names.timeouts)
+    (cc Names.retransmissions) (cc Names.stale_replies);
+  let sc name =
+    Option.value ~default:0 (Metrics.find_counter w.metrics ~ns:Names.Ns.rpc_svc name)
+  in
+  line "server dupcache: duplicate_drops=%d duplicate_replays=%d" (sc Names.duplicate_drops)
+    (sc Names.duplicate_replays);
+  let plane = Server.journeys w.server in
+  line "long-ops over threshold: %d" (Nfsg_stats.Journey.long_op_count plane);
+  Buffer.add_string buf (Nfsg_stats.Journey.render_long_ops plane);
+  Buffer.contents buf

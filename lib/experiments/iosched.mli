@@ -54,3 +54,17 @@ val report : ?quick:bool -> unit -> Nfsg_stats.Report.t
 val bench_iosched : unit -> Nfsg_stats.Json.t
 (** The committed BENCH_iosched.json artifact: fixed modest workload,
     byte-deterministic. CI regenerates it and byte-diffs. *)
+
+val bench_cfg : config
+(** The saturating workload behind {!bench_iosched} (and the default
+    for {!investigate}). *)
+
+val investigate : ?cfg:config -> ?threshold:Nfsg_sim.Time.t -> string -> string
+(** [investigate label] reruns the bench world of the named variant
+    with journey tracing armed at [threshold] (default 300 ms) and
+    renders the evidence side by side: client-visible WRITE latency,
+    the server's journey total and per-phase p99s, RPC retransmission
+    counters, duplicate-cache activity, and every retained long-op
+    record. The reproducible form of the EXPERIMENTS.md tail
+    investigation ([nfsgather iosched-probe]). Raises
+    [Invalid_argument] for an unknown variant label. *)

@@ -1,0 +1,139 @@
+(* The canned nfsmon demonstration world: three client stations with
+   different appetites write concurrently to one gathering server over
+   a single spindle, and a disk slowdown window mid-run pushes a burst
+   of ops over the long-op threshold. The run shows every piece of the
+   live operability plane at once — interval reports with per-station
+   attribution, the journey phase histograms, and the long-op records
+   that pin the slow interval on the disk phase.
+
+   Everything is driven by the simulation clock from fixed seeds, so
+   the rendered output is byte-identical across runs — CI diffs it
+   against a committed golden copy. *)
+
+open Nfsg_sim
+module Segment = Nfsg_net.Segment
+module Socket = Nfsg_net.Socket
+module Disk = Nfsg_disk.Disk
+module Server = Nfsg_core.Server
+module Write_layer = Nfsg_core.Write_layer
+module Client = Nfsg_nfs.Client
+module Rpc_client = Nfsg_rpc.Rpc_client
+module Fault_disk = Nfsg_fault.Fault_disk
+module File_writer = Nfsg_workload.File_writer
+module Metrics = Nfsg_stats.Metrics
+module Histogram = Nfsg_stats.Histogram
+module Names = Nfsg_stats.Names
+module Journey = Nfsg_stats.Journey
+module Monitor = Nfsg_stats.Monitor
+
+type config = {
+  interval : Time.t;  (** monitor reporting period *)
+  threshold : Time.t;  (** long-op trace threshold *)
+  slow_from : Time.t;  (** disk slowdown window *)
+  slow_until : Time.t;
+  slow_factor : float;
+  seed : int;
+}
+
+let default =
+  {
+    interval = Time.ms 200;
+    threshold = Time.ms 60;
+    slow_from = Time.ms 400;
+    slow_until = Time.ms 700;
+    slow_factor = 8.0;
+    seed = 11;
+  }
+
+(* The three stations: (address, biods, start offset, bytes to write).
+   Different appetites and staggered starts so successive intervals
+   show a changing top-table, not three constant rows. *)
+let stations =
+  [
+    ("alice", 4, Time.ms 0, 256 * 1024);
+    ("bob", 2, Time.ms 100, 128 * 1024);
+    ("carol", 1, Time.ms 350, 48 * 1024);
+  ]
+
+let run ?(cfg = default) () =
+  let eng = Engine.create () in
+  let metrics = Metrics.create () in
+  let segment =
+    Segment.create eng ~seed:(cfg.seed lxor 0x5c1) ~metrics (Calib.segment_params Calib.Fddi)
+  in
+  let cpu_hook = ref (fun (_ : Time.t) -> ()) in
+  let costs = Calib.cpu_costs Calib.Fddi in
+  let driver_cost = costs.Nfsg_core.Cpu_model.driver_transaction in
+  let disk =
+    Disk.create eng ~name:"rz26" ~metrics
+      ~on_transaction:(fun ~bytes:_ -> !cpu_hook driver_cost)
+      Calib.disk_geometry
+  in
+  let injector, device = Fault_disk.wrap eng ~seed:cfg.seed disk in
+  Fault_disk.slowdown_window injector ~from_:cfg.slow_from ~until:cfg.slow_until
+    ~factor:cfg.slow_factor;
+  let config =
+    {
+      Server.default_config with
+      Server.write_layer =
+        { Write_layer.default_gathering with
+          Write_layer.procrastinate = Calib.procrastinate Calib.Fddi
+        };
+      costs;
+      long_op_threshold = Some cfg.threshold;
+    }
+  in
+  let server = Server.make eng ~segment ~addr:"server" ~device ~metrics config in
+  (cpu_hook := fun d -> Resource.charge (Server.cpu server) d);
+  let monitor = Monitor.create eng ~metrics ~interval:cfg.interval () in
+  Monitor.start monitor;
+  let remaining = ref (List.length stations) in
+  let joiner = ref None in
+  let finished () =
+    decr remaining;
+    if !remaining = 0 then Option.iter (fun k -> k ()) !joiner
+  in
+  List.iter
+    (fun (addr, biods, start, total) ->
+      Engine.spawn eng ~name:addr (fun () ->
+          if start > 0 then Engine.delay start;
+          let sock = Socket.create segment ~addr () in
+          let rpc = Rpc_client.create eng ~sock ~server:"server" ~metrics () in
+          let client = Client.create eng ~rpc ~biods ~metrics () in
+          ignore
+            (File_writer.run eng client ~dir:(Server.root_fh server)
+               ~name:(addr ^ ".dat") ~total ~seed:cfg.seed ()
+              : File_writer.result);
+          finished ()))
+    stations;
+  Engine.spawn eng ~name:"driver" (fun () ->
+      if !remaining > 0 then Engine.suspend (fun k -> joiner := Some k);
+      Monitor.stop monitor);
+  Engine.run eng;
+  (* The plane's own evidence, after the dust settles. *)
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Monitor.output monitor);
+  let plane = Server.journeys server in
+  let jc name =
+    Option.value ~default:0 (Metrics.find_counter metrics ~ns:Names.Ns.journey name)
+  in
+  let dropped =
+    Option.value ~default:0 (Metrics.find_counter metrics ~ns:Names.Ns.trace Names.dropped)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "\njourney: records=%d long_ops=%d dropped=%d\n" (jc Names.records)
+       (jc Names.long_ops) dropped);
+  let p99 phase =
+    match Metrics.find_histogram metrics ~ns:Names.Ns.journey (Names.phase_us phase) with
+    | Some h -> Histogram.p99 h
+    | None -> 0.0
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "phase p99 (us): sock_wait=%.0f dupcache=%.0f prep=%.0f gather_wait=%.0f disk=%.0f \
+        reply=%.0f\n"
+       (p99 Names.phase_sock_wait) (p99 Names.phase_dupcache) (p99 Names.phase_prep)
+       (p99 Names.phase_gather_wait) (p99 Names.phase_disk) (p99 Names.phase_reply));
+  Buffer.add_string buf "\nlong-op records:\n";
+  Buffer.add_string buf (Journey.render_long_ops plane);
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Canned deterministic demonstration of the live operability plane:
+    three client stations write to one gathering server while a
+    mid-run disk slowdown window pushes a burst of ops over the
+    long-op threshold. {!run} returns the full rendered transcript —
+    nfsmon interval reports, journey phase summary, long-op records —
+    byte-identical across runs (CI diffs it against a golden copy). *)
+
+type config = {
+  interval : Nfsg_sim.Time.t;
+  threshold : Nfsg_sim.Time.t;
+  slow_from : Nfsg_sim.Time.t;
+  slow_until : Nfsg_sim.Time.t;
+  slow_factor : float;
+  seed : int;
+}
+
+val default : config
+(** 200 ms interval, 60 ms threshold, an 8x disk slowdown over
+    [400 ms, 700 ms). *)
+
+val run : ?cfg:config -> unit -> string

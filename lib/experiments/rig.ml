@@ -75,6 +75,27 @@ let raid_level_override : Stripe.level option ref = ref None
 let () = Reset.register ~name:"rig.raid_level_override" (fun () -> raid_level_override := None)
 let set_raid_level_override l = raid_level_override := l
 
+(* Live operability hooks, same global-override shape. The monitor
+   interval makes every [run] drive an nfsmon reporter over the rig's
+   registry; the emit callback is how the owning binary gets the output
+   on screen without the rig (library code) printing anything itself.
+   The long-op threshold arms journey tracing in every rig-built
+   server. All cleared by Reset so a CLI run cannot leak into the
+   next experiment or test. *)
+let monitor_interval_override : Time.t option ref = ref None
+let () = Reset.register ~name:"rig.monitor_interval" (fun () -> monitor_interval_override := None)
+let set_monitor_interval i = monitor_interval_override := i
+
+let monitor_emit : (string -> unit) option ref = ref None
+let () = Reset.register ~name:"rig.monitor_emit" (fun () -> monitor_emit := None)
+let set_monitor_emit f = monitor_emit := f
+
+let long_op_threshold_override : Time.t option ref = ref None
+let () =
+  Reset.register ~name:"rig.long_op_threshold" (fun () -> long_op_threshold_override := None)
+
+let set_long_op_threshold thr = long_op_threshold_override := thr
+
 let make spec =
   if spec.volumes <= 0 then invalid_arg "Rig.make: need at least one volume";
   let eng = Engine.create () in
@@ -131,6 +152,7 @@ let make spec =
       write_layer;
       costs;
       cache_blocks = spec.cache_blocks;
+      long_op_threshold = !long_op_threshold_override;
     }
   in
   let server =
@@ -157,8 +179,34 @@ let root t = Server.root_fh t.server
 let roots t = List.map snd (Server.exports t.server)
 
 let run t f =
+  let monitor =
+    match !monitor_interval_override with
+    | Some interval ->
+        let m =
+          Nfsg_stats.Monitor.create t.eng ~metrics:t.metrics ~interval ?emit:!monitor_emit ()
+        in
+        Nfsg_stats.Monitor.start m;
+        Some m
+    | None -> None
+  in
   let result = ref None in
-  Engine.spawn t.eng ~name:"driver" (fun () -> result := Some (f ()));
+  Engine.spawn t.eng ~name:"driver" (fun () ->
+      let v = f () in
+      (* The monitor's rearming timer keeps the event queue non-empty;
+         stop it with the load or Engine.run never returns. *)
+      Option.iter Nfsg_stats.Monitor.stop monitor;
+      (* With long-op tracing armed, dump whatever the ring retained
+         once the driven load is over — through the same emit callback,
+         so the rig itself still never prints. *)
+      (match (!long_op_threshold_override, !monitor_emit) with
+      | Some _, Some emit ->
+          let plane = Server.journeys t.server in
+          if Nfsg_stats.Journey.long_op_count plane > 0 then begin
+            emit "long-op records:\n";
+            emit (Nfsg_stats.Journey.render_long_ops plane)
+          end
+      | _ -> ());
+      result := Some v);
   Engine.run t.eng;
   match !result with
   | Some v -> v

@@ -69,6 +69,21 @@ val set_raid_level_override : Nfsg_disk.Stripe.level option -> unit
     unaffected; the level must fit the spindle count (RAID-1 needs 2
     members, RAID-5 needs 3). *)
 
+val set_monitor_interval : Nfsg_sim.Time.t option -> unit
+(** Install (or clear) a process-wide nfsmon interval: every subsequent
+    {!run} drives a {!Nfsg_stats.Monitor} over the rig's registry for
+    the duration of the driven load — how the nfsgather
+    [--monitor-interval] flag watches any experiment live. *)
+
+val set_monitor_emit : (string -> unit) option -> unit
+(** Where each monitor interval's rendered chunk goes (the owning
+    binary's stdout, typically). The rig itself never prints. *)
+
+val set_long_op_threshold : Nfsg_sim.Time.t option -> unit
+(** Install (or clear) a process-wide long-op threshold armed in every
+    subsequent {!make}'s server: ops slower end-to-end than this leave
+    a journey record in the server's long-op ring. *)
+
 val new_client :
   t -> ?biods:int -> ?protocol:Nfsg_nfs.Client.protocol -> string -> Nfsg_nfs.Client.t
 (** Attach a client host with the given address to the segment. *)

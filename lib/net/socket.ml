@@ -2,7 +2,7 @@ type t = {
   segment : Segment.t;
   addr : string;
   rcvbuf : int;
-  queue : (string * Bytes.t) Nfsg_sim.Squeue.t;
+  queue : (string * Bytes.t * Nfsg_sim.Time.t) Nfsg_sim.Squeue.t;
   mutable buffered_bytes : int;
   mutable received : int;
   mutable dropped : int;
@@ -31,7 +31,9 @@ let create segment ~addr ?(rcvbuf = 256 * 1024) ?(on_rx_fragment = fun ~bytes:_ 
     else begin
       s.buffered_bytes <- s.buffered_bytes + Bytes.length payload;
       s.received <- s.received + 1;
-      Nfsg_sim.Squeue.put s.queue (src, payload)
+      (* Arrival stamp: the instant the datagram entered the buffer,
+         so a consumer can measure how long it waited for service. *)
+      Nfsg_sim.Squeue.put s.queue (src, payload, Nfsg_sim.Engine.now (Segment.engine segment))
     end
   in
   Segment.attach segment
@@ -41,12 +43,18 @@ let create segment ~addr ?(rcvbuf = 256 * 1024) ?(on_rx_fragment = fun ~bytes:_ 
 let send s ~dst payload = Segment.transmit s.segment ~src:s.addr ~dst payload
 let detach s = Segment.detach s.segment s.addr
 
-let recv s =
-  let ((_, payload) as msg) = Nfsg_sim.Squeue.get s.queue in
+let recv_stamped s =
+  let ((_, payload, _) as msg) = Nfsg_sim.Squeue.get s.queue in
   s.buffered_bytes <- s.buffered_bytes - Bytes.length payload;
   msg
 
+let recv s =
+  let src, payload, _ = recv_stamped s in
+  (src, payload)
+
 let scan s pred =
   let found = ref false in
-  Nfsg_sim.Squeue.iter (fun (src, payload) -> if (not !found) && pred ~src payload then found := true) s.queue;
+  Nfsg_sim.Squeue.iter
+    (fun (src, payload, _) -> if (not !found) && pred ~src payload then found := true)
+    s.queue;
   !found

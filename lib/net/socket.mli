@@ -28,6 +28,11 @@ val send : t -> dst:string -> Bytes.t -> unit
 val recv : t -> string * Bytes.t
 (** Blocking receive: [(source address, payload)]. *)
 
+val recv_stamped : t -> string * Bytes.t * Nfsg_sim.Time.t
+(** Like {!recv}, additionally returning the instant the datagram was
+    enqueued into the receive buffer — the arrival stamp journey
+    records measure socket wait from. *)
+
 val scan : t -> (src:string -> Bytes.t -> bool) -> bool
 (** [scan s pred] is [true] iff some queued (unconsumed) datagram
     satisfies [pred]. Does not consume anything. *)

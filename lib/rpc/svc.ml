@@ -1,12 +1,16 @@
 open Nfsg_sim
 module Metrics = Nfsg_stats.Metrics
 module Names = Nfsg_stats.Names
+module Journey = Nfsg_stats.Journey
 
 type transport = {
   id : int;
   mutable client : string;
   mutable xid : int;
   mutable live : bool;  (** checked out and not yet replied *)
+  mutable journey : Journey.t option;
+      (** the op's journey record; finished (and detached) when the
+          reply goes out through {!send_reply} *)
 }
 
 type disposition = Reply of Rpc.accept_stat * Bytes.t | Reply_pending
@@ -16,6 +20,7 @@ type t = {
   sock : Nfsg_net.Socket.t;
   dupcache : Dupcache.t option;
   on_duplicate_drop : client:string -> Rpc.call -> unit;
+  journeys : Journey.plane option;
   free_handles : transport Queue.t;
   mutable next_id : int;
   mutable outstanding : int;
@@ -28,6 +33,7 @@ type t = {
 
 let client_of tr = tr.client
 let xid_of tr = tr.xid
+let journey_of tr = tr.journey
 let handles_outstanding t = t.outstanding
 let handle_cache_size t = Queue.length t.free_handles
 let requests_received t = Metrics.value t.received
@@ -40,11 +46,12 @@ let take_handle t ~client ~xid =
     | Some tr -> tr
     | None ->
         t.next_id <- t.next_id + 1;
-        { id = t.next_id; client = ""; xid = 0; live = false }
+        { id = t.next_id; client = ""; xid = 0; live = false; journey = None }
   in
   tr.client <- client;
   tr.xid <- xid;
   tr.live <- true;
+  tr.journey <- None;
   t.outstanding <- t.outstanding + 1;
   tr
 
@@ -52,6 +59,13 @@ let send_reply t tr stat body =
   if not tr.live then invalid_arg "Svc.send_reply: handle already completed";
   tr.live <- false;
   t.outstanding <- t.outstanding - 1;
+  (* The journey ends where the reply leaves, whichever nfsd (or
+     deferred flush) brings it here. *)
+  (match (t.journeys, tr.journey) with
+  | Some plane, Some j ->
+      tr.journey <- None;
+      Journey.finish plane j
+  | _ -> tr.journey <- None);
   let encoded = Rpc.encode_reply { Rpc.rxid = tr.xid; stat; rbody = body } in
   (match t.dupcache with
   | Some dc -> Dupcache.complete dc ~client:tr.client ~xid:tr.xid encoded
@@ -61,7 +75,7 @@ let send_reply t tr stat body =
 
 let svc_run t dispatch () =
   let rec loop () =
-    let client, datagram = Nfsg_net.Socket.recv t.sock in
+    let client, datagram, arrival = Nfsg_net.Socket.recv_stamped t.sock in
     Metrics.incr t.received;
     (match Rpc.decode_call datagram with
     | exception (Xdr.Dec.Error _ | Xdr.Decode_error _) -> Metrics.incr t.garbage
@@ -80,6 +94,14 @@ let svc_run t dispatch () =
             Nfsg_net.Socket.send t.sock ~dst:client reply
         | Dupcache.New -> (
             let tr = take_handle t ~client ~xid:call.Rpc.xid in
+            (match t.journeys with
+            | Some plane ->
+                let j = Journey.start plane ~client ~xid:call.Rpc.xid ~arrival in
+                let now = Engine.now t.eng in
+                Journey.stamp_pickup j ~now;
+                Journey.stamp_admitted j ~now;
+                tr.journey <- Some j
+            | None -> ());
             match dispatch tr call with
             | Reply (stat, body) -> send_reply t tr stat body
             | Reply_pending ->
@@ -122,8 +144,8 @@ let svc_run t dispatch () =
   in
   loop ()
 
-let create eng ~sock ?dupcache ?(on_duplicate_drop = fun ~client:_ _ -> ()) ?metrics ~nfsds
-    ~dispatch () =
+let create eng ~sock ?dupcache ?(on_duplicate_drop = fun ~client:_ _ -> ()) ?journeys ?metrics
+    ~nfsds ~dispatch () =
   if nfsds <= 0 then invalid_arg "Svc.create: need at least one nfsd";
   let m = match metrics with Some m -> m | None -> Metrics.create () in
   let ns = Names.Ns.rpc_svc in
@@ -133,6 +155,7 @@ let create eng ~sock ?dupcache ?(on_duplicate_drop = fun ~client:_ _ -> ()) ?met
       sock;
       dupcache;
       on_duplicate_drop;
+      journeys;
       free_handles = Queue.create ();
       next_id = 0;
       outstanding = 0;

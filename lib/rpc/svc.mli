@@ -24,6 +24,7 @@ val create :
   sock:Nfsg_net.Socket.t ->
   ?dupcache:Dupcache.t ->
   ?on_duplicate_drop:(client:string -> Rpc.call -> unit) ->
+  ?journeys:Nfsg_stats.Journey.plane ->
   ?metrics:Nfsg_stats.Metrics.t ->
   nfsds:int ->
   dispatch:(transport -> Rpc.call -> disposition) ->
@@ -32,7 +33,10 @@ val create :
 (** Spawns [nfsds] server daemons named nfsd0..n. [on_duplicate_drop]
     fires when an in-progress duplicate is discarded — the hook the
     write-gathering layer uses to avoid orphaned gathered writes
-    (section 6.9). [metrics] registers received/garbage/dispatch-error
+    (section 6.9). [journeys], when given, attaches a journey record to
+    every admitted request (stamped at socket arrival, nfsd pickup and
+    dupcache admission) and finishes it when the reply departs.
+    [metrics] registers received/garbage/dispatch-error
     and duplicate drop/replay counters under namespace ["rpc.svc"]
     (private registry when omitted). *)
 
@@ -44,6 +48,11 @@ val send_reply : t -> transport -> Rpc.accept_stat -> Bytes.t -> unit
 
 val client_of : transport -> string
 val xid_of : transport -> int
+
+val journey_of : transport -> Nfsg_stats.Journey.t option
+(** The journey record attached when the request was admitted ([None]
+    when the service was created without a journey plane). Layers below
+    the dispatcher use this to stamp gather-plane and disk progress. *)
 
 val handles_outstanding : t -> int
 (** Handles checked out and not yet replied (pending writes). *)

@@ -1,0 +1,238 @@
+(* Per-operation journey records: the live operability plane's core.
+
+   Every dispatched request gets a journey carrying timestamps for each
+   station it passes through on the way to its reply:
+
+     arrival       datagram lands in the server's socket buffer
+     pickup        an nfsd takes it off the socket
+     admitted      the duplicate cache rules it new work
+     queued        (writes) the data is in the cache and the
+                   descriptor joins the gather plane
+     disk_submit   the metadata writer starts the covering flush
+     disk_complete the flush's device submission completed
+     reply         the reply leaves via Svc.send_reply
+
+   At [finish] the stamps become six per-phase duration histograms
+   (namespace "journey") plus an end-to-end total, per-client station
+   attribution (namespace "station.<client>"), and — if the total
+   crossed the configured threshold — a rendered long-op record in the
+   plane's dedicated ring.
+
+   The long-op ring is deliberately NOT the server's event trace: under
+   a saturating write load the gather plane emits several chatty events
+   per WRITE and wraps a default ring in seconds, which would silently
+   overwrite exactly the slow-op evidence this plane exists to keep.
+   A dedicated ring plus the "trace"/"dropped" counter (event ring and
+   long-op ring losses combined) makes any loss visible instead of
+   silent. *)
+
+open Nfsg_sim
+
+(* Sentinel for a stamp that was never taken: simulated time is never
+   negative. At [finish] unset stamps collapse onto their predecessor,
+   so phases stay monotone and sum exactly to the total. *)
+let unset = -1
+
+type t = {
+  client : string;
+  xid : int;
+  mutable proc : string;  (** "" until the dispatcher decodes the call *)
+  mutable bytes : int;
+  arrival : Time.t;
+  mutable pickup : Time.t;
+  mutable admitted : Time.t;
+  mutable queued : Time.t;
+  mutable disk_submit : Time.t;
+  mutable disk_complete : Time.t;
+  mutable reply : Time.t;
+}
+
+type plane = {
+  eng : Engine.t;
+  metrics : Metrics.t;
+  threshold : Time.t option;
+  ring : Trace.t;  (** long-op records only; drop-safe by isolation *)
+  event_trace : Trace.t option;  (** the chatty event ring, for loss accounting *)
+  h_total : Histogram.t;
+  h_sock : Histogram.t;
+  h_dup : Histogram.t;
+  h_prep : Histogram.t;
+  h_gather : Histogram.t;
+  h_disk : Histogram.t;
+  h_reply : Histogram.t;
+  c_records : Metrics.counter;
+  c_long_ops : Metrics.counter;
+  c_dropped : Metrics.counter;
+}
+
+let create eng ~metrics ?threshold ?(ring_capacity = 512) ?event_trace () =
+  let ns = Names.Ns.journey in
+  let phase p = Metrics.histogram metrics ~ns (Names.phase_us p) in
+  {
+    eng;
+    metrics;
+    threshold;
+    ring = Trace.create ~capacity:ring_capacity eng;
+    event_trace;
+    h_total = Metrics.histogram metrics ~ns Names.total_us;
+    h_sock = phase Names.phase_sock_wait;
+    h_dup = phase Names.phase_dupcache;
+    h_prep = phase Names.phase_prep;
+    h_gather = phase Names.phase_gather_wait;
+    h_disk = phase Names.phase_disk;
+    h_reply = phase Names.phase_reply;
+    c_records = Metrics.counter metrics ~ns Names.records;
+    c_long_ops = Metrics.counter metrics ~ns Names.long_ops;
+    c_dropped = Metrics.counter metrics ~ns:Names.Ns.trace Names.dropped;
+  }
+
+let threshold p = p.threshold
+
+let start _p ~client ~xid ~arrival =
+  {
+    client;
+    xid;
+    proc = "";
+    bytes = 0;
+    arrival;
+    pickup = unset;
+    admitted = unset;
+    queued = unset;
+    disk_submit = unset;
+    disk_complete = unset;
+    reply = unset;
+  }
+
+let set_op j ~proc ~bytes =
+  j.proc <- proc;
+  j.bytes <- bytes
+
+let proc j = j.proc
+let client j = j.client
+
+let stamp_pickup j ~now = if j.pickup = unset then j.pickup <- now
+let stamp_admitted j ~now = if j.admitted = unset then j.admitted <- now
+let stamp_queued j ~now = if j.queued = unset then j.queued <- now
+
+(* A flush that fails re-queues its descriptors for another round, so a
+   later round may re-stamp: the LAST submission is the one whose
+   completion precedes the reply, and that pair is what the disk phase
+   must measure. *)
+let stamp_disk_submit j ~now = j.disk_submit <- now
+let stamp_disk_complete j ~now = j.disk_complete <- now
+
+(* Fill unset stamps with their predecessor so the timeline is monotone
+   and the six phases partition [arrival, reply] exactly. *)
+let normalize j =
+  let prev = ref j.arrival in
+  let norm get set =
+    let v = get () in
+    if v = unset || v < !prev then set !prev else prev := v
+  in
+  norm (fun () -> j.pickup) (fun v -> j.pickup <- v);
+  prev := j.pickup;
+  norm (fun () -> j.admitted) (fun v -> j.admitted <- v);
+  prev := j.admitted;
+  norm (fun () -> j.queued) (fun v -> j.queued <- v);
+  prev := j.queued;
+  norm (fun () -> j.disk_submit) (fun v -> j.disk_submit <- v);
+  prev := j.disk_submit;
+  norm (fun () -> j.disk_complete) (fun v -> j.disk_complete <- v);
+  prev := j.disk_complete;
+  norm (fun () -> j.reply) (fun v -> j.reply <- v)
+
+type phases = {
+  sock_wait : Time.t;
+  dupcache : Time.t;
+  prep : Time.t;
+  gather_wait : Time.t;
+  disk : Time.t;
+  reply_path : Time.t;
+  total : Time.t;
+}
+
+let phases j =
+  {
+    sock_wait = j.pickup - j.arrival;
+    dupcache = j.admitted - j.pickup;
+    prep = j.queued - j.admitted;
+    gather_wait = j.disk_submit - j.queued;
+    disk = j.disk_complete - j.disk_submit;
+    reply_path = j.reply - j.disk_complete;
+    total = j.reply - j.arrival;
+  }
+
+let render j =
+  let ph = phases j in
+  let us t = Printf.sprintf "%.0f" (Time.to_us_f t) in
+  Printf.sprintf
+    "long-op %s client=%s xid=%d bytes=%d total=%sus sock_wait=%sus dupcache=%sus prep=%sus \
+     gather_wait=%sus disk=%sus reply=%sus"
+    (if j.proc = "" then "?" else j.proc)
+    j.client j.xid j.bytes (us ph.total) (us ph.sock_wait) (us ph.dupcache) (us ph.prep)
+    (us ph.gather_wait) (us ph.disk) (us ph.reply_path)
+
+let refresh_dropped p =
+  let ev = match p.event_trace with Some tr -> Trace.dropped tr | None -> 0 in
+  let target = ev + Trace.dropped p.ring in
+  (* Mirror the rings' loss counts, monotonically: a restarted server's
+     fresh rings must not rewind the accumulated counter. *)
+  let current = Metrics.value p.c_dropped in
+  if target > current then Metrics.add p.c_dropped (target - current)
+
+let dropped p =
+  refresh_dropped p;
+  Metrics.value p.c_dropped
+
+let finish p j =
+  if j.reply = unset then j.reply <- Engine.now p.eng;
+  normalize j;
+  let ph = phases j in
+  Metrics.incr p.c_records;
+  Histogram.add p.h_total (Time.to_us_f ph.total);
+  (* Phase decomposition only for ops that went through the write
+     plane's disk flush — for a GETATTR the middle phases are all
+     zero-width and would only dilute the histograms. *)
+  if j.disk_submit > j.queued || j.disk_complete > j.disk_submit then begin
+    Histogram.add p.h_sock (Time.to_us_f ph.sock_wait);
+    Histogram.add p.h_dup (Time.to_us_f ph.dupcache);
+    Histogram.add p.h_prep (Time.to_us_f ph.prep);
+    Histogram.add p.h_gather (Time.to_us_f ph.gather_wait);
+    Histogram.add p.h_disk (Time.to_us_f ph.disk);
+    Histogram.add p.h_reply (Time.to_us_f ph.reply_path)
+  end;
+  (* Per-client station attribution. Find-or-create registration means
+     a station's counters survive server crash/restart exactly like
+     every other metric in the shared registry. *)
+  if j.proc <> "" then begin
+    let ns = Names.Ns.station j.client in
+    Metrics.incr (Metrics.counter p.metrics ~ns Names.station_ops);
+    Metrics.add (Metrics.counter p.metrics ~ns Names.station_bytes) j.bytes;
+    Histogram.add
+      (Metrics.histogram p.metrics ~ns Names.station_lat_us)
+      (Time.to_us_f ph.total)
+  end;
+  (match p.threshold with
+  | Some thr when ph.total > thr ->
+      Metrics.incr p.c_long_ops;
+      Trace.emit p.ring ~actor:j.client (render j)
+  | Some _ | None -> ());
+  refresh_dropped p
+
+let long_op_count p = Metrics.value p.c_long_ops
+let long_ops p = Trace.events p.ring
+
+let render_long_ops p =
+  match Trace.events p.ring with
+  | [] -> "(no long ops)\n"
+  | evs ->
+      let buf = Buffer.create 1024 in
+      if Trace.dropped p.ring > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "(%d older long-op records dropped by the ring)\n"
+             (Trace.dropped p.ring));
+      List.iter
+        (fun (tm, _actor, ev) ->
+          Buffer.add_string buf (Printf.sprintf "t=+%.3fms %s\n" (Time.to_ms_f tm) ev))
+        evs;
+      Buffer.contents buf

@@ -1,0 +1,93 @@
+(** Per-operation journey records — the live operability plane.
+
+    A journey is created by the RPC service loop when a request is
+    admitted, stamped by each layer it passes through (socket pickup,
+    duplicate cache, gather plane, disk flush) and finished when its
+    reply goes out. Finishing aggregates per-phase latency histograms
+    (namespace ["journey"]), attributes the op to its client station
+    (namespace ["station.<client>"]) and, when the end-to-end latency
+    crosses the plane's threshold, emits a rendered long-op record into
+    a dedicated ring buffer.
+
+    The long-op ring is separate from the server's chatty event trace
+    on purpose: a saturating write load wraps the event ring in
+    seconds, and long-op evidence must not be overwritten by routine
+    chatter. Losses in either ring surface as the ["trace"]/["dropped"]
+    counter. *)
+
+type t
+(** One operation's journey. *)
+
+type plane
+(** The aggregation plane: histograms, station counters, long-op ring. *)
+
+val create :
+  Nfsg_sim.Engine.t ->
+  metrics:Metrics.t ->
+  ?threshold:Nfsg_sim.Time.t ->
+  ?ring_capacity:int ->
+  ?event_trace:Trace.t ->
+  unit ->
+  plane
+(** [threshold] enables long-op records for ops slower end-to-end than
+    the given span (disabled when omitted). [ring_capacity] bounds the
+    long-op ring (default 512). [event_trace], when given, is the
+    server's event ring — included in the dropped-record accounting. *)
+
+val threshold : plane -> Nfsg_sim.Time.t option
+
+val start : plane -> client:string -> xid:int -> arrival:Nfsg_sim.Time.t -> t
+(** A fresh journey whose arrival stamp is the datagram's enqueue time
+    at the server socket. *)
+
+val set_op : t -> proc:string -> bytes:int -> unit
+(** Fill in the decoded procedure name and payload size. *)
+
+val proc : t -> string
+val client : t -> string
+
+(** Stamps are idempotent where re-stamping would distort the phase
+    (pickup/admitted/queued take the first call), and last-write-wins
+    for the disk pair (a failed flush retries; the completed submission
+    is the one the reply waited on). *)
+
+val stamp_pickup : t -> now:Nfsg_sim.Time.t -> unit
+val stamp_admitted : t -> now:Nfsg_sim.Time.t -> unit
+val stamp_queued : t -> now:Nfsg_sim.Time.t -> unit
+val stamp_disk_submit : t -> now:Nfsg_sim.Time.t -> unit
+val stamp_disk_complete : t -> now:Nfsg_sim.Time.t -> unit
+
+val finish : plane -> t -> unit
+(** Stamp the reply instant, normalize the timeline (unset stamps
+    collapse onto their predecessor, so phases are non-negative and sum
+    exactly to the total), aggregate, attribute, and emit a long-op
+    record if over threshold. Call exactly once, from the reply path. *)
+
+type phases = {
+  sock_wait : Nfsg_sim.Time.t;  (** arrival → nfsd pickup *)
+  dupcache : Nfsg_sim.Time.t;  (** pickup → dupcache admission *)
+  prep : Nfsg_sim.Time.t;  (** admission → descriptor on the gather plane *)
+  gather_wait : Nfsg_sim.Time.t;  (** gather plane → flush submission *)
+  disk : Nfsg_sim.Time.t;  (** flush submission → completion *)
+  reply_path : Nfsg_sim.Time.t;  (** completion → reply on the wire *)
+  total : Nfsg_sim.Time.t;
+}
+
+val phases : t -> phases
+(** Valid after {!finish} (timestamps normalized). *)
+
+val render : t -> string
+(** The deterministic single-line long-op record format. *)
+
+val dropped : plane -> int
+(** Total records lost to ring wrap-around across this plane's rings
+    (long-op ring plus the optional event trace), freshly mirrored
+    into the ["trace"/"dropped"] counter. Monotone across
+    crash/restart. *)
+
+val long_op_count : plane -> int
+val long_ops : plane -> (Nfsg_sim.Time.t * string * string) list
+
+val render_long_ops : plane -> string
+(** Every retained long-op record, oldest first, one line each, with a
+    leading loss notice when the ring overwrote older records. *)

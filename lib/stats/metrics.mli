@@ -47,6 +47,9 @@ val span : Nfsg_sim.Engine.t -> Histogram.t -> (unit -> 'a) -> 'a
 
 (** {1 Reading back} (reporters and tests) *)
 
+val namespaces : t -> string list
+(** Every namespace with at least one instrument, sorted. *)
+
 val find_counter : t -> ns:string -> string -> int option
 val find_gauge : t -> ns:string -> string -> float option
 val find_histogram : t -> ns:string -> string -> Histogram.t option

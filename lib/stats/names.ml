@@ -28,6 +28,20 @@ module Ns = struct
      [server]/[write_layer] namespaces (see Volume.mount). *)
   let server_vol fsid = Printf.sprintf "server.vol%d" fsid
   let write_layer_vol fsid = Printf.sprintf "write_layer.vol%d" fsid
+
+  (* The live operability plane. *)
+  let journey = "journey"
+  let trace = "trace"
+
+  (* Per-client-station attribution ("station.client3", ...). *)
+  let station_prefix = "station."
+  let station client = station_prefix ^ client
+
+  let station_of ns =
+    let p = String.length station_prefix in
+    if String.length ns > p && String.sub ns 0 p = station_prefix then
+      Some (String.sub ns p (String.length ns - p))
+    else None
 end
 
 (* {1 net} *)
@@ -119,6 +133,38 @@ let flush_failures = "flush_failures"
 let metadata_flushes_saved = "metadata_flushes_saved"
 let batch_size = "batch_size"
 let reply_latency_us = "reply_latency_us"
+
+(* {1 journey} *)
+
+let records = "records"
+let long_ops = "long_ops"
+let total_us = "total_us"
+
+(* Per-phase latency histograms, e.g. "phase_us_gather_wait". *)
+let phase_us phase = "phase_us_" ^ phase
+
+(* The canonical phase names of a WRITE's journey, in journey order:
+   socket wait for an nfsd, dupcache admission, cache insertion, wait
+   on the gather plane, the disk flush, and the reply fan-out. *)
+let phase_sock_wait = "sock_wait"
+let phase_dupcache = "dupcache"
+let phase_prep = "prep"
+let phase_gather_wait = "gather_wait"
+let phase_disk = "disk"
+let phase_reply = "reply"
+
+let journey_phases =
+  [ phase_sock_wait; phase_dupcache; phase_prep; phase_gather_wait; phase_disk; phase_reply ]
+
+(* {1 trace} *)
+
+let dropped = "dropped"
+
+(* {1 station.<client>} *)
+
+let station_ops = "ops"
+let station_bytes = "bytes"
+let station_lat_us = "lat_us"
 
 (* {1 per-procedure families} *)
 

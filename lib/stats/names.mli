@@ -29,6 +29,20 @@ module Ns : sig
 
   val write_layer_vol : int -> string
   (** [write_layer_vol k] is ["write_layer.vol<k>"]. *)
+
+  val journey : string
+  (** Per-op journey phase decomposition (the live operability plane). *)
+
+  val trace : string
+  (** Trace-ring health: the dropped-record counters. *)
+
+  val station_prefix : string
+
+  val station : string -> string
+  (** [station c] is ["station." ^ c] — per-client attribution. *)
+
+  val station_of : string -> string option
+  (** [station_of ns] is [Some client] iff [ns] is a station namespace. *)
 end
 
 (** {1 net} *)
@@ -131,6 +145,44 @@ val flush_failures : string
 val metadata_flushes_saved : string
 val batch_size : string
 val reply_latency_us : string
+
+(** {1 journey} *)
+
+val records : string
+(** Counter: journeys finished (one per dispatched, replied-to op). *)
+
+val long_ops : string
+(** Counter: journeys whose total latency crossed the long-op
+    threshold; each emitted a record into the long-op ring. *)
+
+val total_us : string
+(** Histogram: end-to-end journey latency (datagram arrival at the
+    server socket to reply transmission), µs. *)
+
+val phase_us : string -> string
+(** [phase_us p] is ["phase_us_" ^ p] — per-phase journey histograms. *)
+
+val phase_sock_wait : string
+val phase_dupcache : string
+val phase_prep : string
+val phase_gather_wait : string
+val phase_disk : string
+val phase_reply : string
+
+val journey_phases : string list
+(** The six phases, in journey order. *)
+
+(** {1 trace} *)
+
+val dropped : string
+(** Counter: records overwritten in the trace rings (event ring plus
+    long-op ring) — nonzero means the operability plane lost history. *)
+
+(** {1 station.<client>} *)
+
+val station_ops : string
+val station_bytes : string
+val station_lat_us : string
 
 (** {1 per-procedure families} *)
 

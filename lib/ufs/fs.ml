@@ -489,8 +489,20 @@ let syncdata t (ino : inode) ~off ~len =
    and merges the data clusters freely while the barriers keep metadata
    from becoming stable ahead of the data it describes. Semantically
    [syncdata] followed by [fsync_metadata], without the synchronous
-   convoy of one-at-a-time transactions. *)
-let commit_range t (ino : inode) ~off ~len =
+   convoy of one-at-a-time transactions.
+
+   Split into a begin/await pair so the caller can drop the vnode lock
+   while the device works: everything that reads or mutates in-core
+   state — bmap, the dirty-block snapshot, the metadata commit — runs
+   in [begin] under the caller's lock, and the submission is already
+   down before [begin] returns. The returned thunk only parks on the
+   device. The prepared snapshots are private copies and the inode is
+   marked clean at snapshot time (exactly like [Buffer_cache.prepare]
+   does for blocks), so a write landing mid-flight re-dirties and is
+   simply not considered durable by this commit. On failure the await
+   re-dirties whatever never reached the platter, never downgrading
+   dirtiness a concurrent writer added meanwhile. *)
+let commit_range_begin t (ino : inode) ~off ~len =
   let data_blocks =
     if len <= 0 then []
     else begin
@@ -511,20 +523,34 @@ let commit_range t (ino : inode) ~off ~len =
   let data_items = Buffer_cache.prepared_items p_data in
   if ino.meta_dirty = `Clean && ino.dirty_indirects = [] then begin
     match data_items with
-    | [] -> ()
+    | [] -> fun () -> ()
     | items ->
         t.dev.Device.submit items;
-        Buffer_cache.await_prepared [ p_data ]
+        fun () -> Buffer_cache.await_prepared [ p_data ]
   end
   else begin
+    let was_dirty = ino.meta_dirty in
     let meta_items, preps, restore = meta_commit t ino in
     let items =
       data_items @ (if data_items = [] then [] else [ Io.barrier () ]) @ meta_items
     in
+    ino.meta_dirty <- `Clean;
     t.dev.Device.submit items;
-    (try Buffer_cache.await_prepared (p_data :: preps) with exn -> restore exn);
-    ino.meta_dirty <- `Clean
+    fun () ->
+      try Buffer_cache.await_prepared (p_data :: preps)
+      with exn ->
+        (* The snapshotted inode never became durable: put the
+           dirtiness back unless a concurrent write already raised
+           it. *)
+        (match (ino.meta_dirty, was_dirty) with
+        | `Dirty, _ | _, `Clean -> ()
+        | _, `Dirty -> ino.meta_dirty <- `Dirty
+        | `Clean, `Time_only -> ino.meta_dirty <- `Time_only
+        | `Time_only, `Time_only -> ());
+        restore exn
   end
+
+let commit_range t (ino : inode) ~off ~len = (commit_range_begin t ino ~off ~len) ()
 
 let fsync t (ino : inode) =
   syncdata t ino ~off:0 ~len:ino.size;

@@ -121,6 +121,16 @@ val commit_range : t -> inode -> off:int -> len:int -> unit
     clusters while the barriers keep metadata from becoming stable
     ahead of the data it describes. *)
 
+val commit_range_begin : t -> inode -> off:int -> len:int -> unit -> unit
+(** {!commit_range} split for lock hygiene: [commit_range_begin t ino
+    ~off ~len] runs every in-core step — block mapping, the dirty
+    snapshot, the metadata commit — and puts the submission on the
+    device before returning; the returned thunk merely blocks until it
+    is durable (re-dirtying what failed, then re-raising). Call
+    [begin] under the inode's lock; the await may run with the lock
+    released, so writers arriving mid-flush are not convoyed behind
+    the device. *)
+
 val fsync : t -> inode -> unit
 (** Full fsync: {!syncdata} over the whole file then
     {!fsync_metadata}. *)

@@ -32,6 +32,7 @@ let vop_fsync v ~flags =
 
 let vop_syncdata v ~off ~len = Fs.syncdata v.fs v.ino ~off ~len
 let vop_commit v ~off ~len = Fs.commit_range v.fs v.ino ~off ~len
+let vop_commit_begin v ~off ~len = Fs.commit_range_begin v.fs v.ino ~off ~len
 let vop_lookup v name = { fs = v.fs; ino = Fs.lookup v.fs v.ino name }
 let vop_create v name ftype = { fs = v.fs; ino = Fs.create v.fs v.ino name ftype }
 let vop_remove v name = Fs.remove v.fs v.ino name

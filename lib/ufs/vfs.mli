@@ -51,6 +51,13 @@ val vop_commit : vnode -> off:int -> len:int -> unit
     ({!Fs.commit_range}): data clusters overlap and merge, barriers
     keep the inode and indirect blocks ordered behind the data. *)
 
+val vop_commit_begin : vnode -> off:int -> len:int -> unit -> unit
+(** {!vop_commit} split for lock hygiene ({!Fs.commit_range_begin}):
+    call under {!lock}; the submission is down when it returns, and
+    the returned await thunk may park on the device with the vnode
+    lock released. With [len = 0] it commits metadata only, the
+    unlocked twin of [vop_fsync ~flags:[FWRITE; FWRITE_METADATA]]. *)
+
 val vop_lookup : vnode -> string -> vnode
 val vop_create : vnode -> string -> Layout.ftype -> vnode
 val vop_remove : vnode -> string -> unit

@@ -28,5 +28,6 @@ let () =
       ("multivolume", Test_multivolume.suite);
       ("raid", Test_raid.suite);
       ("lint", Test_lint.suite);
+      ("monitor", Test_monitor.suite);
       ("determinism", Test_determinism.suite);
     ]
