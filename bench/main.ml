@@ -10,6 +10,8 @@
      dune exec bench/main.exe -- multivolume   only BENCH_multivolume.json
      dune exec bench/main.exe -- iosched       only BENCH_iosched.json
      dune exec bench/main.exe -- raid          only BENCH_raid.json
+     dune exec bench/main.exe -- laddis-curve  only BENCH_laddis_curve.json
+     dune exec bench/main.exe -- simspeed      wall-clock events/sec of one world
 
    Every non-micro run also writes BENCH_writegather.json (the paper's
    core Standard/Gathering/NVRAM comparison, machine-readable),
@@ -152,6 +154,59 @@ let run_raid () =
   close_out oc;
   progress "bench: wrote %s in %.1fs wall" raid_json_file (Unix.gettimeofday () -. t0)
 
+let laddis_curve_json_file = "BENCH_laddis_curve.json"
+
+(* Offered-load ladder per server configuration until each saturates;
+   fixed sweep regardless of quick/full, committed and byte-diffed by
+   CI like the other artifacts. *)
+let run_laddis_curve () =
+  progress "bench: running laddis-curve JSON bench ...";
+  let t0 = Unix.gettimeofday () in
+  let json = Nfsg_experiments.Laddis_curve.bench_laddis_curve () in
+  let oc = open_out laddis_curve_json_file in
+  output_string oc (Nfsg_stats.Json.to_string ~pretty:true json);
+  close_out oc;
+  progress "bench: wrote %s in %.1fs wall" laddis_curve_json_file (Unix.gettimeofday () -. t0)
+
+(* {1 Simulator speed}
+
+   Wall-clock events/second over one fixed saturating LADDIS-style
+   world — the macro number the engine/heap/XDR fast-path work moves,
+   where the microbenches below isolate the primitives. CI keeps a
+   recorded floor (bench/SIMSPEED_FLOOR) and fails if a run falls more
+   than 2x below it. *)
+
+let run_simspeed () =
+  let module Rig = Nfsg_experiments.Rig in
+  let module Laddis = Nfsg_workload.Laddis in
+  let open Nfsg_sim in
+  progress "bench: running simspeed ...";
+  let rig = Rig.make { Rig.default_spec with Rig.nfsds = 12 } in
+  let lcfg =
+    {
+      Laddis.default_config with
+      Laddis.procs = 12;
+      files_per_proc = 2;
+      file_size = 1024 * 1024;
+      warmup = Time.ms 500;
+      measure = Time.sec 10;
+      seed = 7;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let point =
+    Rig.run rig (fun () ->
+        Laddis.run rig.Rig.eng
+          ~make_client:(fun i -> Rig.new_client rig (Printf.sprintf "client%d" i))
+          ~root:(Rig.root rig) ~offered:170.0 lcfg)
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let events = Engine.events_processed rig.Rig.eng in
+  Printf.printf "simspeed: events=%d wall_s=%.3f events_per_sec=%.0f achieved_ops_s=%.1f\n"
+    events wall
+    (float_of_int events /. wall)
+    point.Laddis.achieved
+
 (* {1 Bechamel microbenchmarks}
 
    Wall-clock cost of the hot substrate operations: these bound how
@@ -186,12 +241,14 @@ let micro_tests () =
       (Staged.stage (fun () ->
            let args =
              Nfsg_nfs.Proto.Write
-               { fh = { Nfsg_nfs.Proto.fsid = 1; vgen = 1; inum = 3; gen = 1 }; offset = 0; data }
+               { fh = { Nfsg_nfs.Proto.fsid = 1; vgen = 1; inum = 3; gen = 1 }; offset = 0;
+                 data = Nfsg_rpc.Xdr.view_of_bytes data }
            in
            let body = Nfsg_nfs.Proto.encode_args args in
            let call =
              Nfsg_rpc.Rpc.encode_call
-               { Nfsg_rpc.Rpc.xid = 1; prog = Nfsg_rpc.Rpc.nfs_program; vers = 2; proc = 8; body }
+               { Nfsg_rpc.Rpc.xid = 1; prog = Nfsg_rpc.Rpc.nfs_program; vers = 2; proc = 8;
+                 body = Nfsg_rpc.Xdr.view_of_bytes body }
            in
            ignore (Nfsg_rpc.Rpc.decode_call call)))
   in
@@ -258,11 +315,15 @@ let () =
   let multivolume_only = List.mem "multivolume" args in
   let iosched_only = List.mem "iosched" args in
   let raid_only = List.mem "raid" args in
+  let laddis_curve_only = List.mem "laddis-curve" args in
+  let simspeed_only = List.mem "simspeed" args in
   if micro_only then run_micro ()
   else if writegather_only then run_writegather quick
   else if multivolume_only then run_multivolume ()
   else if iosched_only then run_iosched ()
   else if raid_only then run_raid ()
+  else if laddis_curve_only then run_laddis_curve ()
+  else if simspeed_only then run_simspeed ()
   else begin
     Printf.printf "NFS write gathering: full reproduction run (%s)\n"
       (if quick then "quick mode" else "paper-size workloads");
@@ -274,5 +335,7 @@ let () =
     run_multivolume ();
     run_iosched ();
     run_raid ();
+    run_laddis_curve ();
+    run_simspeed ();
     run_micro ()
   end

@@ -56,6 +56,30 @@ let long_op_threshold_arg =
   in
   Arg.(value & opt (some float) None & info [ "long-op-threshold" ] ~docv:"MS" ~doc)
 
+let sweep_points_arg =
+  let doc =
+    "Cap the laddis-curve offered-load ladder at $(docv) rungs per configuration, overriding \
+     the sweep's own ceiling."
+  in
+  Arg.(value & opt (some int) None & info [ "sweep-points" ] ~docv:"N" ~doc)
+
+let procs_max_arg =
+  let doc =
+    "Cap the laddis-curve load-generator pool at $(docv) processes, overriding the sweep's \
+     own ceiling."
+  in
+  Arg.(value & opt (some int) None & info [ "procs-max" ] ~docv:"N" ~doc)
+
+let curve_configs_arg =
+  let doc =
+    "Restrict the laddis-curve sweep to the named grid configurations (comma-separated; \
+     baseline, deadline, gather, nvram, gather+stripe3)."
+  in
+  Arg.(
+    value
+    & opt (some (list ~sep:',' string)) None
+    & info [ "curve-configs" ] ~docv:"CONFIGS" ~doc)
+
 let metrics_json_arg =
   let doc =
     "Write the typed-metrics registry of the run (every counter, gauge and histogram \
@@ -100,6 +124,15 @@ let run_experiment ?metrics ?raid_level quick = function
   | "writegather" ->
       print_string (Nfsg_stats.Json.to_string ~pretty:true (E.bench_writegather ~quick ()))
   | "multivolume" -> print_report (Nfsg_experiments.Multivolume.report ~quick ())
+  | "laddis-curve" ->
+      let module Lc = Nfsg_experiments.Laddis_curve in
+      (* Quick mode shortens the ladder (unless --sweep-points already
+         did) rather than shrinking the workload: the rungs that do run
+         stay comparable with the committed artifact. *)
+      let sweep =
+        if quick then { Lc.default_sweep with Lc.max_points = 3 } else Lc.default_sweep
+      in
+      print_report (Lc.report ~sweep ())
   | "iosched-probe" ->
       (* The tail investigation behind the deadline-p99 fix: rerun the
          bench world with journey tracing armed and dump the evidence
@@ -123,13 +156,14 @@ let run_experiment ?metrics ?raid_level quick = function
 let names =
   [
     "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure1"; "figure2"; "figure3";
-    "ablations"; "extensions"; "writegather"; "multivolume"; "raid"; "chaos";
+    "ablations"; "extensions"; "writegather"; "multivolume"; "laddis-curve"; "raid"; "chaos";
   ]
 (* iosched-probe is runnable by name but not part of "all": it reruns
    the saturating bench world twice and exists for investigations, not
    for the paper-reproduction sweep. *)
 
-let run quick scheduler raid_level monitor_interval long_op_threshold metrics_json targets =
+let run quick scheduler raid_level sweep_points procs_max curve_configs monitor_interval
+    long_op_threshold metrics_json targets =
   let targets = if targets = [] || List.mem "all" targets then names else targets in
   let metrics = Option.map (fun _ -> Metrics.create ()) metrics_json in
   (* Rig-built worlds report into the shared sink; chaos (which builds
@@ -137,6 +171,9 @@ let run quick scheduler raid_level monitor_interval long_op_threshold metrics_js
   Nfsg_experiments.Rig.set_metrics_sink metrics;
   Nfsg_experiments.Rig.set_scheduler_override scheduler;
   Nfsg_experiments.Rig.set_raid_level_override raid_level;
+  Nfsg_experiments.Laddis_curve.set_sweep_points_override sweep_points;
+  Nfsg_experiments.Laddis_curve.set_procs_max_override procs_max;
+  Nfsg_experiments.Laddis_curve.set_grid_override curve_configs;
   Nfsg_experiments.Rig.set_monitor_interval
     (Option.map Nfsg_sim.Time.of_ms_f monitor_interval);
   Nfsg_experiments.Rig.set_long_op_threshold
@@ -151,6 +188,9 @@ let run quick scheduler raid_level monitor_interval long_op_threshold metrics_js
   Nfsg_experiments.Rig.set_monitor_emit None;
   Nfsg_experiments.Rig.set_long_op_threshold None;
   Nfsg_experiments.Rig.set_monitor_interval None;
+  Nfsg_experiments.Laddis_curve.set_grid_override None;
+  Nfsg_experiments.Laddis_curve.set_procs_max_override None;
+  Nfsg_experiments.Laddis_curve.set_sweep_points_override None;
   Nfsg_experiments.Rig.set_raid_level_override None;
   Nfsg_experiments.Rig.set_scheduler_override None;
   Nfsg_experiments.Rig.set_metrics_sink None;
@@ -165,7 +205,8 @@ let run quick scheduler raid_level monitor_interval long_op_threshold metrics_js
 let targets_arg =
   let doc =
     "Experiments to run: table1..table6, figure1..figure3, ablations, extensions, writegather, \
-     multivolume, raid, chaos, iosched-probe, or all (default; excludes iosched-probe)."
+     multivolume, laddis-curve, raid, chaos, iosched-probe, or all (default; excludes \
+     iosched-probe)."
   in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
@@ -174,7 +215,8 @@ let cmd =
   let info = Cmd.info "nfsgather" ~version:"1.0.0" ~doc in
   Cmd.v info
     Term.(
-      const run $ quick_arg $ scheduler_arg $ raid_level_arg $ monitor_interval_arg
-      $ long_op_threshold_arg $ metrics_json_arg $ targets_arg)
+      const run $ quick_arg $ scheduler_arg $ raid_level_arg $ sweep_points_arg $ procs_max_arg
+      $ curve_configs_arg $ monitor_interval_arg $ long_op_threshold_arg $ metrics_json_arg
+      $ targets_arg)
 
 let () = exit (Cmd.eval cmd)

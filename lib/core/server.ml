@@ -291,7 +291,7 @@ let make_dispatch t =
       | Some j ->
           let payload =
             match decoded with
-            | Proto.Write { data; _ } | Proto.Write3 { data; _ } -> Bytes.length data
+            | Proto.Write { data; _ } | Proto.Write3 { data; _ } -> Nfsg_rpc.Xdr.view_length data
             | _ -> 0
           in
           Nfsg_stats.Journey.set_op j ~proc:(Proto.proc_name call.Rpc.proc) ~bytes:payload

@@ -3,6 +3,7 @@ module Vfs = Nfsg_ufs.Vfs
 module Fs = Nfsg_ufs.Fs
 module Proto = Nfsg_nfs.Proto
 module Svc = Nfsg_rpc.Svc
+module Xdr = Nfsg_rpc.Xdr
 module Trace = Nfsg_stats.Trace
 module Metrics = Nfsg_stats.Metrics
 module Names = Nfsg_stats.Names
@@ -340,7 +341,7 @@ let handle_standard t tr ~respond ~fail vnode ~off ~data =
   jstamp t tr Journey.stamp_disk_submit;
   (match
      ( charge_trip t;
-       emit t (Printf.sprintf "%dK data to disk" (Bytes.length data / 1024));
+       emit t (Printf.sprintf "%dK data to disk" (Xdr.view_length data / 1024));
        Vfs.vop_write vnode ~off data ~flags:[ Vfs.IO_SYNC ] )
    with
   | () ->
@@ -365,7 +366,7 @@ let handle_standard t tr ~respond ~fail vnode ~off ~data =
 
 (* Gathering path, one nfsd D (paper section 6.8). *)
 let handle_gathering t tr ~respond ~fail vnode ~off ~data =
-  emit t (Printf.sprintf "%dK Write recv (off=%dK)" (Bytes.length data / 1024) (off / 1024));
+  emit t (Printf.sprintf "%dK Write recv (off=%dK)" (Xdr.view_length data / 1024) (off / 1024));
   let g = gstate_of t vnode in
   g.active <- g.active + 1;
   let accel = Vfs.accelerated vnode in
@@ -374,7 +375,7 @@ let handle_gathering t tr ~respond ~fail vnode ~off ~data =
   (match
      ( charge_trip t;
        if accel then begin
-         emit t (Printf.sprintf "%dK data to Presto" (Bytes.length data / 1024));
+         emit t (Printf.sprintf "%dK data to Presto" (Xdr.view_length data / 1024));
          Vfs.vop_write vnode ~off data ~flags:[ Vfs.IO_SYNC; Vfs.IO_DATAONLY ]
        end
        else Vfs.vop_write vnode ~off data ~flags:[ Vfs.IO_DELAYDATA ] )
@@ -392,7 +393,7 @@ let handle_gathering t tr ~respond ~fail vnode ~off ~data =
       g.queue <- d :: g.queue;
       jstamp t tr Journey.stamp_queued;
       g.lo <- Stdlib.min g.lo off;
-      g.hi <- Stdlib.max g.hi (off + Bytes.length data);
+      g.hi <- Stdlib.max g.hi (off + Xdr.view_length data);
       (* SIVA93 variant: use the first write's disk time as the latency
          device instead of sleeping. *)
       if t.cfg.latency_device = `First_write && not accel then begin
@@ -400,7 +401,7 @@ let handle_gathering t tr ~respond ~fail vnode ~off ~data =
         charge_trip t;
         (* An error here costs only the latency trick: the data stays
            dirty and the metadata writer's flush retries it. *)
-        (try Vfs.vop_syncdata vnode ~off ~len:(Bytes.length data)
+        (try Vfs.vop_syncdata vnode ~off ~len:(Xdr.view_length data)
          with Nfsg_disk.Device.Io_error _ -> ());
         Vfs.unlock vnode
       end;

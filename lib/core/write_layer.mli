@@ -90,7 +90,7 @@ val handle_write :
   ?fail:(Nfsg_nfs.Proto.status -> Nfsg_nfs.Proto.res) ->
   Nfsg_ufs.Vfs.vnode ->
   off:int ->
-  data:Bytes.t ->
+  data:Nfsg_rpc.Xdr.view ->
   Nfsg_rpc.Svc.disposition
 (** Always arranges the reply itself (through [send_reply]) and
     returns [Reply_pending]; the caller must not reply again.

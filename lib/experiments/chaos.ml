@@ -193,7 +193,7 @@ let run ?metrics cfg =
         if tries < 8 then
           match
             Rpc_client.call rpc ~klass:Rpc_client.Heavy ~proc:Proto.proc_write
-              (Proto.encode_args (Proto.Write { fh = !victim_fh; offset = blk * bs; data }))
+              (Proto.encode_args (Proto.Write { fh = !victim_fh; offset = blk * bs; data = Nfsg_rpc.Xdr.view_of_bytes data }))
           with
           | Rpc.Success, body -> (
               match Proto.decode_res ~proc:Proto.proc_write body with

@@ -1,0 +1,76 @@
+(** Capacity-curve sweep: walk an offered-load ladder per server
+    configuration until the achieved rate falls below the offered rate
+    (the saturation knee), LADDIS style. Each configuration's curve
+    yields a capacity rating — the paper's Figure 2/3 comparison run
+    as one deterministic benchmark over the gathering / NVRAM /
+    scheduler / stripe-width grid. *)
+
+type sweep = {
+  seed : int;
+  files_per_proc : int;
+  file_size : int;  (** bytes per pre-created file *)
+  warmup : Nfsg_sim.Time.t;
+  measure : Nfsg_sim.Time.t;
+  nfsds : int;
+  offered_start : float;  (** first rung, ops/s *)
+  offered_step : float;  (** rung spacing, ops/s *)
+  max_points : int;  (** ladder cap if the knee never appears *)
+  procs_max : int;  (** load-generator pool ceiling *)
+  knee_frac : float;  (** saturated when achieved < frac * offered *)
+}
+
+val default_sweep : sweep
+
+val procs_for : procs_max:int -> float -> int
+(** Load stations driving a given offered rate: one per ~10 ops/s,
+    clamped to [4, procs_max]. *)
+
+type variant = { label : string; spec : Rig.spec }
+
+val grid : variant list
+(** The curated configuration grid: baseline, gather, gather+deadline,
+    nvram, gather+stripe3. *)
+
+val detect_knee : ?frac:float -> (float * float) list -> int option
+(** [detect_knee points] is the index of the first (offered, achieved)
+    rung where achieved < frac * offered, in ladder order; [None] when
+    the ladder never saturates. Pure — unit-testable on synthetic
+    curves. [frac] defaults to [default_sweep.knee_frac]. *)
+
+val capacity_rating : ?frac:float -> (float * float) list -> float
+(** Best achieved rate among rungs the server kept up with
+    (achieved >= frac * offered); falls back to the best achieved
+    anywhere when every rung sagged, and 0 for an empty ladder. *)
+
+(** {1 Global overrides} (Reset-registered, installed by nfsgather) *)
+
+val set_sweep_points_override : int option -> unit
+(** Cap (or restore) the ladder length of every subsequent sweep — the
+    nfsgather [--sweep-points] flag. *)
+
+val set_procs_max_override : int option -> unit
+(** Cap (or restore) the load-generator pool of every subsequent sweep
+    — the nfsgather [--procs-max] flag. *)
+
+val set_grid_override : string list option -> unit
+(** Restrict every subsequent sweep to the named grid configurations —
+    the nfsgather [--curve-configs] flag. Raises [Invalid_argument] on
+    an unknown label. *)
+
+(** {1 Running} *)
+
+type curve = {
+  label : string;
+  spec : Rig.spec;
+  points : Nfsg_workload.Laddis.point list;  (** ladder order *)
+  knee : int option;  (** index of the first sagging rung *)
+  capacity : float;  (** ops/s rating per {!capacity_rating} *)
+}
+
+val run : ?sweep:sweep -> unit -> curve list
+val report : ?sweep:sweep -> unit -> Nfsg_stats.Report.t
+
+val bench_laddis_curve : ?sweep:sweep -> unit -> Nfsg_stats.Json.t
+(** The committed BENCH_laddis_curve.json artifact: one fixed modest
+    sweep (same bytes regardless of quick/full), honouring the
+    overrides above. *)

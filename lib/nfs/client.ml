@@ -1,6 +1,7 @@
 open Nfsg_sim
 module Rpc = Nfsg_rpc.Rpc
 module Rpc_client = Nfsg_rpc.Rpc_client
+module Xdr = Nfsg_rpc.Xdr
 module Metrics = Nfsg_stats.Metrics
 module Names = Nfsg_stats.Names
 
@@ -182,7 +183,7 @@ let do_write_rpc f ~off data =
   match t.protocol with
   | V2 -> (
       match
-        do_call t ~klass:Rpc_client.Heavy (Proto.Write { fh = f.fh; offset = off; data })
+        do_call t ~klass:Rpc_client.Heavy (Proto.Write { fh = f.fh; offset = off; data = Xdr.view_of_bytes data })
       with
       | res -> (
           match res with
@@ -195,7 +196,7 @@ let do_write_rpc f ~off data =
       f.dirty_hi <- Stdlib.max f.dirty_hi (off + Bytes.length data);
       match
         do_call t ~klass:Rpc_client.Heavy
-          (Proto.Write3 { fh = f.fh; offset = off; stable = Proto.Unstable; data })
+          (Proto.Write3 { fh = f.fh; offset = off; stable = Proto.Unstable; data = Xdr.view_of_bytes data })
       with
       | res -> (
           match res with

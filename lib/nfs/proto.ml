@@ -261,7 +261,7 @@ type args =
   | Setattr of fh * sattr
   | Lookup of fh * string
   | Read of { fh : fh; offset : int; count : int }
-  | Write of { fh : fh; offset : int; data : Bytes.t }
+  | Write of { fh : fh; offset : int; data : Xdr.view }
   | Create of { dir : fh; name : string; sattr : sattr }
   | Remove of { dir : fh; name : string }
   | Rename of { from_dir : fh; from_name : string; to_dir : fh; to_name : string }
@@ -271,7 +271,7 @@ type args =
   | Statfs of fh
   | Readlink of fh
   | Symlink of { dir : fh; name : string; target : string; sattr : sattr }
-  | Write3 of { fh : fh; offset : int; stable : stable_how; data : Bytes.t }
+  | Write3 of { fh : fh; offset : int; stable : stable_how; data : Xdr.view }
   | Commit of { fh : fh; offset : int; count : int }
 
 let proc_of_args = function
@@ -322,7 +322,7 @@ let encode_args args =
       Xdr.Enc.uint32 enc offset;
       (* totalcount, unused *)
       Xdr.Enc.uint32 enc 0;
-      Xdr.Enc.opaque enc data
+      Xdr.Enc.opaque_view enc data
   | Create { dir; name; sattr } | Mkdir { dir; name; sattr } ->
       put_fh enc dir;
       Xdr.Enc.string enc name;
@@ -342,9 +342,9 @@ let encode_args args =
   | Write3 { fh; offset; stable; data } ->
       put_fh enc fh;
       Xdr.Enc.uint64 enc offset;
-      Xdr.Enc.uint32 enc (Bytes.length data);
+      Xdr.Enc.uint32 enc (Xdr.view_length data);
       Xdr.Enc.enum enc (stable_to_int stable);
-      Xdr.Enc.opaque enc data
+      Xdr.Enc.opaque_view enc data
   | Commit { fh; offset; count } ->
       put_fh enc fh;
       Xdr.Enc.uint64 enc offset;
@@ -352,7 +352,7 @@ let encode_args args =
   Xdr.Enc.to_bytes enc
 
 let decode_args ~proc body =
-  let dec = Xdr.Dec.of_bytes body in
+  let dec = Xdr.Dec.of_view body in
   if proc = proc_null then Null
   else if proc = proc_getattr then Getattr (get_fh dec)
   else if proc = proc_setattr then begin
@@ -375,7 +375,7 @@ let decode_args ~proc body =
     let _begin = Xdr.Dec.uint32 dec in
     let offset = Xdr.Dec.uint32 dec in
     let _total = Xdr.Dec.uint32 dec in
-    Write { fh; offset; data = Xdr.Dec.opaque dec }
+    Write { fh; offset; data = Xdr.Dec.opaque_view dec }
   end
   else if proc = proc_create || proc = proc_mkdir then begin
     let dir = get_fh dec in
@@ -414,7 +414,7 @@ let decode_args ~proc body =
     let offset = Xdr.Dec.uint64 dec in
     let _count = Xdr.Dec.uint32 dec in
     let stable = stable_of_int (Xdr.Dec.enum dec) in
-    Write3 { fh; offset; stable; data = Xdr.Dec.opaque dec }
+    Write3 { fh; offset; stable; data = Xdr.Dec.opaque_view dec }
   end
   else if proc = proc_commit then begin
     let fh = get_fh dec in
@@ -501,7 +501,7 @@ let encode_res res =
   Xdr.Enc.to_bytes enc
 
 let decode_res ~proc body =
-  let dec = Xdr.Dec.of_bytes body in
+  let dec = Xdr.Dec.of_view body in
   if proc = proc_null then RNull
   else if proc = proc_getattr || proc = proc_setattr || proc = proc_write then begin
     match get_status dec with
@@ -589,7 +589,7 @@ let encode_mnt_args name =
   Xdr.Enc.string enc name;
   Xdr.Enc.to_bytes enc
 
-let decode_mnt_args body = Xdr.Dec.string (Xdr.Dec.of_bytes body)
+let decode_mnt_args body = Xdr.Dec.string (Xdr.Dec.of_view body)
 
 let encode_mnt_res res =
   let enc = Xdr.Enc.create () in
@@ -601,7 +601,7 @@ let encode_mnt_res res =
   Xdr.Enc.to_bytes enc
 
 let decode_mnt_res body =
-  let dec = Xdr.Dec.of_bytes body in
+  let dec = Xdr.Dec.of_view body in
   match get_status dec with NFS_OK -> Ok (get_fh dec) | st -> Error st
 
 (* {1 Scanning} *)
@@ -612,6 +612,6 @@ let peek_write datagram =
     when call.Nfsg_rpc.Rpc.prog = Nfsg_rpc.Rpc.nfs_program
          && call.Nfsg_rpc.Rpc.proc = proc_write -> (
       match decode_args ~proc:proc_write call.Nfsg_rpc.Rpc.body with
-      | Write { fh; offset; data } -> Some (fh, offset, Bytes.length data)
+      | Write { fh; offset; data } -> Some (fh, offset, Xdr.view_length data)
       | _ | (exception Xdr.Dec.Error _) -> None)
   | Some _ | None -> None

@@ -106,7 +106,7 @@ type args =
   | Setattr of fh * sattr
   | Lookup of fh * string
   | Read of { fh : fh; offset : int; count : int }
-  | Write of { fh : fh; offset : int; data : Bytes.t }
+  | Write of { fh : fh; offset : int; data : Nfsg_rpc.Xdr.view }
   | Create of { dir : fh; name : string; sattr : sattr }
   | Remove of { dir : fh; name : string }
   | Rename of { from_dir : fh; from_name : string; to_dir : fh; to_name : string }
@@ -116,12 +116,12 @@ type args =
   | Statfs of fh
   | Readlink of fh
   | Symlink of { dir : fh; name : string; target : string; sattr : sattr }
-  | Write3 of { fh : fh; offset : int; stable : stable_how; data : Bytes.t }
+  | Write3 of { fh : fh; offset : int; stable : stable_how; data : Nfsg_rpc.Xdr.view }
   | Commit of { fh : fh; offset : int; count : int }
 
 val proc_of_args : args -> int
 val encode_args : args -> Bytes.t
-val decode_args : proc:int -> Bytes.t -> args
+val decode_args : proc:int -> Nfsg_rpc.Xdr.view -> args
 (** Raises {!Xdr.Dec.Error} (via [Nfsg_rpc.Xdr]) on garbage or unknown
     procedure. *)
 
@@ -142,7 +142,7 @@ type res =
   | RCommit of (fattr * int, status) result  (** attributes, verifier *)
 
 val encode_res : res -> Bytes.t
-val decode_res : proc:int -> Bytes.t -> res
+val decode_res : proc:int -> Nfsg_rpc.Xdr.view -> res
 
 (** {1 Mount protocol (mini)}
 
@@ -152,9 +152,9 @@ val decode_res : proc:int -> Bytes.t -> res
 val proc_mnt : int
 
 val encode_mnt_args : string -> Bytes.t
-val decode_mnt_args : Bytes.t -> string
+val decode_mnt_args : Nfsg_rpc.Xdr.view -> string
 val encode_mnt_res : (fh, status) result -> Bytes.t
-val decode_mnt_res : Bytes.t -> (fh, status) result
+val decode_mnt_res : Nfsg_rpc.Xdr.view -> (fh, status) result
 
 (** {1 Scanning helpers (the mbuf hunter)} *)
 

@@ -1,8 +1,8 @@
-type call = { xid : int; prog : int; vers : int; proc : int; body : Bytes.t }
+type call = { xid : int; prog : int; vers : int; proc : int; body : Xdr.view }
 
 type accept_stat = Success | Prog_unavail | Proc_unavail | Garbage_args | System_err
 
-type reply = { rxid : int; stat : accept_stat; rbody : Bytes.t }
+type reply = { rxid : int; stat : accept_stat; rbody : Xdr.view }
 
 let nfs_program = 100003
 let nfs_version = 2
@@ -37,7 +37,7 @@ let get_auth dec =
   ignore body
 
 let encode_call c =
-  let enc = Xdr.Enc.create ~size_hint:(64 + Bytes.length c.body) () in
+  let enc = Xdr.Enc.create ~size_hint:(64 + Xdr.view_length c.body) () in
   Xdr.Enc.uint32 enc c.xid;
   Xdr.Enc.enum enc msg_call;
   Xdr.Enc.uint32 enc rpc_version;
@@ -48,7 +48,7 @@ let encode_call c =
   (* credentials *)
   put_auth_null enc;
   (* verifier *)
-  Xdr.Enc.raw enc c.body;
+  Xdr.Enc.raw_view enc c.body;
   Xdr.Enc.to_bytes enc
 
 let decode_call bytes =
@@ -63,10 +63,10 @@ let decode_call bytes =
   let proc = Xdr.Dec.uint32 dec in
   get_auth dec;
   get_auth dec;
-  { xid; prog; vers; proc; body = Xdr.Dec.rest dec }
+  { xid; prog; vers; proc; body = Xdr.Dec.rest_view dec }
 
 let encode_reply r =
-  let enc = Xdr.Enc.create ~size_hint:(32 + Bytes.length r.rbody) () in
+  let enc = Xdr.Enc.create ~size_hint:(32 + Xdr.view_length r.rbody) () in
   Xdr.Enc.uint32 enc r.rxid;
   Xdr.Enc.enum enc msg_reply;
   (* reply_stat MSG_ACCEPTED *)
@@ -74,7 +74,7 @@ let encode_reply r =
   put_auth_null enc;
   (* verifier *)
   Xdr.Enc.enum enc (accept_stat_to_int r.stat);
-  Xdr.Enc.raw enc r.rbody;
+  Xdr.Enc.raw_view enc r.rbody;
   Xdr.Enc.to_bytes enc
 
 let decode_reply bytes =
@@ -86,7 +86,7 @@ let decode_reply bytes =
   if reply_stat <> 0 then raise (Xdr.Dec.Error "MSG_DENIED");
   get_auth dec;
   let stat = accept_stat_of_int (Xdr.Dec.enum dec) in
-  { rxid; stat; rbody = Xdr.Dec.rest dec }
+  { rxid; stat; rbody = Xdr.Dec.rest_view dec }
 
 let is_call bytes =
   Bytes.length bytes >= 8

@@ -9,12 +9,12 @@ type call = {
   prog : int;
   vers : int;
   proc : int;
-  body : Bytes.t;  (** procedure-specific arguments, already XDR *)
+  body : Xdr.view;  (** procedure-specific arguments, already XDR — a window into the datagram *)
 }
 
 type accept_stat = Success | Prog_unavail | Proc_unavail | Garbage_args | System_err
 
-type reply = { rxid : int; stat : accept_stat; rbody : Bytes.t }
+type reply = { rxid : int; stat : accept_stat; rbody : Xdr.view }
 
 val encode_call : call -> Bytes.t
 val decode_call : Bytes.t -> call

@@ -23,7 +23,7 @@ type t = {
   sock : Nfsg_net.Socket.t;
   server : string;
   params : params;
-  pending : (int, (Rpc.accept_stat * Bytes.t) option -> unit) Hashtbl.t;
+  pending : (int, (Rpc.accept_stat * Xdr.view) option -> unit) Hashtbl.t;
   rtt : (op_class, rtt_state) Hashtbl.t;
   mutable next_xid : int;
   sent : Metrics.counter;
@@ -115,7 +115,7 @@ let call t ?(klass = Middle) ?(prog = Rpc.nfs_program) ~proc body =
   t.next_xid <- t.next_xid + 1;
   let xid = t.next_xid in
   let payload =
-    Rpc.encode_call { Rpc.xid; prog; vers = Rpc.nfs_version; proc; body }
+    Rpc.encode_call { Rpc.xid; prog; vers = Rpc.nfs_version; proc; body = Xdr.view_of_bytes body }
   in
   let rec attempt n rto =
     if n > t.params.max_attempts then begin

@@ -40,8 +40,9 @@ val create :
     (private registry when omitted). *)
 
 val call :
-  t -> ?klass:op_class -> ?prog:int -> proc:int -> Bytes.t -> Rpc.accept_stat * Bytes.t
-(** Blocking remote call; returns the decoded reply body. [prog]
+  t -> ?klass:op_class -> ?prog:int -> proc:int -> Bytes.t -> Rpc.accept_stat * Xdr.view
+(** Blocking remote call; returns the decoded reply body as a view
+    into the reply datagram (copy it if it must outlive the call). [prog]
     defaults to {!Rpc.nfs_program}; pass {!Rpc.mount_program} to reach
     the mount service. *)
 

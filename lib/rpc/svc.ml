@@ -66,7 +66,7 @@ let send_reply t tr stat body =
       tr.journey <- None;
       Journey.finish plane j
   | _ -> tr.journey <- None);
-  let encoded = Rpc.encode_reply { Rpc.rxid = tr.xid; stat; rbody = body } in
+  let encoded = Rpc.encode_reply { Rpc.rxid = tr.xid; stat; rbody = Xdr.view_of_bytes body } in
   (match t.dupcache with
   | Some dc -> Dupcache.complete dc ~client:tr.client ~xid:tr.xid encoded
   | None -> ());

@@ -9,6 +9,42 @@ let () =
           (Printf.sprintf "Xdr.Decode_error: truncated %s: need %d at %d of %d" what need pos have)
     | _ -> None)
 
+(* An offset/length window into a buffer someone else owns. Views are
+   how decoded opaques and RPC bodies travel through the stack without
+   being copied at every hop; the copy happens exactly once, where the
+   bytes escape into storage that outlives the datagram. *)
+type view = { view_buf : Bytes.t; view_pos : int; view_len : int }
+
+let view_of_bytes ?(pos = 0) ?len buf =
+  let len = match len with Some n -> n | None -> Bytes.length buf - pos in
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg
+      (Printf.sprintf "Xdr.view_of_bytes: window [%d,+%d) outside %d-byte buffer" pos len
+         (Bytes.length buf));
+  { view_buf = buf; view_pos = pos; view_len = len }
+
+let empty_view = { view_buf = Bytes.create 0; view_pos = 0; view_len = 0 }
+let view_length v = v.view_len
+let view_copy v = Bytes.sub v.view_buf v.view_pos v.view_len
+let view_to_string v = Bytes.sub_string v.view_buf v.view_pos v.view_len
+let view_get v i =
+  if i < 0 || i >= v.view_len then invalid_arg "Xdr.view_get: out of window";
+  Bytes.get v.view_buf (v.view_pos + i)
+
+let blit_view v ~src_off ~dst ~dst_off ~len =
+  if src_off < 0 || len < 0 || src_off + len > v.view_len then
+    invalid_arg "Xdr.blit_view: range outside view";
+  Bytes.blit v.view_buf (v.view_pos + src_off) dst dst_off len
+
+let view_equal a b =
+  a.view_len = b.view_len
+  &&
+  let rec eq i =
+    i >= a.view_len
+    || Bytes.get a.view_buf (a.view_pos + i) = Bytes.get b.view_buf (b.view_pos + i) && eq (i + 1)
+  in
+  eq 0
+
 module Enc = struct
   type t = Buffer.t
 
@@ -46,20 +82,35 @@ module Enc = struct
 
   let string t s = opaque t (Bytes.of_string s)
   let raw t data = Buffer.add_bytes t data
+
+  let raw_view t v = Buffer.add_subbytes t v.view_buf v.view_pos v.view_len
+
+  let opaque_view t v =
+    uint32 t v.view_len;
+    raw_view t v;
+    Buffer.add_string t (String.make (pad4 v.view_len) '\000')
+
   let to_bytes t = Buffer.to_bytes t
   let length t = Buffer.length t
 end
 
 module Dec = struct
-  type t = { buf : Bytes.t; mutable pos : int }
+  (* [limit] bounds the decodable window so a decoder over a view
+     cannot read past the view's end even though the underlying buffer
+     continues; truncation errors report positions relative to the
+     window start ([base]). *)
+  type t = { buf : Bytes.t; base : int; limit : int; mutable pos : int }
 
   exception Error of string
 
-  let of_bytes ?(pos = 0) buf = { buf; pos }
+  let of_bytes ?(pos = 0) buf = { buf; base = 0; limit = Bytes.length buf; pos }
+
+  let of_view v =
+    { buf = v.view_buf; base = v.view_pos; limit = v.view_pos + v.view_len; pos = v.view_pos }
 
   let need t ~what n =
-    if t.pos + n > Bytes.length t.buf then
-      raise (Decode_error { what; need = n; pos = t.pos; have = Bytes.length t.buf })
+    if t.pos + n > t.limit then
+      raise (Decode_error { what; need = n; pos = t.pos - t.base; have = t.limit - t.base })
 
   let uint32 t =
     need t ~what:"uint32" 4;
@@ -88,24 +139,28 @@ module Dec = struct
 
   let enum t = int32 t
 
-  let opaque_fixed t n =
+  let opaque_fixed_view t n =
     if n < 0 then raise (Error "negative opaque length");
     need t ~what:"opaque" (n + pad4 n);
-    let v = Bytes.sub t.buf t.pos n in
+    let v = { view_buf = t.buf; view_pos = t.pos; view_len = n } in
     t.pos <- t.pos + n + pad4 n;
     v
 
-  let opaque t =
+  let opaque_fixed t n = view_copy (opaque_fixed_view t n)
+
+  let opaque_view t =
     let n = uint32 t in
-    opaque_fixed t n
+    opaque_fixed_view t n
 
-  let string t = Bytes.to_string (opaque t)
+  let opaque t = view_copy (opaque_view t)
+  let string t = view_to_string (opaque_view t)
 
-  let rest t =
-    let v = Bytes.sub t.buf t.pos (Bytes.length t.buf - t.pos) in
-    t.pos <- Bytes.length t.buf;
+  let rest_view t =
+    let v = { view_buf = t.buf; view_pos = t.pos; view_len = t.limit - t.pos } in
+    t.pos <- t.limit;
     v
 
-  let pos t = t.pos
-  let remaining t = Bytes.length t.buf - t.pos
+  let rest t = view_copy (rest_view t)
+  let pos t = t.pos - t.base
+  let remaining t = t.limit - t.pos
 end

@@ -3,9 +3,44 @@
 
 exception Decode_error of { what : string; need : int; pos : int; have : int }
 (** Truncated input: decoding a [what] needed [need] more bytes at
-    cursor [pos] of a [have]-byte buffer. A request body that raises
+    cursor [pos] of a [have]-byte window. A request body that raises
     this is well-framed RPC but garbage arguments — {!Nfsg_rpc.Svc}
     maps it to a [Garbage_args] reply rather than [System_err]. *)
+
+type view = { view_buf : Bytes.t; view_pos : int; view_len : int }
+(** A zero-copy [pos]/[len] window into someone else's buffer. Decoded
+    opaques and RPC bodies are views into the datagram they arrived
+    in: valid exactly as long as that buffer is, which in the simulator
+    means until the owner reuses it. Call {!view_copy} at the single
+    point where the bytes must outlive the datagram (e.g. entering the
+    buffer cache); everywhere else, pass the view. *)
+
+val view_of_bytes : ?pos:int -> ?len:int -> Bytes.t -> view
+(** [view_of_bytes b] views all of [b]; [pos]/[len] narrow the window.
+    Raises [Invalid_argument] if the window overruns [b]. *)
+
+val empty_view : view
+
+val view_length : view -> int
+
+val view_copy : view -> Bytes.t
+(** Materialise the window as fresh bytes the caller owns. *)
+
+val view_to_string : view -> string
+
+val view_get : view -> int -> char
+(** Byte at window-relative index; raises [Invalid_argument] outside
+    the window. *)
+
+val blit_view : view -> src_off:int -> dst:Bytes.t -> dst_off:int -> len:int -> unit
+(** Copy [len] bytes starting at window-relative [src_off] into [dst].
+    The escape hatch for cache fills; bounds-checked against the
+    window. *)
+
+val view_equal : view -> view -> bool
+(** Content equality. Structural ([=]) equality on views compares the
+    whole backing buffers and window offsets, which is almost never
+    what a test means. *)
 
 module Enc : sig
   type t
@@ -25,11 +60,17 @@ module Enc : sig
   val opaque : t -> Bytes.t -> unit
   (** Variable-length opaque: length prefix + padded bytes. *)
 
+  val opaque_view : t -> view -> unit
+  (** {!opaque}, straight out of a view without an intermediate copy. *)
+
   val string : t -> string -> unit
 
   val raw : t -> Bytes.t -> unit
   (** Append bytes verbatim, no padding — for embedding an
       already-encoded XDR body whose length is known to the framing. *)
+
+  val raw_view : t -> view -> unit
+  (** {!raw} from a view, copying only into the output buffer. *)
 
   val to_bytes : t -> Bytes.t
   val length : t -> int
@@ -44,6 +85,12 @@ module Dec : sig
       typed {!Decode_error} instead. *)
 
   val of_bytes : ?pos:int -> Bytes.t -> t
+
+  val of_view : view -> t
+  (** Decode within the window only: reads past [view_len] raise
+      {!Decode_error} even if the backing buffer continues, so a
+      truncated view cannot silently leak bytes from its neighbours. *)
+
   val uint32 : t -> int
   val int32 : t -> int
   val uint64 : t -> int
@@ -51,11 +98,22 @@ module Dec : sig
   val enum : t -> int
   val opaque_fixed : t -> int -> Bytes.t
   val opaque : t -> Bytes.t
+
+  val opaque_fixed_view : t -> int -> view
+  (** Zero-copy {!opaque_fixed}: a window into the decoder's buffer. *)
+
+  val opaque_view : t -> view
+  (** Zero-copy {!opaque}: length-prefixed window, no allocation
+      proportional to the payload. *)
+
   val string : t -> string
 
   val rest : t -> Bytes.t
   (** [rest t] is everything from the cursor to the end, verbatim (no
       padding rules) — the body of an RPC message. *)
+
+  val rest_view : t -> view
+  (** Zero-copy {!rest}. *)
 
   val pos : t -> int
   val remaining : t -> int

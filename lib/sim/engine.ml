@@ -1,11 +1,29 @@
 open Effect
 open Effect.Deep
 
+(* Events are either plain callbacks (spawn bodies, [schedule]d
+   functions, timers) or typed process resumptions. Carrying the
+   continuation in an inline record instead of wrapping it in a
+   closure keeps the Delay/Suspend/Yield fast path down to one small
+   allocation per event; the run loop below is the single place that
+   restores [current_name] and the suspended count, rather than every
+   handler building a closure to do it. *)
+type ev =
+  | Thunk of (unit -> unit)
+  | Resume : {
+      name : string;
+      k : ('a, unit) continuation;
+      v : 'a;
+      parked : bool;  (** counted in [suspended] (Delay/Suspend, not Yield) *)
+    }
+      -> ev
+
 type t = {
   mutable clock : Time.t;
   mutable seq : int;
-  events : (unit -> unit) Heap.t;
+  events : ev Heap.t;
   mutable suspended : int;
+  mutable processed : int;
 }
 
 exception Not_in_process
@@ -19,19 +37,22 @@ let current_name = ref "?"
 let self_name () = !current_name
 let () = Reset.register ~name:"engine.current_name" (fun () -> current_name := "?")
 
-let create () = { clock = Time.zero; seq = 0; events = Heap.create (); suspended = 0 }
+let create () =
+  { clock = Time.zero; seq = 0; events = Heap.create (); suspended = 0; processed = 0 }
+
 let now t = t.clock
 let suspended_count t = t.suspended
+let events_processed t = t.processed
 
-let push_at t time f =
+let push_at t time ev =
   t.seq <- t.seq + 1;
-  Heap.add t.events ~key:time ~seq:t.seq f
+  Heap.add t.events ~key:time ~seq:t.seq ev
 
-let push t f = push_at t t.clock f
+let push t ev = push_at t t.clock ev
 
 let schedule t ~after f =
   if after < 0 then invalid_arg "Engine.schedule: negative delay";
-  push_at t (t.clock + after) f
+  push_at t (t.clock + after) (Thunk f)
 
 type timer = { mutable cancelled : bool; mutable fired : bool }
 
@@ -64,10 +85,7 @@ let spawn t ?(name = "proc") f =
                 (fun (k : (a, unit) continuation) ->
                   if d < 0 then invalid_arg "Engine.delay: negative delay";
                   t.suspended <- t.suspended + 1;
-                  push_at t (t.clock + d) (fun () ->
-                      t.suspended <- t.suspended - 1;
-                      current_name := name;
-                      continue k ()))
+                  push_at t (t.clock + d) (Resume { name; k; v = (); parked = true }))
           | Suspend register ->
               Some
                 (fun (k : (a, unit) continuation) ->
@@ -76,37 +94,39 @@ let spawn t ?(name = "proc") f =
                   let wake v =
                     if !woken then invalid_arg "Engine.suspend: woken twice";
                     woken := true;
-                    push t (fun () ->
-                        t.suspended <- t.suspended - 1;
-                        current_name := name;
-                        continue k v)
+                    push t (Resume { name; k; v; parked = true })
                   in
                   register wake)
           | Yield ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  push t (fun () ->
-                      current_name := name;
-                      continue k ()))
+                  push t (Resume { name; k; v = (); parked = false }))
           | _ -> None);
     }
   in
-  push t (fun () ->
-      current_name := name;
-      match_with f () handler)
+  push t
+    (Thunk
+       (fun () ->
+         current_name := name;
+         match_with f () handler))
 
 let run ?until t =
   let continue_run () =
-    match Heap.peek t.events with
-    | None -> false
-    | Some (key, _, _) -> ( match until with Some u -> key <= u | None -> true)
+    (not (Heap.is_empty t.events))
+    &&
+    match until with Some u -> Heap.min_key t.events <= u | None -> true
   in
   while continue_run () do
-    match Heap.pop t.events with
-    | None -> assert false
-    | Some (key, _, f) ->
-        t.clock <- key;
-        f ()
+    let key = Heap.min_key t.events in
+    let ev = Heap.pop_min t.events in
+    t.clock <- key;
+    t.processed <- t.processed + 1;
+    match ev with
+    | Thunk f -> f ()
+    | Resume { name; k; v; parked } ->
+        if parked then t.suspended <- t.suspended - 1;
+        current_name := name;
+        continue k v
   done;
   match until with Some u when t.clock < u -> t.clock <- u | Some _ | None -> ()
 

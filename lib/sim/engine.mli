@@ -52,6 +52,12 @@ val suspended_count : t -> int
 (** Number of processes currently parked in {!suspend} or {!delay};
     useful to detect deadlocks in tests. *)
 
+val events_processed : t -> int
+(** Total events executed by {!run} over this world's lifetime.
+    Divided by wall-clock elapsed time it yields the events/sec
+    figure the bench suite tracks; it never affects simulation
+    behaviour. *)
+
 (** {1 Inside a process} *)
 
 val delay : Time.t -> unit

@@ -25,5 +25,13 @@ val peek : 'a t -> (int * int * 'a) option
 val pop : 'a t -> (int * int * 'a) option
 (** [pop h] removes and returns the minimum entry. *)
 
+val min_key : 'a t -> int
+(** [min_key h] is the key of the minimum entry without removing it.
+    Allocation-free. Raises [Invalid_argument] on an empty heap. *)
+
+val pop_min : 'a t -> 'a
+(** [pop_min h] removes the minimum entry and returns its value alone.
+    Allocation-free. Raises [Invalid_argument] on an empty heap. *)
+
 val clear : 'a t -> unit
-(** Remove every entry. *)
+(** Remove every entry. Costs O(current size), not O(capacity). *)

@@ -422,8 +422,8 @@ let near_hint t (ino : inode) fbn =
     | 0 -> None
     | b -> Some b
 
-let write t (ino : inode) ~off data ~mode =
-  let len = Bytes.length data in
+let write_view t (ino : inode) ~off (data : Nfsg_rpc.Xdr.view) ~mode =
+  let len = Nfsg_rpc.Xdr.view_length data in
   if off < 0 then invalid_arg "Fs.write: negative offset";
   if len > 0 then begin
     let bs = bsize t in
@@ -443,7 +443,9 @@ let write t (ino : inode) ~off data ~mode =
         if existing = 0 || full_block then Buffer_cache.get_fresh t.bcache b
         else Buffer_cache.get t.bcache b
       in
-      Bytes.blit data (!pos - off) buf within chunk;
+      (* The single escape copy of the write path: datagram bytes
+         land in the buffer cache, which outlives the datagram. *)
+      Nfsg_rpc.Xdr.blit_view data ~src_off:(!pos - off) ~dst:buf ~dst_off:within ~len:chunk;
       Buffer_cache.mark_dirty t.bcache b Buffer_cache.Data;
       touched := b :: !touched;
       pos := !pos + chunk
@@ -468,6 +470,9 @@ let write t (ino : inode) ~off data ~mode =
         | `Dirty -> fsync_metadata t ino
         | `Time_only | `Clean -> ())
   end
+
+let write t (ino : inode) ~off data ~mode =
+  write_view t ino ~off (Nfsg_rpc.Xdr.view_of_bytes data) ~mode
 
 let syncdata t (ino : inode) ~off ~len =
   if len > 0 then begin

@@ -99,7 +99,13 @@ type write_mode =
                     in core *)
 
 val write : t -> inode -> off:int -> Bytes.t -> mode:write_mode -> unit
+(** {!write_view} over the whole of the given buffer. *)
+
+val write_view : t -> inode -> off:int -> Nfsg_rpc.Xdr.view -> mode:write_mode -> unit
 (** Extends the file as needed, allocating data and indirect blocks.
+    The data arrives as a zero-copy window into the request datagram
+    and is blitted into buffer-cache blocks here — the one place on
+    the write path where payload bytes are copied.
     In [Sync] mode, a write that changed nothing but the modify time
     leaves the inode [`Time_only] dirty instead of forcing a
     synchronous inode write (the reference port's special case). *)

@@ -24,7 +24,7 @@ let mode_of_flags flags =
   | false, false, true -> Fs.Delay_data
   | _ -> invalid_arg "Vfs.vop_write: unsupported flag combination"
 
-let vop_write v ~off data ~flags = Fs.write v.fs v.ino ~off data ~mode:(mode_of_flags flags)
+let vop_write v ~off data ~flags = Fs.write_view v.fs v.ino ~off data ~mode:(mode_of_flags flags)
 
 let vop_fsync v ~flags =
   if List.mem FWRITE_METADATA flags then Fs.fsync_metadata v.fs v.ino

@@ -42,7 +42,7 @@ val accelerated : vnode -> bool
 
 val vop_getattr : vnode -> Fs.attr
 val vop_read : vnode -> off:int -> len:int -> Bytes.t
-val vop_write : vnode -> off:int -> Bytes.t -> flags:io_flag list -> unit
+val vop_write : vnode -> off:int -> Nfsg_rpc.Xdr.view -> flags:io_flag list -> unit
 val vop_fsync : vnode -> flags:fsync_flag list -> unit
 val vop_syncdata : vnode -> off:int -> len:int -> unit
 

@@ -37,7 +37,7 @@ let run_crash_scenario ~crash_ms ~config ~accel =
                 (match
                    Rpc_client.call rpc ~klass:Rpc_client.Heavy ~proc:Nfsg_nfs.Proto.proc_write
                      (Nfsg_nfs.Proto.encode_args
-                        (Nfsg_nfs.Proto.Write { fh = !fh_ref; offset = blk * 8192; data }))
+                        (Nfsg_nfs.Proto.Write { fh = !fh_ref; offset = blk * 8192; data = Nfsg_rpc.Xdr.view_of_bytes data }))
                  with
                 | Nfsg_rpc.Rpc.Success, body -> (
                     match Nfsg_nfs.Proto.decode_res ~proc:Nfsg_nfs.Proto.proc_write body with

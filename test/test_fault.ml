@@ -212,11 +212,11 @@ let test_write_io_error_propagates () =
       let fh = create_file rpc (Server.root_fh server) "f" in
       let data = Bytes.make 8192 'd' in
       Fault_disk.fail_next inj;
-      (match call_res rpc ~proc:Proto.proc_write (Proto.Write { fh; offset = 0; data }) with
+      (match call_res rpc ~proc:Proto.proc_write (Proto.Write { fh; offset = 0; data = Nfsg_rpc.Xdr.view_of_bytes data }) with
       | Proto.RAttr (Error Proto.NFSERR_IO) -> ()
       | _ -> Alcotest.fail "expected NFSERR_IO on the faulted write");
       (* Same write retried: succeeds, data durable. *)
-      (match call_res rpc ~proc:Proto.proc_write (Proto.Write { fh; offset = 0; data }) with
+      (match call_res rpc ~proc:Proto.proc_write (Proto.Write { fh; offset = 0; data = Nfsg_rpc.Xdr.view_of_bytes data }) with
       | Proto.RAttr (Ok _) -> ()
       | _ -> Alcotest.fail "retry after transient error must succeed");
       match call_res rpc ~proc:Proto.proc_read (Proto.Read { fh; offset = 0; count = 8192 }) with
@@ -240,12 +240,12 @@ let test_gathered_batch_fails_together () =
       Fault_disk.fail_next inj;
       let writer i rpc () =
         let data = Bytes.make 8192 (Char.chr (Char.code 'A' + i)) in
-        (match call_res rpc ~proc:Proto.proc_write (Proto.Write { fh; offset = i * 8192; data }) with
+        (match call_res rpc ~proc:Proto.proc_write (Proto.Write { fh; offset = i * 8192; data = Nfsg_rpc.Xdr.view_of_bytes data }) with
         | Proto.RAttr (Error Proto.NFSERR_IO) -> got.(i) <- `Io_error
         | Proto.RAttr (Ok _) -> got.(i) <- `Ok
         | _ -> got.(i) <- `Other);
         (* Retry until it sticks — the fault was transient. *)
-        match call_res rpc ~proc:Proto.proc_write (Proto.Write { fh; offset = i * 8192; data }) with
+        match call_res rpc ~proc:Proto.proc_write (Proto.Write { fh; offset = i * 8192; data = Nfsg_rpc.Xdr.view_of_bytes data }) with
         | Proto.RAttr (Ok _) -> acked.(i) <- true
         | _ -> ()
       in

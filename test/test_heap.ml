@@ -95,6 +95,41 @@ let prop_stable =
       in
       check out)
 
+(* Random interleavings of add and pop against a reference: every pop
+   must return exactly the (key, seq)-least outstanding entry, so ties
+   stay seq-stable even when pops punch holes mid-stream (the shape
+   the flat-array sift actually runs under, unlike add-all-then-drain). *)
+let prop_interleaved_reference =
+  QCheck.Test.make ~name:"interleaved add/pop matches stable reference" ~count:200
+    QCheck.(list (option (int_bound 20)))
+    (fun ops ->
+      let h = Heap.create () in
+      let outstanding = ref [] in
+      let seq = ref 0 in
+      let le (k1, s1) (k2, s2) = k1 < k2 || (k1 = k2 && s1 < s2) in
+      let ok = ref true in
+      let pop_and_check () =
+        match (Heap.pop h, !outstanding) with
+        | None, [] -> ()
+        | Some (k, s, v), (_ :: _ as entries) ->
+            let m = List.fold_left (fun a e -> if le e a then e else a) (List.hd entries) entries in
+            if (k, s) <> m || v <> snd m then ok := false;
+            outstanding := List.filter (fun e -> e <> m) !outstanding
+        | _ -> ok := false
+      in
+      List.iter
+        (function
+          | Some k ->
+              Heap.add h ~key:k ~seq:!seq !seq;
+              outstanding := (k, !seq) :: !outstanding;
+              incr seq
+          | None -> pop_and_check ())
+        ops;
+      while not (Heap.is_empty h) do
+        pop_and_check ()
+      done;
+      !ok && !outstanding = [])
+
 let suite =
   [
     Alcotest.test_case "empty heap" `Quick test_empty;
@@ -105,4 +140,5 @@ let suite =
     Alcotest.test_case "clear empties" `Quick test_clear;
     QCheck_alcotest.to_alcotest prop_heap_sort;
     QCheck_alcotest.to_alcotest prop_stable;
+    QCheck_alcotest.to_alcotest prop_interleaved_reference;
   ]

@@ -26,6 +26,7 @@ let () =
       ("experiments", Test_experiments.suite);
       ("fault", Test_fault.suite);
       ("multivolume", Test_multivolume.suite);
+      ("laddis-curve", Test_laddis_curve.suite);
       ("raid", Test_raid.suite);
       ("lint", Test_lint.suite);
       ("monitor", Test_monitor.suite);

@@ -4,19 +4,28 @@ module Segment = Nfsg_net.Segment
 module Socket = Nfsg_net.Socket
 
 let test_call_roundtrip () =
-  let call = { Rpc.xid = 42; prog = Rpc.nfs_program; vers = 2; proc = 8; body = Bytes.of_string "args" } in
+  let call =
+    { Rpc.xid = 42; prog = Rpc.nfs_program; vers = 2; proc = 8;
+      body = Xdr.view_of_bytes (Bytes.of_string "args") }
+  in
   let decoded = Rpc.decode_call (Rpc.encode_call call) in
-  Alcotest.(check bool) "roundtrip" true (decoded = call)
+  Alcotest.(check bool) "roundtrip" true
+    (decoded.Rpc.xid = call.Rpc.xid && decoded.Rpc.prog = call.Rpc.prog
+    && decoded.Rpc.vers = call.Rpc.vers && decoded.Rpc.proc = call.Rpc.proc
+    && Xdr.view_equal decoded.Rpc.body call.Rpc.body)
+
+let reply_eq a b =
+  a.Rpc.rxid = b.Rpc.rxid && a.Rpc.stat = b.Rpc.stat && Xdr.view_equal a.Rpc.rbody b.Rpc.rbody
 
 let test_reply_roundtrip () =
-  let reply = { Rpc.rxid = 42; stat = Rpc.Success; rbody = Bytes.of_string "result" } in
-  Alcotest.(check bool) "roundtrip" true (Rpc.decode_reply (Rpc.encode_reply reply) = reply);
-  let err = { Rpc.rxid = 1; stat = Rpc.Garbage_args; rbody = Bytes.create 0 } in
-  Alcotest.(check bool) "error roundtrip" true (Rpc.decode_reply (Rpc.encode_reply err) = err)
+  let reply = { Rpc.rxid = 42; stat = Rpc.Success; rbody = Xdr.view_of_bytes (Bytes.of_string "result") } in
+  Alcotest.(check bool) "roundtrip" true (reply_eq (Rpc.decode_reply (Rpc.encode_reply reply)) reply);
+  let err = { Rpc.rxid = 1; stat = Rpc.Garbage_args; rbody = Xdr.empty_view } in
+  Alcotest.(check bool) "error roundtrip" true (reply_eq (Rpc.decode_reply (Rpc.encode_reply err)) err)
 
 let test_is_call_classifier () =
-  let call = Rpc.encode_call { Rpc.xid = 1; prog = 1; vers = 1; proc = 1; body = Bytes.create 0 } in
-  let reply = Rpc.encode_reply { Rpc.rxid = 1; stat = Rpc.Success; rbody = Bytes.create 0 } in
+  let call = Rpc.encode_call { Rpc.xid = 1; prog = 1; vers = 1; proc = 1; body = Xdr.empty_view } in
+  let reply = Rpc.encode_reply { Rpc.rxid = 1; stat = Rpc.Success; rbody = Xdr.empty_view } in
   Alcotest.(check bool) "call" true (Rpc.is_call call);
   Alcotest.(check bool) "reply" false (Rpc.is_call reply);
   Alcotest.(check bool) "short garbage" false (Rpc.is_call (Bytes.make 3 'x'))
@@ -140,7 +149,7 @@ let echo_rig ?(loss = 0.0) ?(with_dupcache = false) () =
     Svc.create eng ~sock:ssock ?dupcache ~nfsds:2
       ~dispatch:(fun _tr call ->
         incr svc_calls;
-        Svc.Reply (Rpc.Success, call.Rpc.body))
+        Svc.Reply (Rpc.Success, Xdr.view_copy call.Rpc.body))
       ()
   in
   let csock = Socket.create segment ~addr:"client" () in
@@ -166,7 +175,7 @@ let test_echo_roundtrip () =
   run_driver eng (fun () ->
       let stat, body = Rpc_client.call rpc ~proc:1 (Bytes.of_string "ping") in
       Alcotest.(check bool) "success" true (stat = Rpc.Success);
-      Alcotest.(check string) "echoed" "ping" (Bytes.to_string body));
+      Alcotest.(check string) "echoed" "ping" (Xdr.view_to_string body));
   Alcotest.(check int) "one send, no retries" 0 (Rpc_client.retransmissions rpc)
 
 let test_retransmission_on_loss () =
@@ -176,7 +185,7 @@ let test_retransmission_on_loss () =
       for i = 1 to 10 do
         let stat, body = Rpc_client.call rpc ~proc:1 (Bytes.of_string (string_of_int i)) in
         Alcotest.(check bool) "success" true (stat = Rpc.Success);
-        Alcotest.(check string) "echoed" (string_of_int i) (Bytes.to_string body)
+        Alcotest.(check string) "echoed" (string_of_int i) (Xdr.view_to_string body)
       done);
   Alcotest.(check bool) "retransmissions happened" true (Rpc_client.retransmissions rpc > 0)
 
@@ -214,7 +223,8 @@ let test_delayed_reply_architecture () =
   let svc =
     Svc.create eng ~sock:ssock ~nfsds:1
       ~dispatch:(fun tr call ->
-        pending := (tr, call.Rpc.body) :: !pending;
+        (* the datagram's bytes must outlive the dispatch: copy out *)
+        pending := (tr, Xdr.view_copy call.Rpc.body) :: !pending;
         Svc.Reply_pending)
       ()
   in
@@ -228,7 +238,7 @@ let test_delayed_reply_architecture () =
   let t_done = ref 0 in
   Engine.spawn eng ~name:"caller" (fun () ->
       let _, body = Rpc_client.call rpc ~proc:8 (Bytes.of_string "deferred") in
-      got := Bytes.to_string body;
+      got := Xdr.view_to_string body;
       t_done := Engine.now eng);
   Engine.run eng;
   Alcotest.(check string) "reply delivered" "deferred" !got;
@@ -294,7 +304,7 @@ let test_truncated_write_garbage_args () =
          {
            fh = { Nfsg_nfs.Proto.fsid = 1; vgen = 1; inum = 2; gen = 1 };
            offset = 0;
-           data = Bytes.make 8192 'w';
+           data = Xdr.view_of_bytes (Bytes.make 8192 'w');
          })
   in
   (* Cut the opaque payload short: still well-framed RPC, but the WRITE

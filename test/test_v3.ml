@@ -8,6 +8,7 @@ module Write_layer = Nfsg_core.Write_layer
 module Fs = Nfsg_ufs.Fs
 module Engine = Nfsg_sim.Engine
 module Time = Nfsg_sim.Time
+module Xdr = Nfsg_rpc.Xdr
 
 let v3_client rig ?(biods = 8) addr =
   let sock = Socket.create rig.segment ~addr () in
@@ -18,15 +19,17 @@ let test_proto_roundtrips () =
   let fh = { Proto.fsid = 1; vgen = 1; inum = 9; gen = 2 } in
   let args =
     [
-      Proto.Write3 { fh; offset = 8192; stable = Proto.Unstable; data = Bytes.make 100 'u' };
-      Proto.Write3 { fh; offset = 0; stable = Proto.File_sync; data = Bytes.create 0 };
+      Proto.Write3 { fh; offset = 8192; stable = Proto.Unstable; data = Xdr.view_of_bytes (Bytes.make 100 'u') };
+      Proto.Write3 { fh; offset = 0; stable = Proto.File_sync; data = Xdr.empty_view };
       Proto.Commit { fh; offset = 0; count = 65536 };
     ]
   in
   List.iter
     (fun a ->
       let proc = Proto.proc_of_args a in
-      Alcotest.(check bool) "args roundtrip" true (Proto.decode_args ~proc (Proto.encode_args a) = a))
+      Alcotest.(check bool) "args roundtrip" true
+        (Proto.encode_args (Proto.decode_args ~proc (Xdr.view_of_bytes (Proto.encode_args a)))
+        = Proto.encode_args a))
     args;
   let sample_attr =
     {
@@ -56,7 +59,8 @@ let test_proto_roundtrips () =
   in
   List.iter
     (fun (proc, r) ->
-      Alcotest.(check bool) "res roundtrip" true (Proto.decode_res ~proc (Proto.encode_res r) = r))
+      Alcotest.(check bool) "res roundtrip" true
+        (Proto.decode_res ~proc (Xdr.view_of_bytes (Proto.encode_res r)) = r))
     results
 
 let test_v3_write_read_roundtrip () =
@@ -186,7 +190,8 @@ let test_v3_file_sync_writes_gather_with_v2 () =
           Rpc_client.call rpc ~klass:Rpc_client.Heavy ~proc:Proto.proc_write3
             (Proto.encode_args
                (Proto.Write3
-                  { fh; offset = i * 8192; stable = Proto.File_sync; data = Bytes.make 8192 '3' }))
+                  { fh; offset = i * 8192; stable = Proto.File_sync;
+                    data = Xdr.view_of_bytes (Bytes.make 8192 '3') }))
         with
         | Nfsg_rpc.Rpc.Success, body -> (
             match Proto.decode_res ~proc:Proto.proc_write3 body with

@@ -62,6 +62,46 @@ let test_bad_bool () =
   | _ -> Alcotest.fail "expected Error"
   | exception Xdr.Dec.Error _ -> ()
 
+(* The zero-copy contract: a decoded view aliases the datagram buffer,
+   so reusing that buffer is visible through the view — bytes survive
+   only where the caller explicitly copied them out. *)
+let test_view_aliases_source () =
+  let enc = Xdr.Enc.create () in
+  Xdr.Enc.opaque enc (Bytes.of_string "payload!");
+  let buf = Xdr.Enc.to_bytes enc in
+  let dec = Xdr.Dec.of_bytes buf in
+  let v = Xdr.Dec.opaque_view dec in
+  let copied = Xdr.view_copy v in
+  Alcotest.(check string) "view reads payload" "payload!" (Xdr.view_to_string v);
+  (* Reuse the backing buffer, as the socket layer reuses datagrams. *)
+  Bytes.fill buf 0 (Bytes.length buf) 'Z';
+  Alcotest.(check string) "view sees the reuse" "ZZZZZZZZ" (Xdr.view_to_string v);
+  Alcotest.(check string) "explicit copy survives it" "payload!" (Bytes.to_string copied)
+
+(* Decoding through a view window must stop at the window's end even
+   when the backing buffer keeps going, and report positions relative
+   to the window. *)
+let test_view_decode_bounded () =
+  let enc = Xdr.Enc.create () in
+  Xdr.Enc.uint32 enc 7;
+  Xdr.Enc.uint32 enc 9;
+  let buf = Xdr.Enc.to_bytes enc in
+  let dec = Xdr.Dec.of_view (Xdr.view_of_bytes ~pos:0 ~len:4 buf) in
+  Alcotest.(check int) "word inside the window" 7 (Xdr.Dec.uint32 dec);
+  (match Xdr.Dec.uint32 dec with
+  | _ -> Alcotest.fail "expected Decode_error"
+  | exception Xdr.Decode_error { what = "uint32"; need = 4; pos = 4; have = 4 } -> ());
+  (* A mid-buffer window reports window-relative positions too. *)
+  let dec = Xdr.Dec.of_view (Xdr.view_of_bytes ~pos:4 ~len:4 buf) in
+  Alcotest.(check int) "second word via offset window" 9 (Xdr.Dec.uint32 dec);
+  Alcotest.(check int) "window fully consumed" 0 (Xdr.Dec.remaining dec)
+
+let test_view_bounds_checked () =
+  let buf = Bytes.make 8 'x' in
+  Alcotest.check_raises "len past end"
+    (Invalid_argument "Xdr.view_of_bytes: window [4,+8) outside 8-byte buffer") (fun () ->
+      ignore (Xdr.view_of_bytes ~pos:4 ~len:8 buf))
+
 let prop_opaque_roundtrip =
   QCheck.Test.make ~name:"opaque roundtrips arbitrary bytes" ~count:300 QCheck.string (fun s ->
       let enc = Xdr.Enc.create () in
@@ -90,6 +130,9 @@ let suite =
     Alcotest.test_case "truncated input raises" `Quick test_truncation_raises;
     Alcotest.test_case "uint32 range checked" `Quick test_uint32_range_checked;
     Alcotest.test_case "bad bool rejected" `Quick test_bad_bool;
+    Alcotest.test_case "views alias their source buffer" `Quick test_view_aliases_source;
+    Alcotest.test_case "view decoding stops at the window" `Quick test_view_decode_bounded;
+    Alcotest.test_case "view construction bounds-checked" `Quick test_view_bounds_checked;
     QCheck_alcotest.to_alcotest prop_opaque_roundtrip;
     QCheck_alcotest.to_alcotest prop_mixed_roundtrip;
   ]
