@@ -1,9 +1,10 @@
 (* nfslint — the repo's determinism & crash-semantics lint.
 
-     nfslint [--list-rules] [-q] [PATH...]
+     nfslint [--list-rules] [--strict] [-q] [PATH...]
 
    Lints every .ml under the given paths (default: lib) and exits
-   non-zero if any unsuppressed error remains. Run it through dune:
+   non-zero if any unsuppressed error remains; with --strict,
+   warnings (unused suppressions) fail too. Run it through dune:
 
      dune build @lint *)
 
@@ -25,6 +26,7 @@ let () =
     exit 0
   end;
   let quiet = List.mem "-q" args in
+  let strict = List.mem "--strict" args in
   let paths =
     match List.filter (fun a -> a = "" || a.[0] <> '-') args with [] -> [ "lib" ] | ps -> ps
   in
@@ -36,4 +38,4 @@ let () =
   if not quiet then
     Printf.printf "nfslint: %d file(s), %d error(s), %d warning(s)\n" (List.length files) errors
       warnings;
-  exit (if errors > 0 then 1 else 0)
+  exit (if errors > 0 || (strict && warnings > 0) then 1 else 0)

@@ -186,8 +186,10 @@ let execute t vol (args : Proto.args) : Proto.res =
       let v = vn fh in
       Vfs.with_lock v (fun () ->
           if sattr.Proto.s_size >= 0 then begin
+            (* nfsrace: allow Y001 baseline synchronous semantics: truncate commits under the vnode lock before the reply *)
             Vfs.vop_truncate v sattr.Proto.s_size;
             (* Truncation changes visible state: commit before reply. *)
+            (* nfsrace: allow Y001 baseline synchronous semantics: truncate commits under the vnode lock before the reply *)
             Nfsg_ufs.Fs.fsync_metadata (Volume.fs vol) (Vfs.inode_of v)
           end;
           match sattr.Proto.s_mtime with
@@ -205,9 +207,11 @@ let execute t vol (args : Proto.args) : Proto.res =
       assert false (* handled by the write layer / dispatch *)
   | Proto.Create { dir; name; sattr = _ } ->
       let d = vn dir in
+      (* nfsrace: allow Y001 baseline synchronous metadata semantics: directory ops commit under the vnode lock before replying *)
       dirop_res (Vfs.with_lock d (fun () -> Vfs.vop_create d name Layout.Regular))
   | Proto.Remove { dir; name } ->
       let d = vn dir in
+      (* nfsrace: allow Y001 baseline synchronous metadata semantics: directory ops commit under the vnode lock before replying *)
       Vfs.with_lock d (fun () -> Vfs.vop_remove d name);
       Proto.RStatus Proto.NFS_OK
   | Proto.Rename { from_dir; from_name; to_dir; to_name } ->
@@ -218,14 +222,17 @@ let execute t vol (args : Proto.args) : Proto.res =
       else begin
         let src = vn from_dir in
         let dst = vn to_dir in
+        (* nfsrace: allow Y001 baseline synchronous metadata semantics: directory ops commit under the vnode lock before replying *)
         Vfs.with_lock src (fun () -> Vfs.vop_rename src ~src:from_name ~dst_dir:dst ~dst:to_name);
         Proto.RStatus Proto.NFS_OK
       end
   | Proto.Mkdir { dir; name; sattr = _ } ->
       let d = vn dir in
+      (* nfsrace: allow Y001 baseline synchronous metadata semantics: directory ops commit under the vnode lock before replying *)
       dirop_res (Vfs.with_lock d (fun () -> Vfs.vop_mkdir d name))
   | Proto.Rmdir { dir; name } ->
       let d = vn dir in
+      (* nfsrace: allow Y001 baseline synchronous metadata semantics: directory ops commit under the vnode lock before replying *)
       Vfs.with_lock d (fun () -> Vfs.vop_rmdir d name);
       Proto.RStatus Proto.NFS_OK
   | Proto.Readlink fh ->
@@ -233,6 +240,7 @@ let execute t vol (args : Proto.args) : Proto.res =
       Proto.RReadlink (Ok (Vfs.vop_readlink v))
   | Proto.Symlink { dir; name; target; sattr = _ } ->
       let d = vn dir in
+      (* nfsrace: allow Y001 baseline synchronous metadata semantics: directory ops commit under the vnode lock before replying *)
       dirop_res (Vfs.with_lock d (fun () -> Vfs.vop_symlink d name ~target))
   | Proto.Readdir { fh; cookie = _; count = _ } ->
       let d = vn fh in
@@ -324,13 +332,13 @@ let make_dispatch t =
               | Proto.Unstable -> (
                   (* The v3 asynchronous promise: data to the cache,
                      reply immediately; durability comes at COMMIT. *)
-                  Vfs.lock v;
                   match
-                    ( Resource.use t.cpu t.config.costs.Cpu_model.ufs_trip;
-                      Vfs.vop_write v ~off:offset data ~flags:[ Vfs.IO_DELAYDATA ] )
+                    Vfs.with_lock v (fun () ->
+                        Resource.use t.cpu t.config.costs.Cpu_model.ufs_trip;
+                        (* nfsrace: allow Y001 delayed write: a cache-miss fill may park, and the fill must happen under the vnode lock *)
+                        Vfs.vop_write v ~off:offset data ~flags:[ Vfs.IO_DELAYDATA ])
                   with
                   | () ->
-                      Vfs.unlock v;
                       (* The unstable write's journey ends at the cache:
                          no gather wait, no disk — COMMIT pays those. *)
                       jstamp t tr Nfsg_stats.Journey.stamp_queued;
@@ -340,12 +348,10 @@ let make_dispatch t =
                           Proto.encode_res
                             (Proto.RWrite3 (Ok (fattr_of_vnode vol v, Proto.Unstable, t.verf))) )
                   | exception Fs.No_space ->
-                      Vfs.unlock v;
                       Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
                       Svc.Reply
                         (Rpc.Success, Proto.encode_res (Proto.RWrite3 (Error Proto.NFSERR_NOSPC)))
                   | exception Nfsg_disk.Device.Io_error _ ->
-                      Vfs.unlock v;
                       Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
                       Svc.Reply
                         (Rpc.Success, Proto.encode_res (Proto.RWrite3 (Error Proto.NFSERR_IO))))
@@ -375,8 +381,10 @@ let make_dispatch t =
                       if count = 0 then (Vfs.vop_getattr v).Fs.size - offset else count
                     in
                     jstamp t tr Nfsg_stats.Journey.stamp_disk_submit;
+                    (* nfsrace: allow Y001 COMMIT is the durability point: the client pays the disk wait, and the vnode lock orders it against writers *)
                     if len > 0 then Vfs.vop_syncdata v ~off:offset ~len;
                     Resource.use t.cpu t.config.costs.Cpu_model.ufs_trip;
+                    (* nfsrace: allow Y001 COMMIT is the durability point: the client pays the disk wait, and the vnode lock orders it against writers *)
                     Vfs.vop_fsync v ~flags:[ Vfs.FWRITE; Vfs.FWRITE_METADATA ])
               with
               | () ->

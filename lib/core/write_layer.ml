@@ -242,14 +242,21 @@ let flush_as_metadata_writer t g =
     g.lo <- max_int;
     g.hi <- 0;
     Vfs.lock g.vnode;
-    let accel = Vfs.accelerated g.vnode in
-    let ordered = match t.cfg.reply_order with `Fifo -> batch | `Lifo -> List.rev batch in
-    let n = List.length ordered in
-    (* Every descriptor in the batch rides this covering flush: its
-       gather wait ends here, its disk phase starts here. A failed
-       round re-stamps on the retry (last-write-wins) — the pair the
-       reply actually waited on. *)
-    List.iter (fun (d : descriptor) -> jstamp t d.tr Journey.stamp_disk_submit) ordered;
+    let accel, ordered, n =
+      try
+        let accel = Vfs.accelerated g.vnode in
+        let ordered = match t.cfg.reply_order with `Fifo -> batch | `Lifo -> List.rev batch in
+        let n = List.length ordered in
+        (* Every descriptor in the batch rides this covering flush: its
+           gather wait ends here, its disk phase starts here. A failed
+           round re-stamps on the retry (last-write-wins) — the pair the
+           reply actually waited on. *)
+        List.iter (fun (d : descriptor) -> jstamp t d.tr Journey.stamp_disk_submit) ordered;
+        (accel, ordered, n)
+      with exn ->
+        Vfs.unlock g.vnode;
+        raise exn
+    in
     (match
        let await =
          try
@@ -262,11 +269,13 @@ let flush_as_metadata_writer t g =
              charge_trip t;
              emit t (Printf.sprintf "%dK data to disk (clustered)" ((hi - lo) / 1024));
              emit t "Metadata to disk";
+             (* nfsrace: allow Y001 the inode encode reads its blocks through the cache and must run under the vnode lock; only the post-submit wait is moved outside *)
              Vfs.vop_commit_begin g.vnode ~off:lo ~len:(hi - lo)
            end
            else begin
              charge_trip t;
              emit t "Metadata to disk";
+             (* nfsrace: allow Y001 the inode encode reads its blocks through the cache and must run under the vnode lock; only the post-submit wait is moved outside *)
              Vfs.vop_commit_begin g.vnode ~off:0 ~len:0
            end
          with exn ->
@@ -334,19 +343,19 @@ let reply_fail t tr fail status =
 (* Standard (reference port) path: everything synchronous under the
    vnode lock, reply sent by the same nfsd that did the work. *)
 let handle_standard t tr ~respond ~fail vnode ~off ~data =
-  Vfs.lock vnode;
-  (* Synchronous path: the write goes straight to disk, so queued and
-     disk-submit are the same instant. *)
-  jstamp t tr Journey.stamp_queued;
-  jstamp t tr Journey.stamp_disk_submit;
   (match
-     ( charge_trip t;
-       emit t (Printf.sprintf "%dK data to disk" (Xdr.view_length data / 1024));
-       Vfs.vop_write vnode ~off data ~flags:[ Vfs.IO_SYNC ] )
+     Vfs.with_lock vnode (fun () ->
+         (* Synchronous path: the write goes straight to disk, so queued
+            and disk-submit are the same instant. *)
+         jstamp t tr Journey.stamp_queued;
+         jstamp t tr Journey.stamp_disk_submit;
+         charge_trip t;
+         emit t (Printf.sprintf "%dK data to disk" (Xdr.view_length data / 1024));
+         (* nfsrace: allow Y001 the paper's synchronous path: the reference port holds the vnode lock across its disk write by design *)
+         Vfs.vop_write vnode ~off data ~flags:[ Vfs.IO_SYNC ];
+         if Fs.meta_dirty (Vfs.inode_of vnode) = `Clean then emit t "Metadata to disk")
    with
   | () ->
-      if Fs.meta_dirty (Vfs.inode_of vnode) = `Clean then emit t "Metadata to disk";
-      Vfs.unlock vnode;
       jstamp t tr Journey.stamp_disk_complete;
       Metrics.incr t.batches;
       Metrics.incr t.gathered;
@@ -355,11 +364,8 @@ let handle_standard t tr ~respond ~fail vnode ~off ~data =
       Resource.use t.cpu t.costs.Cpu_model.rpc_encode;
       emit t "Write Reply";
       t.send_reply tr (respond attr)
-  | exception Fs.No_space ->
-      Vfs.unlock vnode;
-      reply_fail t tr fail Proto.NFSERR_NOSPC
+  | exception Fs.No_space -> reply_fail t tr fail Proto.NFSERR_NOSPC
   | exception Nfsg_disk.Device.Io_error _ ->
-      Vfs.unlock vnode;
       emit t "Write failed: NFSERR_IO";
       reply_fail t tr fail Proto.NFSERR_IO);
   Svc.Reply_pending
@@ -371,17 +377,19 @@ let handle_gathering t tr ~respond ~fail vnode ~off ~data =
   g.active <- g.active + 1;
   let accel = Vfs.accelerated vnode in
   (* Hand off data to UFS via VOP_WRITE. *)
-  Vfs.lock vnode;
   (match
-     ( charge_trip t;
-       if accel then begin
-         emit t (Printf.sprintf "%dK data to Presto" (Xdr.view_length data / 1024));
-         Vfs.vop_write vnode ~off data ~flags:[ Vfs.IO_SYNC; Vfs.IO_DATAONLY ]
-       end
-       else Vfs.vop_write vnode ~off data ~flags:[ Vfs.IO_DELAYDATA ] )
+     Vfs.with_lock vnode (fun () ->
+         charge_trip t;
+         if accel then begin
+           emit t (Printf.sprintf "%dK data to Presto" (Xdr.view_length data / 1024));
+           (* nfsrace: allow Y001 the Presto front absorbs the write at memory speed; the vnode lock only orders the cache fill *)
+           Vfs.vop_write vnode ~off data ~flags:[ Vfs.IO_SYNC; Vfs.IO_DATAONLY ]
+         end
+         else
+           (* nfsrace: allow Y001 delayed write: a cache-miss fill may park, and the fill must happen under the vnode lock *)
+           Vfs.vop_write vnode ~off data ~flags:[ Vfs.IO_DELAYDATA ])
    with
   | () ->
-      Vfs.unlock vnode;
       (* Only now — with the data handed to UFS — may our reply be
          queued where a metadata writer can pick it up. Queueing any
          earlier would let a concurrent flusher acknowledge data that
@@ -396,15 +404,14 @@ let handle_gathering t tr ~respond ~fail vnode ~off ~data =
       g.hi <- Stdlib.max g.hi (off + Xdr.view_length data);
       (* SIVA93 variant: use the first write's disk time as the latency
          device instead of sleeping. *)
-      if t.cfg.latency_device = `First_write && not accel then begin
-        Vfs.lock vnode;
-        charge_trip t;
-        (* An error here costs only the latency trick: the data stays
-           dirty and the metadata writer's flush retries it. *)
-        (try Vfs.vop_syncdata vnode ~off ~len:(Xdr.view_length data)
-         with Nfsg_disk.Device.Io_error _ -> ());
-        Vfs.unlock vnode
-      end;
+      if t.cfg.latency_device = `First_write && not accel then
+        Vfs.with_lock vnode (fun () ->
+            charge_trip t;
+            (* An error here costs only the latency trick: the data stays
+               dirty and the metadata writer's flush retries it. *)
+            (* nfsrace: allow Y001 SIVA93 latency device: the first write's disk round trip IS the modelled latency, held under the vnode lock like the real first write *)
+            try Vfs.vop_syncdata vnode ~off ~len:(Xdr.view_length data)
+            with Nfsg_disk.Device.Io_error _ -> ());
       let inum = Vfs.vnode_id vnode in
       (* In the paper, every write of an arriving train procrastinates
          in turn, so the chain of nfsds extends the gathering window
@@ -454,7 +461,6 @@ let handle_gathering t tr ~respond ~fail vnode ~off ~data =
       g.active <- g.active - 1;
       maybe_gc t g
   | exception Fs.No_space ->
-      Vfs.unlock vnode;
       (* This request fails alone; its descriptor was never queued. *)
       g.active <- g.active - 1;
       reply_fail t tr fail Proto.NFSERR_NOSPC;
@@ -462,7 +468,6 @@ let handle_gathering t tr ~respond ~fail vnode ~off ~data =
       if g.active = 0 && g.queue <> [] then flush_as_metadata_writer t g;
       maybe_gc t g
   | exception Nfsg_disk.Device.Io_error _ ->
-      Vfs.unlock vnode;
       (* Same shape as No_space: this write never made it into the
          cache, so only this request fails; queued company is safe. *)
       g.active <- g.active - 1;
@@ -477,13 +482,13 @@ let handle_gathering t tr ~respond ~fail vnode ~off ~data =
    kept here so the benchmark can show what the shortcut buys and the
    crash tests can show what it costs. *)
 let handle_unsafe_async t tr ~respond ~fail vnode ~off ~data =
-  Vfs.lock vnode;
   (match
-     ( charge_trip t;
-       Vfs.vop_write vnode ~off data ~flags:[ Vfs.IO_DELAYDATA ] )
+     Vfs.with_lock vnode (fun () ->
+         charge_trip t;
+         (* nfsrace: allow Y001 delayed write: a cache-miss fill may park, and the fill must happen under the vnode lock *)
+         Vfs.vop_write vnode ~off data ~flags:[ Vfs.IO_DELAYDATA ])
    with
   | () ->
-      Vfs.unlock vnode;
       (* Volatile acknowledgement: queued into the cache is as far as
          this op's journey ever gets. *)
       jstamp t tr Journey.stamp_queued;
@@ -494,12 +499,8 @@ let handle_unsafe_async t tr ~respond ~fail vnode ~off ~data =
       Resource.use t.cpu t.costs.Cpu_model.rpc_encode;
       emit t "Write Reply (volatile!)";
       t.send_reply tr (respond attr)
-  | exception Fs.No_space ->
-      Vfs.unlock vnode;
-      reply_fail t tr fail Proto.NFSERR_NOSPC
-  | exception Nfsg_disk.Device.Io_error _ ->
-      Vfs.unlock vnode;
-      reply_fail t tr fail Proto.NFSERR_IO);
+  | exception Fs.No_space -> reply_fail t tr fail Proto.NFSERR_NOSPC
+  | exception Nfsg_disk.Device.Io_error _ -> reply_fail t tr fail Proto.NFSERR_IO);
   Svc.Reply_pending
 
 let handle_write t tr ?(respond = v2_respond) ?(fail = v2_fail) vnode ~off ~data =

@@ -272,6 +272,13 @@ let unlock_row t ~gen row =
     Condition.broadcast t.lock_free
   end
 
+(* Run [f] with stripe row [row] locked, releasing on every return and
+   exception path. [lock_row] refuses when the array crashed under us;
+   [crashed] is the caller's answer for that case. *)
+let with_row t ~gen row ~crashed f =
+  if not (lock_row t ~gen row) then crashed ()
+  else Locked.run ~acquire:(fun () -> ()) ~release:(fun () -> unlock_row t ~gen row) f
+
 (* A request caught by a power crash behaves like the powered-off
    device underneath it: it never completes. *)
 let crashed_park () : unit = Engine.suspend (fun _wake -> ())
@@ -378,6 +385,7 @@ let write1_locked t ~gen (r : Io.req) note_err =
   let off = r.Io.off and data = r.Io.buf in
   let len = Bytes.length data in
   let rows = rows_of t ~off ~len in
+  (* nfsrace: allow Y003 multi-row batch: every path below releases the whole [got] set via unlock_row iteration, and the crash path parks forever by design *)
   let got = List.filter (fun row -> lock_row t ~gen row) rows in
   if List.length got <> List.length rows then crashed_park ()
   else begin
@@ -410,6 +418,7 @@ let write1_locked t ~gen (r : Io.req) note_err =
         Io.fail r e
     | rs ->
         let seq = journal_add t !jwrites in
+        (* nfsrace: allow Y001 the row locks must span the mirror round trip so the resilver cursor decision stays stable for the whole batch *)
         batch_await t rs;
         let ok = List.exists (fun (_, (tw : Io.req)) -> tw.Io.error = None) rs in
         journal_del t ~gen seq;
@@ -506,28 +515,32 @@ let epoch1 t ~gen reqs =
    chunk and every other data chunk over the range, under the row lock
    so a parity update cannot interleave. *)
 let reconstruct5 t ~gen ~row ~j ~coff ~plen =
-  if not (lock_row t ~gen row) then begin
-    crashed_park ();
-    None
-  end
-  else begin
-    let dead = data_member t row j in
-    let moff = (row * t.chunk) + coff in
-    let acc = Bytes.make plen '\000' in
-    let err = ref None in
-    for m = 0 to t.n - 1 do
-      if m <> dead && !err = None then
-        if not (live t m ~row) then
-          err := Some (Device.Io_error (t.name ^ ": second member lost"))
-        else begin
-          let e, buf = mread t m ~class_:`Read ~off:moff ~len:plen in
-          match e with Some ex -> err := Some ex | None -> xor_into acc buf
-        end
-    done;
-    unlock_row t ~gen row;
-    Metrics.incr t.inst.m_degraded_reads;
-    match !err with Some _ -> None | None -> Some acc
-  end
+  match
+    with_row t ~gen row
+      ~crashed:(fun () ->
+        crashed_park ();
+        None)
+      (fun () ->
+        let dead = data_member t row j in
+        let moff = (row * t.chunk) + coff in
+        let acc = Bytes.make plen '\000' in
+        let err = ref None in
+        for m = 0 to t.n - 1 do
+          if m <> dead && !err = None then
+            if not (live t m ~row) then
+              err := Some (Device.Io_error (t.name ^ ": second member lost"))
+            else begin
+              (* nfsrace: allow Y001 the row lock spans the member reads so a parity update cannot interleave with the reconstruction *)
+              let e, buf = mread t m ~class_:`Read ~off:moff ~len:plen in
+              match e with Some ex -> err := Some ex | None -> xor_into acc buf
+            end
+        done;
+        Some (!err, acc))
+  with
+  | None -> None
+  | Some (err, acc) ->
+      Metrics.incr t.inst.m_degraded_reads;
+      (match err with Some _ -> None | None -> Some acc)
 
 let covered_fully ivals chunk =
   let s = List.sort compare ivals in
@@ -733,30 +746,36 @@ let commit_row5_locked t ~gen ~row patches =
   attempt 0
 
 let commit_row5 t ~gen ~row patches note_err =
-  if not (lock_row t ~gen row) then crashed_park ()
-  else begin
-    let res = commit_row5_locked t ~gen ~row (List.map (fun (j, c, l, s, o, _) -> (j, c, l, s, o)) patches) in
-    unlock_row t ~gen row;
-    let fins =
-      List.fold_left
-        (fun acc (_, _, _, _, _, fin) -> if List.memq fin acc then acc else fin :: acc)
-        [] patches
-      |> List.rev
-    in
-    List.iter
-      (fun (r, rem, rerr) ->
-        (match res with
-        | Some e -> if !rerr = None then rerr := Some e
-        | None -> ());
-        decr rem;
-        if !rem = 0 then
-          match !rerr with
-          | None -> Io.complete r
-          | Some e ->
-              note_err e;
-              Io.fail r e)
-      fins
-  end
+  match
+    with_row t ~gen row
+      ~crashed:(fun () ->
+        crashed_park ();
+        None)
+      (fun () ->
+        (* nfsrace: allow Y001 the row lock must span the whole read-modify-write round trip so the parity stays consistent with the data it covers *)
+        Some (commit_row5_locked t ~gen ~row (List.map (fun (j, c, l, s, o, _) -> (j, c, l, s, o)) patches)))
+  with
+  | None -> ()
+  | Some res ->
+      let fins =
+        List.fold_left
+          (fun acc (_, _, _, _, _, fin) -> if List.memq fin acc then acc else fin :: acc)
+          [] patches
+        |> List.rev
+      in
+      List.iter
+        (fun (r, rem, rerr) ->
+          (match res with
+          | Some e -> if !rerr = None then rerr := Some e
+          | None -> ());
+          decr rem;
+          if !rem = 0 then
+            match !rerr with
+            | None -> Io.complete r
+            | Some e ->
+                note_err e;
+                Io.fail r e)
+        fins
 
 let epoch5 t ~gen reqs =
   let epoch_err = ref None in
@@ -1235,37 +1254,58 @@ let rebuild ?(pace = Time.of_ms_f 1.0) t ~member =
           Metrics.incr t.inst.m_rebuilds_completed;
           Metrics.set t.inst.m_rebuild_active 0.0
         end
-        else if not (lock_row t ~gen row) then ()
         else begin
-          let moff = row * t.chunk in
-          let content =
-            match t.lvl with
-            | Raid1 ->
-                let src = ref None in
-                Array.iteri
-                  (fun i s -> if !src = None && i <> member && s = Active then src := Some i)
-                  t.state;
-                (match !src with
-                | None -> None
-                | Some i ->
-                    let err, buf = mread t i ~class_:`Bg_drain ~off:moff ~len:t.chunk in
-                    (match err with Some _ -> None | None -> Some buf))
-            | Raid5 | Raid0 ->
-                (* XOR of every other member's chunk reconstructs this
-                   one whether it held data or parity. *)
-                let acc = Bytes.make t.chunk '\000' in
-                let err = ref false in
-                for i = 0 to t.n - 1 do
-                  if i <> member && not !err then begin
-                    let e, buf = mread t i ~class_:`Bg_drain ~off:moff ~len:t.chunk in
-                    match e with Some _ -> err := true | None -> xor_into acc buf
-                  end
-                done;
-                if !err then None else Some acc
-          in
-          match content with
-          | None ->
-              unlock_row t ~gen row;
+          match
+            with_row t ~gen row
+              ~crashed:(fun () -> `Stop)
+              (fun () ->
+                let moff = row * t.chunk in
+                let content =
+                  match t.lvl with
+                  | Raid1 ->
+                      let src = ref None in
+                      Array.iteri
+                        (fun i s -> if !src = None && i <> member && s = Active then src := Some i)
+                        t.state;
+                      (match !src with
+                      | None -> None
+                      | Some i ->
+                          (* nfsrace: allow Y001 the row lock keeps the resilver copy atomic against foreground writes to the same row *)
+                          let err, buf = mread t i ~class_:`Bg_drain ~off:moff ~len:t.chunk in
+                          (match err with Some _ -> None | None -> Some buf))
+                  | Raid5 | Raid0 ->
+                      (* XOR of every other member's chunk reconstructs this
+                         one whether it held data or parity. *)
+                      let acc = Bytes.make t.chunk '\000' in
+                      let err = ref false in
+                      for i = 0 to t.n - 1 do
+                        if i <> member && not !err then begin
+                          (* nfsrace: allow Y001 the row lock keeps the resilver copy atomic against foreground writes to the same row *)
+                          let e, buf = mread t i ~class_:`Bg_drain ~off:moff ~len:t.chunk in
+                          match e with Some _ -> err := true | None -> xor_into acc buf
+                        end
+                      done;
+                      if !err then None else Some acc
+                in
+                match content with
+                | None -> `Abandon
+                | Some bytes -> (
+                    (* nfsrace: allow Y001 the row lock keeps the resilver copy atomic against foreground writes to the same row *)
+                    match mwrite t member ~class_:`Bg_drain ~off:moff bytes with
+                    | Some _ ->
+                        (* the replacement itself errored; [mwrite] flipped
+                           it back to Failed *)
+                        `Stop
+                    | None ->
+                        if t.gen = gen && t.state.(member) = Rebuilding then begin
+                          t.rebuild_cursor <- Some (member, row + 1);
+                          Metrics.incr t.inst.m_rebuild_chunks;
+                          Metrics.add t.inst.m_rebuild_bytes t.chunk
+                        end;
+                        `Advance))
+          with
+          | `Stop -> ()
+          | `Abandon ->
               (* a survivor died mid-copy (or the world crashed):
                  abandon; the member stays stale *)
               if t.gen = gen && t.state.(member) = Rebuilding then begin
@@ -1273,21 +1313,9 @@ let rebuild ?(pace = Time.of_ms_f 1.0) t ~member =
                 t.rebuild_cursor <- None;
                 Metrics.set t.inst.m_rebuild_active 0.0
               end
-          | Some bytes -> (
-              match mwrite t member ~class_:`Bg_drain ~off:moff bytes with
-              | Some _ ->
-                  (* the replacement itself errored; [mwrite] flipped
-                     it back to Failed *)
-                  unlock_row t ~gen row
-              | None ->
-                  if t.gen = gen && t.state.(member) = Rebuilding then begin
-                    t.rebuild_cursor <- Some (member, row + 1);
-                    Metrics.incr t.inst.m_rebuild_chunks;
-                    Metrics.add t.inst.m_rebuild_bytes t.chunk
-                  end;
-                  unlock_row t ~gen row;
-                  Engine.delay pace;
-                  go (row + 1))
+          | `Advance ->
+              Engine.delay pace;
+              go (row + 1)
         end
       in
       go 0)

@@ -1,12 +1,16 @@
 (* Suppression comments.
 
    A diagnostic is silenced by a comment containing the marker (the
-   word "nfslint", a colon-space, then "allow"), a rule id and a
+   tool name, a colon-space, then "allow"), a rule id and a
    justification, on the same line as the finding or on the line
    directly above it. The justification is mandatory: an allow
    without one is itself a lint error, so every suppression in the
    tree documents why the rule does not apply. See README "Static
-   analysis" for the exact syntax. *)
+   analysis" for the exact syntax.
+
+   The default marker is nfslint's; nfsrace reuses the same scanner
+   and bookkeeping with its own [marker] and [meta_rule], so the two
+   tools share one suppression discipline. *)
 
 type t = {
   rule : string;
@@ -15,7 +19,7 @@ type t = {
   mutable used : bool;
 }
 
-let marker = "nfslint: allow"
+let default_marker = "nfslint: allow"
 
 let is_rule_char c = (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
 
@@ -37,7 +41,7 @@ let parse_tail ~line tail =
   in
   if rule = "" then None else Some { rule; line; reason = String.trim rest; used = false }
 
-let scan_source src =
+let scan_source ?(marker = default_marker) src =
   let lines = String.split_on_char '\n' src in
   let found = ref [] in
   List.iteri
@@ -68,7 +72,7 @@ let scan_source src =
 let covers s (d : Diagnostic.t) =
   s.rule = d.rule && (d.line = s.line || d.line = s.line + 1)
 
-let apply ~file suppressions diagnostics =
+let apply ?(marker = default_marker) ?(meta_rule = "LINT") ~file suppressions diagnostics =
   let kept =
     List.filter
       (fun d ->
@@ -84,14 +88,15 @@ let apply ~file suppressions diagnostics =
       (fun s ->
         if s.reason = "" then
           [
-            Diagnostic.make ~rule:"LINT" ~severity:Diagnostic.Error ~file ~line:s.line ~col:0
-              (Printf.sprintf "suppression of %s carries no justification; write \
-                               '(* nfslint: allow %s <reason> *)'"
-                 s.rule s.rule);
+            Diagnostic.make ~rule:meta_rule ~severity:Diagnostic.Error ~file ~line:s.line ~col:0
+              (Printf.sprintf
+                 "suppression of %s carries no justification; write '(* %s %s <reason> *)'"
+                 s.rule marker s.rule);
           ]
         else if not s.used then
           [
-            Diagnostic.make ~rule:"LINT" ~severity:Diagnostic.Warning ~file ~line:s.line ~col:0
+            Diagnostic.make ~rule:meta_rule ~severity:Diagnostic.Warning ~file ~line:s.line
+              ~col:0
               (Printf.sprintf "unused suppression: no %s diagnostic on this or the next line"
                  s.rule);
           ]

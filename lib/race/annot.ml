@@ -1,0 +1,50 @@
+(* Yields annotations: a comment holding the marker (the tool name, a
+   colon-space, then "yields") followed by a reason, covering the
+   function defined on the same line or the line below.
+
+   The may-yield inference follows direct calls only; an effect that
+   flows through a dispatch point it cannot see (a stored thunk, a
+   record of functions, an argument closure applied by name the
+   heuristics miss) is declared on the function that hides it. The
+   reason is mandatory — an annotation is a claim about runtime
+   behaviour the analysis cannot check, so it must say why it is
+   true. An annotation covers a function whose definition starts on
+   the same line or the line directly below, mirroring the
+   suppression-comment convention. *)
+
+type t = {
+  line : int;  (** line the comment starts on, 1-based *)
+  reason : string;
+  mutable used : bool;
+}
+
+(* Built by concatenation so this file's own scan does not match it. *)
+let marker = "nfsrace: " ^ "yields"
+
+let parse_tail ~line tail =
+  let tail = String.trim tail in
+  let tail =
+    match String.index_opt tail '*' with
+    | Some j when j + 1 < String.length tail && tail.[j + 1] = ')' -> String.sub tail 0 j
+    | _ -> tail
+  in
+  { line; reason = String.trim tail; used = false }
+
+let scan src =
+  let lines = String.split_on_char '\n' src in
+  let found = ref [] in
+  List.iteri
+    (fun i line ->
+      let mlen = String.length marker in
+      let rec find from =
+        if from + mlen > String.length line then None
+        else if String.sub line from mlen = marker then Some (from + mlen)
+        else find (from + 1)
+      in
+      match find 0 with
+      | None -> ()
+      | Some after ->
+          let tail = String.sub line after (String.length line - after) in
+          found := parse_tail ~line:(i + 1) tail :: !found)
+    lines;
+  List.rev !found

@@ -136,3 +136,6 @@ let not_in_process_guard (f : unit -> 'a) : 'a =
 let delay d = not_in_process_guard (fun () -> perform (Delay d))
 let suspend register = not_in_process_guard (fun () -> perform (Suspend register))
 let yield () = not_in_process_guard (fun () -> perform Yield)
+
+let yield_primitives =
+  [ ("Engine", "suspend", `Park); ("Engine", "delay", `Delay); ("Engine", "yield", `Delay) ]

@@ -74,3 +74,11 @@ val yield : unit -> unit
 
 val self_name : unit -> string
 (** Name of the calling process ("?" outside of one). *)
+
+val yield_primitives : (string * string * [ `Park | `Delay ]) list
+(** The canonical list of blocking primitives, as (module, function,
+    class) triples. [`Park] is an open-ended wait for another party
+    ({!suspend}); [`Delay] completes after a bounded span of virtual
+    time ({!delay}, {!yield}). The nfsrace static analysis seeds its
+    transitive may-yield inference from this list, so a new primitive
+    added here is picked up by the checker without touching it. *)

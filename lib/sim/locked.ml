@@ -1,0 +1,16 @@
+(* The one place the lock-discipline lives: every scoped critical
+   section in the tree funnels through [run], so releasing on the
+   value path and on every exception path is implemented (and
+   reviewed) exactly once. The nfsrace checker treats the wrappers
+   built on top of this ([Mutex.with_lock], [Vfs.with_lock],
+   [Stripe.with_row]) as its scoped-lock idiom. *)
+
+let run ~acquire ~release f =
+  acquire ();
+  match f () with
+  | v ->
+      release ();
+      v
+  | exception e ->
+      release ();
+      raise e

@@ -1,0 +1,9 @@
+(** Scoped critical sections.
+
+    [run ~acquire ~release f] runs [acquire ()], then [f ()], and
+    guarantees [release ()] runs exactly once whether [f] returns or
+    raises. All [with_lock]-style wrappers in the tree are built on
+    this single helper so the release-on-every-path discipline that
+    nfsrace's Y003 rule checks has one implementation. *)
+
+val run : acquire:(unit -> unit) -> release:(unit -> unit) -> (unit -> 'a) -> 'a

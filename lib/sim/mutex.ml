@@ -40,11 +40,4 @@ let unlock m =
       wake ()
 
 let with_lock m f =
-  lock m;
-  match f () with
-  | v ->
-      unlock m;
-      v
-  | exception e ->
-      unlock m;
-      raise e
+  Locked.run ~acquire:(fun () -> lock m) ~release:(fun () -> unlock m) f

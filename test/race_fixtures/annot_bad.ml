@@ -1,0 +1,10 @@
+(* Broken yields annotations: one carries no reason (an unchecked
+   claim), one covers no function definition (it silently stopped
+   doing anything). *)
+
+(* nfsrace: yields *)
+let wait_a () = ()
+
+(* nfsrace: yields the device parks the caller *)
+
+let unrelated = 42

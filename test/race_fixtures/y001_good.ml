@@ -1,0 +1,8 @@
+(* The fixed shape: bounded work under the lock, the open-ended park
+   only after the scoped release. *)
+
+let pace () = Engine.delay 1.0
+
+let handle_write v =
+  Vfs.with_lock v (fun () -> pace ());
+  Engine.suspend ()

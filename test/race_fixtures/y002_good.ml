@@ -1,0 +1,12 @@
+(* The same read-modify-write made atomic: the mutex spans the read,
+   the (bounded) yield and the write-back, so no other fiber can
+   interleave an update. *)
+
+let hits = ref 0
+let m = Mutex.create ()
+
+let bump () =
+  Mutex.with_lock m (fun () ->
+      let seen = !hits in
+      Engine.delay 5.0;
+      hits := seen + 1)

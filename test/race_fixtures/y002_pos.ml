@@ -1,0 +1,10 @@
+(* Torn read-modify-write: the counter is read, the fiber yields with
+   no lock held, and the stale value is written back — any increment
+   that ran during the yield is lost. *)
+
+let hits = ref 0
+
+let bump () =
+  let seen = !hits in
+  Engine.delay 5.0;
+  hits := seen + 1

@@ -1,0 +1,15 @@
+(* Both disciplined shapes: every path through [toggle] releases, and
+   [guarded] re-raises only after putting the mutex back. *)
+
+let m = Mutex.create ()
+let flag = ref false
+
+let toggle () =
+  Mutex.lock m;
+  if !flag then flag := false else flag := true;
+  Mutex.unlock m
+
+let guarded f =
+  Mutex.lock m;
+  (try f () with exn -> Mutex.unlock m; raise exn);
+  Mutex.unlock m

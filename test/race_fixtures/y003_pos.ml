@@ -1,0 +1,13 @@
+(* Lock leak: the then-branch returns while still holding the mutex,
+   so the next fiber to touch it parks forever. *)
+
+let m = Mutex.create ()
+let flag = ref false
+
+let toggle () =
+  Mutex.lock m;
+  if !flag then flag := false
+  else begin
+    flag := true;
+    Mutex.unlock m
+  end

@@ -29,6 +29,7 @@ let () =
       ("laddis-curve", Test_laddis_curve.suite);
       ("raid", Test_raid.suite);
       ("lint", Test_lint.suite);
+      ("race", Test_race.suite);
       ("monitor", Test_monitor.suite);
       ("determinism", Test_determinism.suite);
     ]

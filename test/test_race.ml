@@ -1,0 +1,93 @@
+(* nfsrace self-tests: every rule is exercised by a fixture pair under
+   race_fixtures/ — positive cases whose diagnostics must match the
+   golden .expected file byte for byte, and good/suppressed cases that
+   must analyze clean. Fixtures are analyzed under a synthetic lib/
+   path, the tree the tool is pointed at in CI. *)
+
+module Race = Nfsg_race.Race
+module Diagnostic = Nfsg_lint.Diagnostic
+
+let fixture_dir = "race_fixtures"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let lines s =
+  String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+
+let analyze_fixture name =
+  let src = read_file (Filename.concat fixture_dir (name ^ ".ml")) in
+  Race.analyze_sources [ ("lib/" ^ name ^ ".ml", src) ]
+  |> List.map Diagnostic.to_string
+
+let check_golden name () =
+  let expected = lines (read_file (Filename.concat fixture_dir (name ^ ".expected"))) in
+  Alcotest.(check (list string)) name expected (analyze_fixture name)
+
+let fixture_names =
+  Sys.readdir fixture_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".ml")
+  |> List.map (fun f -> Filename.chop_suffix f ".ml")
+  |> List.sort compare
+
+let golden_tests =
+  List.map
+    (fun name -> Alcotest.test_case ("fixture " ^ name) `Quick (check_golden name))
+    fixture_names
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec find i = i + nn <= nh && (String.sub hay i nn = needle || find (i + 1)) in
+  find 0
+
+(* Each rule must appear in at least one golden: a rule whose fixture
+   stopped firing is a rule that silently died. *)
+let test_all_rules_covered () =
+  let fired =
+    List.concat_map
+      (fun name -> lines (read_file (Filename.concat fixture_dir (name ^ ".expected"))))
+      fixture_names
+  in
+  List.iter
+    (fun rule ->
+      Alcotest.(check bool)
+        (rule ^ " covered by a fixture") true
+        (List.exists (fun l -> contains l ("[" ^ rule ^ "]")) fired))
+    [ "Y001"; "Y002"; "Y003"; "RACE" ]
+
+(* The pre-PR-7 convoy golden must carry the full lock-to-yield chain:
+   the diagnostic is only actionable if it names the park at the end. *)
+let test_convoy_chain () =
+  let diags = analyze_fixture "y001_pos" in
+  Alcotest.(check bool)
+    "Y001 chain reaches Engine.suspend through the helper" true
+    (List.exists
+       (fun l ->
+         contains l "[Y001]" && contains l "Y001_pos.await_disk -> Engine.suspend")
+       diags)
+
+(* Unparseable input must surface as a diagnostic, not an exception. *)
+let test_parse_error () =
+  match Race.analyze_sources [ ("lib/broken.ml", "let let let") ] with
+  | [ d ] -> Alcotest.(check string) "rule" "PARSE" d.Diagnostic.rule
+  | _ -> Alcotest.fail "expected a single PARSE diagnostic"
+
+(* The engine's own implementation is where the yield primitives live;
+   it is exempt rather than annotated. *)
+let test_engine_exempt () =
+  let src = "let park m =\n  Mutex.lock m;\n  Engine.suspend ();\n  Mutex.unlock m\n" in
+  Alcotest.(check (list string))
+    "engine implementation analyzes clean" []
+    (Race.analyze_sources [ ("lib/sim/engine.ml", src) ] |> List.map Diagnostic.to_string)
+
+let suite =
+  golden_tests
+  @ [
+      Alcotest.test_case "all rules covered" `Quick test_all_rules_covered;
+      Alcotest.test_case "convoy golden carries the yield chain" `Quick test_convoy_chain;
+      Alcotest.test_case "parse failure becomes a diagnostic" `Quick test_parse_error;
+      Alcotest.test_case "engine implementation is exempt" `Quick test_engine_exempt;
+    ]

@@ -141,6 +141,40 @@ let test_mutex_fifo () =
          done));
   Alcotest.(check (list int)) "granted in arrival order" [ 1; 2; 3 ] (List.rev !order)
 
+(* Regression for the lock leak nfsrace's Y003 flagged: an exception
+   the critical section did not anticipate must not leave the lock
+   held, or the next fiber to take it parks forever. *)
+exception Unexpected
+
+let test_with_lock_releases_on_exception () =
+  let reacquired = ref false in
+  ignore
+    (sim (fun eng ->
+         let m = Mutex.create () in
+         Engine.spawn eng (fun () ->
+             (match Mutex.with_lock m (fun () -> raise Unexpected) with
+             | () -> ()
+             | exception Unexpected -> ());
+             Alcotest.(check bool) "released after raise" false (Mutex.locked m);
+             Mutex.with_lock m (fun () -> reacquired := true))));
+  Alcotest.(check bool) "lock usable again" true !reacquired
+
+let test_locked_run_releases_on_exception () =
+  let order = ref [] in
+  let note tag = order := tag :: !order in
+  (match
+     Locked.run
+       ~acquire:(fun () -> note "acquire")
+       ~release:(fun () -> note "release")
+       (fun () -> note "body"; raise Unexpected)
+   with
+  | () -> ()
+  | exception Unexpected -> note "escaped");
+  Alcotest.(check (list string))
+    "release runs exactly once, before the exception escapes"
+    [ "acquire"; "body"; "release"; "escaped" ]
+    (List.rev !order)
+
 let test_mutex_unlock_by_stranger () =
   let failed = ref false in
   ignore
@@ -258,6 +292,8 @@ let suite =
     Alcotest.test_case "mutex mutual exclusion" `Quick test_mutex_exclusion;
     Alcotest.test_case "mutex FIFO hand-off" `Quick test_mutex_fifo;
     Alcotest.test_case "mutex rejects foreign unlock" `Quick test_mutex_unlock_by_stranger;
+    Alcotest.test_case "with_lock releases on exception" `Quick test_with_lock_releases_on_exception;
+    Alcotest.test_case "Locked.run releases on exception" `Quick test_locked_run_releases_on_exception;
     Alcotest.test_case "try_lock" `Quick test_try_lock;
     Alcotest.test_case "semaphore bounds concurrency" `Quick test_semaphore_limits;
     Alcotest.test_case "squeue blocking get" `Quick test_squeue_blocking_get;

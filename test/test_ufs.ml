@@ -370,6 +370,29 @@ let test_remount_rebuilds_bitmap () =
       | Ok () -> ()
       | Error es -> Alcotest.failf "fsck: %s" (String.concat "; " es))
 
+(* Regression for the write-path lock leak nfsrace's Y003 found: the
+   old open-coded lock/unlock pairs only released on the exceptions
+   the handler anticipated, so anything else (allocator assert, fault
+   injection) wedged the vnode for every later writer. [Vfs.with_lock]
+   must release on ANY exception and leave the vnode usable. *)
+exception Unexpected
+
+let test_vnode_lock_released_on_unexpected_exception () =
+  let eng, _, fs = fresh_fs () in
+  in_proc eng (fun () ->
+      let f = Fs.create fs (Fs.root fs) "leak" Layout.Regular in
+      let v = Vfs.vnode_of_inode fs f in
+      (match Vfs.with_lock v (fun () -> raise Unexpected) with
+      | () -> Alcotest.fail "the exception must propagate"
+      | exception Unexpected -> ());
+      Alcotest.(check bool) "vnode unlocked after raise" false (Vfs.locked v);
+      (* The call the leak used to wedge: a later locked write. *)
+      let committed = ref false in
+      Vfs.with_lock v (fun () ->
+          Fs.write fs f ~off:0 (pattern 100 3) ~mode:Fs.Sync;
+          committed := true);
+      Alcotest.(check bool) "later locked write proceeds" true !committed)
+
 let prop_random_writes_match_model =
   (* Random (offset, length) writes against an in-memory reference. *)
   let arb =
@@ -423,5 +446,7 @@ let suite =
     Alcotest.test_case "fsck passes on clean fs" `Quick test_check_catches_corruption;
     Alcotest.test_case "crash: synced survives, delayed lost" `Quick test_crash_loses_delayed_keeps_synced;
     Alcotest.test_case "remount rebuilds bitmap" `Quick test_remount_rebuilds_bitmap;
+    Alcotest.test_case "vnode lock survives unexpected exception" `Quick
+      test_vnode_lock_released_on_unexpected_exception;
     QCheck_alcotest.to_alcotest prop_random_writes_match_model;
   ]
