@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- iosched       only BENCH_iosched.json
      dune exec bench/main.exe -- raid          only BENCH_raid.json
      dune exec bench/main.exe -- laddis-curve  only BENCH_laddis_curve.json
+     dune exec bench/main.exe -- bootstorm     only BENCH_bootstorm.json
      dune exec bench/main.exe -- simspeed      wall-clock events/sec of one world
 
    Every non-micro run also writes BENCH_writegather.json (the paper's
@@ -168,6 +169,20 @@ let run_laddis_curve () =
   close_out oc;
   progress "bench: wrote %s in %.1fs wall" laddis_curve_json_file (Unix.gettimeofday () -. t0)
 
+let bootstorm_json_file = "BENCH_bootstorm.json"
+
+(* Diskless-fleet ladder against one shared read-only export, server
+   read-ahead off vs on; fixed ladder regardless of quick/full,
+   committed and byte-diffed by CI. *)
+let run_bootstorm () =
+  progress "bench: running bootstorm JSON bench ...";
+  let t0 = Unix.gettimeofday () in
+  let json = Nfsg_experiments.Bootstorm.bench_bootstorm () in
+  let oc = open_out bootstorm_json_file in
+  output_string oc (Nfsg_stats.Json.to_string ~pretty:true json);
+  close_out oc;
+  progress "bench: wrote %s in %.1fs wall" bootstorm_json_file (Unix.gettimeofday () -. t0)
+
 (* {1 Simulator speed}
 
    Wall-clock events/second over one fixed saturating LADDIS-style
@@ -316,6 +331,7 @@ let () =
   let iosched_only = List.mem "iosched" args in
   let raid_only = List.mem "raid" args in
   let laddis_curve_only = List.mem "laddis-curve" args in
+  let bootstorm_only = List.mem "bootstorm" args in
   let simspeed_only = List.mem "simspeed" args in
   if micro_only then run_micro ()
   else if writegather_only then run_writegather quick
@@ -323,6 +339,7 @@ let () =
   else if iosched_only then run_iosched ()
   else if raid_only then run_raid ()
   else if laddis_curve_only then run_laddis_curve ()
+  else if bootstorm_only then run_bootstorm ()
   else if simspeed_only then run_simspeed ()
   else begin
     Printf.printf "NFS write gathering: full reproduction run (%s)\n"
@@ -336,6 +353,7 @@ let () =
     run_iosched ();
     run_raid ();
     run_laddis_curve ();
+    run_bootstorm ();
     run_simspeed ();
     run_micro ()
   end

@@ -80,6 +80,21 @@ let curve_configs_arg =
     & opt (some (list ~sep:',' string)) None
     & info [ "curve-configs" ] ~docv:"CONFIGS" ~doc)
 
+let clients_max_arg =
+  let doc =
+    "Cap the bootstorm fleet ladder at $(docv) diskless clients, overriding the sweep's own \
+     ceiling."
+  in
+  Arg.(value & opt (some int) None & info [ "clients-max" ] ~docv:"N" ~doc)
+
+let readahead_arg =
+  let side = Arg.enum [ ("on", true); ("off", false) ] in
+  let doc =
+    "Restrict the bootstorm comparison to one side ($(docv) is on or off) instead of running \
+     both the read-ahead and no-read-ahead configurations."
+  in
+  Arg.(value & opt (some side) None & info [ "readahead" ] ~docv:"SIDE" ~doc)
+
 let metrics_json_arg =
   let doc =
     "Write the typed-metrics registry of the run (every counter, gauge and histogram \
@@ -133,6 +148,15 @@ let run_experiment ?metrics ?raid_level quick = function
         if quick then { Lc.default_sweep with Lc.max_points = 3 } else Lc.default_sweep
       in
       print_report (Lc.report ~sweep ())
+  | "bootstorm" ->
+      let module Bs = Nfsg_experiments.Bootstorm in
+      (* Quick mode shortens the fleet ladder (unless --clients-max
+         already did): the rungs that do run stay comparable with the
+         committed artifact. *)
+      let sweep =
+        if quick then { Bs.default_sweep with Bs.clients_max = 4 } else Bs.default_sweep
+      in
+      print_report (Bs.report ~sweep ())
   | "iosched-probe" ->
       (* The tail investigation behind the deadline-p99 fix: rerun the
          bench world with journey tracing armed and dump the evidence
@@ -156,14 +180,15 @@ let run_experiment ?metrics ?raid_level quick = function
 let names =
   [
     "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure1"; "figure2"; "figure3";
-    "ablations"; "extensions"; "writegather"; "multivolume"; "laddis-curve"; "raid"; "chaos";
+    "ablations"; "extensions"; "writegather"; "multivolume"; "laddis-curve"; "bootstorm"; "raid";
+    "chaos";
   ]
 (* iosched-probe is runnable by name but not part of "all": it reruns
    the saturating bench world twice and exists for investigations, not
    for the paper-reproduction sweep. *)
 
-let run quick scheduler raid_level sweep_points procs_max curve_configs monitor_interval
-    long_op_threshold metrics_json targets =
+let run quick scheduler raid_level sweep_points procs_max curve_configs clients_max readahead
+    monitor_interval long_op_threshold metrics_json targets =
   let targets = if targets = [] || List.mem "all" targets then names else targets in
   let metrics = Option.map (fun _ -> Metrics.create ()) metrics_json in
   (* Rig-built worlds report into the shared sink; chaos (which builds
@@ -174,6 +199,8 @@ let run quick scheduler raid_level sweep_points procs_max curve_configs monitor_
   Nfsg_experiments.Laddis_curve.set_sweep_points_override sweep_points;
   Nfsg_experiments.Laddis_curve.set_procs_max_override procs_max;
   Nfsg_experiments.Laddis_curve.set_grid_override curve_configs;
+  Nfsg_experiments.Bootstorm.set_clients_max_override clients_max;
+  Nfsg_experiments.Bootstorm.set_readahead_override readahead;
   Nfsg_experiments.Rig.set_monitor_interval
     (Option.map Nfsg_sim.Time.of_ms_f monitor_interval);
   Nfsg_experiments.Rig.set_long_op_threshold
@@ -188,6 +215,8 @@ let run quick scheduler raid_level sweep_points procs_max curve_configs monitor_
   Nfsg_experiments.Rig.set_monitor_emit None;
   Nfsg_experiments.Rig.set_long_op_threshold None;
   Nfsg_experiments.Rig.set_monitor_interval None;
+  Nfsg_experiments.Bootstorm.set_readahead_override None;
+  Nfsg_experiments.Bootstorm.set_clients_max_override None;
   Nfsg_experiments.Laddis_curve.set_grid_override None;
   Nfsg_experiments.Laddis_curve.set_procs_max_override None;
   Nfsg_experiments.Laddis_curve.set_sweep_points_override None;
@@ -205,8 +234,8 @@ let run quick scheduler raid_level sweep_points procs_max curve_configs monitor_
 let targets_arg =
   let doc =
     "Experiments to run: table1..table6, figure1..figure3, ablations, extensions, writegather, \
-     multivolume, laddis-curve, raid, chaos, iosched-probe, or all (default; excludes \
-     iosched-probe)."
+     multivolume, laddis-curve, bootstorm, raid, chaos, iosched-probe, or all (default; \
+     excludes iosched-probe)."
   in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
@@ -216,7 +245,7 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ quick_arg $ scheduler_arg $ raid_level_arg $ sweep_points_arg $ procs_max_arg
-      $ curve_configs_arg $ monitor_interval_arg $ long_op_threshold_arg $ metrics_json_arg
-      $ targets_arg)
+      $ curve_configs_arg $ clients_max_arg $ readahead_arg $ monitor_interval_arg
+      $ long_op_threshold_arg $ metrics_json_arg $ targets_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -14,6 +14,7 @@ type config = {
   dupcache : bool;
   rcvbuf : int;
   cache_blocks : int option;
+  readahead : Nfsg_ufs.Buffer_cache.readahead option;
   long_op_threshold : Time.t option;
 }
 
@@ -25,6 +26,7 @@ let default_config =
     dupcache = true;
     rcvbuf = 256 * 1024;
     cache_blocks = None;
+    readahead = None;
     long_op_threshold = None;
   }
 
@@ -47,6 +49,11 @@ type t = {
   cpu : Resource.t;
   verf : int;
   op_counts : (int, int) Hashtbl.t;
+  (* Read-ahead streams are per (client, file): the same boot file read
+     concurrently by the whole fleet must not look like one thrashing
+     stream. Client addresses map to small dense ids in arrival
+     order — deterministic under the engine. *)
+  stream_ids : (string, int) Hashtbl.t;
   trace : Nfsg_stats.Trace.t option;
   metrics : Nfsg_stats.Metrics.t;
   journeys : Nfsg_stats.Journey.plane;
@@ -94,6 +101,23 @@ let count_vol_op t vol proc =
   if ns <> Nfsg_stats.Names.Ns.server then
     Nfsg_stats.Metrics.incr
       (Nfsg_stats.Metrics.counter t.metrics ~ns (Nfsg_stats.Names.ops (Proto.proc_name proc)))
+
+let count_rofs_rejection t vol =
+  let ns = Volume.server_ns vol in
+  Nfsg_stats.Metrics.incr (Nfsg_stats.Metrics.counter t.metrics ~ns Nfsg_stats.Names.rofs_rejections)
+
+(* Stream id for the read-ahead engine: client identity in the high
+   bits, inode number in the low bits. *)
+let stream_of t ~client ~inum =
+  let cid =
+    match Hashtbl.find_opt t.stream_ids client with
+    | Some id -> id
+    | None ->
+        let id = Hashtbl.length t.stream_ids in
+        Hashtbl.replace t.stream_ids client id;
+        id
+  in
+  (cid lsl 24) lor (inum land 0xFFFFFF)
 
 (* {1 Dispatch} *)
 
@@ -174,6 +198,15 @@ let primary_fh : Proto.args -> Proto.fh option = function
   | Proto.Symlink { dir; _ } -> Some dir
   | Proto.Rename { from_dir; _ } -> Some from_dir
 
+(* Procedures a read-only export bounces with NFSERR_ROFS before any
+   of them can touch the write layer — both dialects, including the v3
+   WRITE/COMMIT pair. *)
+let mutates proc =
+  proc = Proto.proc_setattr || proc = Proto.proc_write || proc = Proto.proc_write3
+  || proc = Proto.proc_commit || proc = Proto.proc_create || proc = Proto.proc_remove
+  || proc = Proto.proc_rename || proc = Proto.proc_mkdir || proc = Proto.proc_rmdir
+  || proc = Proto.proc_symlink
+
 let execute t vol (args : Proto.args) : Proto.res =
   ignore t;
   let vn fh = vnode_in vol fh in
@@ -199,12 +232,8 @@ let execute t vol (args : Proto.args) : Proto.res =
   | Proto.Lookup (fh, name) ->
       let dir = vn fh in
       dirop_res (Vfs.vop_lookup dir name)
-  | Proto.Read { fh; offset; count } ->
-      let v = vn fh in
-      let data = Vfs.vop_read v ~off:offset ~len:count in
-      Proto.RRead (Ok (fattr_of_vnode vol v, data))
-  | Proto.Write _ | Proto.Write3 _ | Proto.Commit _ ->
-      assert false (* handled by the write layer / dispatch *)
+  | Proto.Read _ | Proto.Write _ | Proto.Write3 _ | Proto.Commit _ ->
+      assert false (* handled by the write layer / read plane in dispatch *)
   | Proto.Create { dir; name; sattr = _ } ->
       let d = vn dir in
       (* nfsrace: allow Y001 baseline synchronous metadata semantics: directory ops commit under the vnode lock before replying *)
@@ -271,6 +300,13 @@ let error_res ~proc st : Proto.res =
   else if proc = Proto.proc_statfs then Proto.RStatfs (Error st)
   else Proto.RStatus st
 
+(* NFSERR_ROFS in the shape the proc's decoder expects, charged like
+   any other error reply. *)
+let rofs_reply t vol ~proc =
+  count_rofs_rejection t vol;
+  Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
+  Svc.Reply (Rpc.Success, Proto.encode_res (error_res ~proc Proto.NFSERR_ROFS))
+
 (* The mini MOUNT service: export name in, root filehandle out. *)
 let dispatch_mount t (call : Rpc.call) =
   if call.Rpc.proc <> Proto.proc_mnt then Svc.Reply (Rpc.Proc_unavail, Bytes.create 0)
@@ -280,7 +316,7 @@ let dispatch_mount t (call : Rpc.call) =
     | name ->
         let res =
           match List.find_opt (fun v -> Volume.export v = name) t.volumes with
-          | Some vol -> Ok (Volume.root_fh vol)
+          | Some vol -> Ok (Volume.root_fh vol, Volume.read_only vol)
           | None -> Error Proto.NFSERR_NOENT
         in
         Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
@@ -300,6 +336,7 @@ let make_dispatch t =
           let payload =
             match decoded with
             | Proto.Write { data; _ } | Proto.Write3 { data; _ } -> Nfsg_rpc.Xdr.view_length data
+            | Proto.Read { count; _ } -> count
             | _ -> 0
           in
           Nfsg_stats.Journey.set_op j ~proc:(Proto.proc_name call.Rpc.proc) ~bytes:payload
@@ -313,7 +350,8 @@ let make_dispatch t =
           with
           | vol, v ->
               count_vol_op t vol Proto.proc_write;
-              Write_layer.handle_write (Volume.write_layer vol) tr v ~off:offset ~data
+              if Volume.read_only vol then rofs_reply t vol ~proc:Proto.proc_write
+              else Write_layer.handle_write (Volume.write_layer vol) tr v ~off:offset ~data
           | exception Fs.Stale _ ->
               Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
               Svc.Reply (Rpc.Success, Proto.encode_res (Proto.RAttr (Error Proto.NFSERR_STALE))))
@@ -328,6 +366,8 @@ let make_dispatch t =
               Svc.Reply (Rpc.Success, Proto.encode_res (Proto.RWrite3 (Error Proto.NFSERR_STALE)))
           | vol, v -> (
               count_vol_op t vol Proto.proc_write3;
+              if Volume.read_only vol then rofs_reply t vol ~proc:Proto.proc_write3
+              else
               match stable with
               | Proto.Unstable -> (
                   (* The v3 asynchronous promise: data to the cache,
@@ -373,6 +413,8 @@ let make_dispatch t =
               Svc.Reply (Rpc.Success, Proto.encode_res (Proto.RCommit (Error Proto.NFSERR_STALE)))
           | vol, v -> (
               count_vol_op t vol Proto.proc_commit;
+              if Volume.read_only vol then rofs_reply t vol ~proc:Proto.proc_commit
+              else begin
               jstamp t tr Nfsg_stats.Journey.stamp_queued;
               match
                 Vfs.with_lock v (fun () ->
@@ -398,7 +440,51 @@ let make_dispatch t =
                      client keeps it and re-COMMITs. *)
                   Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
                   Svc.Reply
-                    (Rpc.Success, Proto.encode_res (Proto.RCommit (Error Proto.NFSERR_IO)))))
+                    (Rpc.Success, Proto.encode_res (Proto.RCommit (Error Proto.NFSERR_IO)))
+              end))
+      | Proto.Read { fh; offset; count } -> (
+          count_op t Proto.proc_read;
+          match
+            let vol = volume_of_fh t fh in
+            (vol, vnode_in vol fh)
+          with
+          | exception e -> (
+              match status_of_exn e with
+              | Some st ->
+                  Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
+                  Svc.Reply (Rpc.Success, Proto.encode_res (Proto.RRead (Error st)))
+              | None -> raise e)
+          | vol, v -> (
+              count_vol_op t vol Proto.proc_read;
+              let cache = Fs.cache (Volume.fs vol) in
+              let misses0 = Nfsg_ufs.Buffer_cache.misses cache in
+              jstamp t tr Nfsg_stats.Journey.stamp_queued;
+              jstamp t tr Nfsg_stats.Journey.stamp_disk_submit;
+              let stream =
+                if Nfsg_ufs.Buffer_cache.readahead_active cache then
+                  stream_of t ~client:(Svc.client_of tr) ~inum:fh.Proto.inum
+                else 0
+              in
+              match Vfs.vop_read_ahead v ~stream ~off:offset ~len:count with
+              | data ->
+                  jstamp t tr Nfsg_stats.Journey.stamp_disk_complete;
+                  (* Hit iff no demand read waited: the cache's miss
+                     counter did not move while we were in the vop. *)
+                  (match Svc.journey_of tr with
+                  | Some j ->
+                      Nfsg_stats.Journey.set_cache_phase j
+                        ~hit:(Nfsg_ufs.Buffer_cache.misses cache = misses0)
+                  | None -> ());
+                  Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
+                  Svc.Reply
+                    ( Rpc.Success,
+                      Proto.encode_res (Proto.RRead (Ok (fattr_of_vnode vol v, data))) )
+              | exception e -> (
+                  match status_of_exn e with
+                  | Some st ->
+                      Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
+                      Svc.Reply (Rpc.Success, Proto.encode_res (Proto.RRead (Error st)))
+                  | None -> raise e)))
       | args -> (
           count_op t call.Rpc.proc;
           match
@@ -407,7 +493,11 @@ let make_dispatch t =
             | Some fh ->
                 let vol = volume_of_fh t fh in
                 count_vol_op t vol call.Rpc.proc;
-                execute t vol args
+                if mutates call.Rpc.proc && Volume.read_only vol then begin
+                  count_rofs_rejection t vol;
+                  error_res ~proc:call.Rpc.proc Proto.NFSERR_ROFS
+                end
+                else execute t vol args
           with
           | res ->
               Resource.use t.cpu t.config.costs.Cpu_model.rpc_encode;
@@ -462,6 +552,7 @@ let make_internal eng ~segment ~addr ?trace ?metrics ~legacy_ns config vols =
       cpu;
       verf = !boot_counter;
       op_counts = Hashtbl.create 16;
+      stream_ids = Hashtbl.create 16;
       trace;
       metrics;
       journeys;
@@ -495,7 +586,17 @@ let make_exports eng ~segment ~addr ?trace ?metrics ?(mkfs = true) config specs 
    special case with its historical metrics namespaces. *)
 let make eng ~segment ~addr ~device ?trace ?metrics ?(mkfs = true) config =
   make_internal eng ~segment ~addr ?trace ?metrics ~legacy_ns:true config
-    [ ({ Volume.export = "/export"; device; cache_blocks = config.cache_blocks }, None, mkfs) ]
+    [
+      ( {
+          Volume.export = "/export";
+          device;
+          cache_blocks = config.cache_blocks;
+          read_only = false;
+          readahead = config.readahead;
+        },
+        None,
+        mkfs );
+    ]
 
 let crash t =
   (* Power off: volatile state gone and the host leaves the wire. *)

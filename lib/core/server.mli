@@ -17,6 +17,10 @@ type config = {
   dupcache : bool;
   rcvbuf : int;  (** server socket buffer (DEC OSF/1: 256 KiB max) *)
   cache_blocks : int option;  (** buffer-cache bound; None = plenty of RAM *)
+  readahead : Nfsg_ufs.Buffer_cache.readahead option;
+      (** sequential prefetch policy for the single-volume {!make}
+          constructor; [None] = read-ahead off. Multi-volume exports
+          carry the policy in their {!Volume.spec} instead *)
   long_op_threshold : Nfsg_sim.Time.t option;
       (** ops slower end-to-end than this emit a long-op record into the
           journey plane's ring; [None] disables long-op tracing (journey

@@ -5,9 +5,12 @@ type spec = {
   export : string;
   device : Nfsg_disk.Device.t;
   cache_blocks : int option;
+  read_only : bool;
+  readahead : Nfsg_ufs.Buffer_cache.readahead option;
 }
 
-let spec ?cache_blocks export device = { export; device; cache_blocks }
+let spec ?cache_blocks ?(read_only = false) ?readahead export device =
+  { export; device; cache_blocks; read_only; readahead }
 
 type t = {
   spec : spec;
@@ -16,6 +19,7 @@ type t = {
   fs : Fs.t;
   wl : Write_layer.t;
   server_ns : string;
+  mutable read_only : bool;
 }
 
 (* Volume generations: a fresh one per format, preserved across
@@ -32,6 +36,9 @@ let server_ns_of ~legacy_ns fsid =
 let write_layer_ns_of ~legacy_ns fsid =
   if legacy_ns then Nfsg_stats.Names.Ns.write_layer else Nfsg_stats.Names.Ns.write_layer_vol fsid
 
+let read_plane_ns_of ~legacy_ns fsid =
+  if legacy_ns then Nfsg_stats.Names.Ns.read_plane else Nfsg_stats.Names.Ns.read_plane_vol fsid
+
 let mount eng ~fsid ?vgen ?(legacy_ns = false) ~sock ~cpu ~costs ~send_reply
     ?trace ?metrics ?(mkfs = true) ~wl_config spec =
   let vgen =
@@ -42,13 +49,25 @@ let mount eng ~fsid ?vgen ?(legacy_ns = false) ~sock ~cpu ~costs ~send_reply
         !generation_counter
   in
   if mkfs then Fs.mkfs spec.device ();
-  let fs = Fs.mount eng ?cache_blocks:spec.cache_blocks spec.device in
+  let fs =
+    Fs.mount eng ?cache_blocks:spec.cache_blocks ?metrics
+      ~ns:(read_plane_ns_of ~legacy_ns fsid)
+      ?readahead:spec.readahead spec.device
+  in
   let wl =
     Write_layer.create eng ~fs ~sock ~cpu ~costs ~send_reply ?trace ?metrics
       ~ns:(write_layer_ns_of ~legacy_ns fsid)
       ~fsid wl_config
   in
-  { spec; fsid; vgen; fs; wl; server_ns = server_ns_of ~legacy_ns fsid }
+  {
+    spec;
+    fsid;
+    vgen;
+    fs;
+    wl;
+    server_ns = server_ns_of ~legacy_ns fsid;
+    read_only = spec.read_only;
+  }
 
 let export t = t.spec.export
 let fsid t = t.fsid
@@ -57,7 +76,12 @@ let device t = t.spec.device
 let fs t = t.fs
 let write_layer t = t.wl
 let server_ns t = t.server_ns
-let spec_of t = t.spec
+let read_only t = t.read_only
+let set_read_only t ro = t.read_only <- ro
+
+(* Spec as remounted at recovery: the runtime toggle is part of the
+   identity a reboot must preserve. *)
+let spec_of t = { t.spec with read_only = t.read_only }
 
 let root_fh t =
   let root = Fs.root t.fs in

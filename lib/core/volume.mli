@@ -13,9 +13,18 @@ type spec = {
   export : string;  (** name a client mounts, e.g. ["/export0"] *)
   device : Nfsg_disk.Device.t;
   cache_blocks : int option;  (** buffer-cache bound; [None] = plenty *)
+  read_only : bool;  (** exported ro: mutating procs earn NFSERR_ROFS *)
+  readahead : Nfsg_ufs.Buffer_cache.readahead option;
+      (** sequential prefetch policy; [None] = read-ahead off *)
 }
 
-val spec : ?cache_blocks:int -> string -> Nfsg_disk.Device.t -> spec
+val spec :
+  ?cache_blocks:int ->
+  ?read_only:bool ->
+  ?readahead:Nfsg_ufs.Buffer_cache.readahead ->
+  string ->
+  Nfsg_disk.Device.t ->
+  spec
 
 type t
 
@@ -43,8 +52,9 @@ val mount :
     previous incarnation's value so client handles survive a reboot.
 
     Metrics namespaces are [server.vol<fsid>] / [write_layer.vol<fsid>]
-    unless [legacy_ns] is set, in which case the single-volume server's
-    historical ["server"] / ["write_layer"] names are kept. *)
+    / [read_plane.vol<fsid>] unless [legacy_ns] is set, in which case
+    the single-volume server's historical ["server"] /
+    ["write_layer"] / ["read_plane"] names are kept. *)
 
 val export : t -> string
 val fsid : t -> int
@@ -59,6 +69,16 @@ val write_layer : t -> Write_layer.t
 val server_ns : t -> string
 (** Metrics namespace for this volume's per-procedure op counters. *)
 
+val read_only : t -> bool
+(** Is the export currently write-protected? *)
+
+val set_read_only : t -> bool -> unit
+(** Flip the export's write protection at runtime ("exportfs -o ro"):
+    an experiment populates a volume read-write, then protects it
+    before unleashing the fleet. *)
+
+(** [spec_of] is the spec as it must be remounted at recovery —
+    includes the current runtime read-only state. *)
 val spec_of : t -> spec
 val root_fh : t -> Nfsg_nfs.Proto.fh
 

@@ -21,6 +21,7 @@ type spec = {
   gathering : bool;
   trace : bool;
   cache_blocks : int option;
+  readahead : Nfsg_ufs.Buffer_cache.readahead option;
   disk_scheduler : Disk.scheduler;
   write_layer_overrides : Write_layer.config -> Write_layer.config;
 }
@@ -35,6 +36,7 @@ let default_spec =
     gathering = true;
     trace = false;
     cache_blocks = None;
+    readahead = None;
     disk_scheduler = Disk.Fifo;
     write_layer_overrides = (fun c -> c);
   }
@@ -152,6 +154,7 @@ let make spec =
       write_layer;
       costs;
       cache_blocks = spec.cache_blocks;
+      readahead = spec.readahead;
       long_op_threshold = !long_op_threshold_override;
     }
   in
@@ -165,6 +168,8 @@ let make spec =
                Volume.export = Printf.sprintf "/export%d" v;
                device = snd stacks.(v);
                cache_blocks = spec.cache_blocks;
+               read_only = false;
+               readahead = spec.readahead;
              }))
   in
   (cpu_hook := fun d -> Resource.charge (Server.cpu server) d);

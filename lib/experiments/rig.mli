@@ -17,6 +17,9 @@ type spec = {
   cache_blocks : int option;
       (** server buffer-cache bound, to force read misses under LADDIS
           working sets; [None] = unbounded *)
+  readahead : Nfsg_ufs.Buffer_cache.readahead option;
+      (** sequential prefetch policy armed in every volume's buffer
+          cache; [None] = read-ahead off (the historical behaviour) *)
   disk_scheduler : Nfsg_disk.Disk.scheduler;
   write_layer_overrides : Nfsg_core.Write_layer.config -> Nfsg_core.Write_layer.config;
       (** applied after the mode/procrastination defaults; identity for

@@ -126,15 +126,17 @@ let null_ping t =
 
 (* {1 Mounting} *)
 
-let mount t name =
+let mount_flags t name =
   let stat, body =
     Rpc_client.call t.rpc ~klass:Rpc_client.Light ~prog:Rpc.mount_program
       ~proc:Proto.proc_mnt (Proto.encode_mnt_args name)
   in
   if stat <> Rpc.Success then raise (Error Proto.NFSERR_IO);
   match Proto.decode_mnt_res body with
-  | Ok fh -> fh
+  | Ok (fh, read_only) -> (fh, read_only)
   | Error st -> raise (Error st)
+
+let mount t name = fst (mount_flags t name)
 
 (* {1 Write-behind file I/O} *)
 

@@ -44,6 +44,11 @@ val mount : t -> string -> Proto.fh
     via the server's mini MOUNT service. Raises [Error NFSERR_NOENT]
     for an unknown export. *)
 
+val mount_flags : t -> string -> Proto.fh * bool
+(** Like {!mount}, also returning the export's advertised read-only
+    flag — what a diskless client checks before trying to write its
+    root. *)
+
 (** {1 File I/O} *)
 
 type file

@@ -52,6 +52,7 @@ type status =
   | NFSERR_ISDIR
   | NFSERR_FBIG
   | NFSERR_NOSPC
+  | NFSERR_ROFS
   | NFSERR_NOTEMPTY
   | NFSERR_STALE
   | NFSERR_XDEV
@@ -67,6 +68,7 @@ let status_to_int = function
   | NFSERR_ISDIR -> 21
   | NFSERR_FBIG -> 27
   | NFSERR_NOSPC -> 28
+  | NFSERR_ROFS -> 30
   | NFSERR_NOTEMPTY -> 66
   | NFSERR_STALE -> 70
 
@@ -81,6 +83,7 @@ let status_of_int = function
   | 21 -> NFSERR_ISDIR
   | 27 -> NFSERR_FBIG
   | 28 -> NFSERR_NOSPC
+  | 30 -> NFSERR_ROFS
   | 66 -> NFSERR_NOTEMPTY
   | 70 -> NFSERR_STALE
   | n -> raise (Xdr.Dec.Error (Printf.sprintf "bad NFS status %d" n))
@@ -96,6 +99,7 @@ let string_of_status = function
   | NFSERR_ISDIR -> "NFSERR_ISDIR"
   | NFSERR_FBIG -> "NFSERR_FBIG"
   | NFSERR_NOSPC -> "NFSERR_NOSPC"
+  | NFSERR_ROFS -> "NFSERR_ROFS"
   | NFSERR_NOTEMPTY -> "NFSERR_NOTEMPTY"
   | NFSERR_STALE -> "NFSERR_STALE"
 
@@ -591,18 +595,27 @@ let encode_mnt_args name =
 
 let decode_mnt_args body = Xdr.Dec.string (Xdr.Dec.of_view body)
 
+(* A successful MNT reply carries the root filehandle plus the
+   export's read-only flag — the "exported ro" bit a diskless client
+   wants before it tries to write its root. *)
 let encode_mnt_res res =
   let enc = Xdr.Enc.create () in
   (match res with
-  | Ok fh ->
+  | Ok (fh, read_only) ->
       put_status enc NFS_OK;
-      put_fh enc fh
+      put_fh enc fh;
+      Xdr.Enc.bool enc read_only
   | Error st -> put_status enc st);
   Xdr.Enc.to_bytes enc
 
 let decode_mnt_res body =
   let dec = Xdr.Dec.of_view body in
-  match get_status dec with NFS_OK -> Ok (get_fh dec) | st -> Error st
+  match get_status dec with
+  | NFS_OK ->
+      let fh = get_fh dec in
+      let read_only = Xdr.Dec.bool dec in
+      Ok (fh, read_only)
+  | st -> Error st
 
 (* {1 Scanning} *)
 

@@ -59,6 +59,7 @@ type status =
   | NFSERR_ISDIR
   | NFSERR_FBIG
   | NFSERR_NOSPC
+  | NFSERR_ROFS
   | NFSERR_NOTEMPTY
   | NFSERR_STALE
   | NFSERR_XDEV
@@ -153,8 +154,11 @@ val proc_mnt : int
 
 val encode_mnt_args : string -> Bytes.t
 val decode_mnt_args : Nfsg_rpc.Xdr.view -> string
-val encode_mnt_res : (fh, status) result -> Bytes.t
-val decode_mnt_res : Nfsg_rpc.Xdr.view -> (fh, status) result
+val encode_mnt_res : (fh * bool, status) result -> Bytes.t
+(** A successful reply carries the root filehandle and the export's
+    read-only flag. *)
+
+val decode_mnt_res : Nfsg_rpc.Xdr.view -> (fh * bool, status) result
 
 (** {1 Scanning helpers (the mbuf hunter)} *)
 

@@ -33,11 +33,17 @@ open Nfsg_sim
    so phases stay monotone and sum exactly to the total. *)
 let unset = -1
 
+(* READ ops don't cross the gather plane: their middle phase is the
+   buffer cache, and the interesting split is hit (all blocks resident)
+   vs miss (the op waited on the device or an in-flight prefetch). *)
+type cache_phase = Cache_none | Cache_hit | Cache_miss
+
 type t = {
   client : string;
   xid : int;
   mutable proc : string;  (** "" until the dispatcher decodes the call *)
   mutable bytes : int;
+  mutable cache : cache_phase;
   arrival : Time.t;
   mutable pickup : Time.t;
   mutable admitted : Time.t;
@@ -60,6 +66,8 @@ type plane = {
   h_gather : Histogram.t;
   h_disk : Histogram.t;
   h_reply : Histogram.t;
+  h_cache_hit : Histogram.t;
+  h_cache_miss : Histogram.t;
   c_records : Metrics.counter;
   c_long_ops : Metrics.counter;
   c_dropped : Metrics.counter;
@@ -81,6 +89,8 @@ let create eng ~metrics ?threshold ?(ring_capacity = 512) ?event_trace () =
     h_gather = phase Names.phase_gather_wait;
     h_disk = phase Names.phase_disk;
     h_reply = phase Names.phase_reply;
+    h_cache_hit = phase Names.phase_cache_hit;
+    h_cache_miss = phase Names.phase_cache_miss_wait;
     c_records = Metrics.counter metrics ~ns Names.records;
     c_long_ops = Metrics.counter metrics ~ns Names.long_ops;
     c_dropped = Metrics.counter metrics ~ns:Names.Ns.trace Names.dropped;
@@ -94,6 +104,7 @@ let start _p ~client ~xid ~arrival =
     xid;
     proc = "";
     bytes = 0;
+    cache = Cache_none;
     arrival;
     pickup = unset;
     admitted = unset;
@@ -109,6 +120,7 @@ let set_op j ~proc ~bytes =
 
 let proc j = j.proc
 let client j = j.client
+let set_cache_phase j ~hit = j.cache <- (if hit then Cache_hit else Cache_miss)
 
 let stamp_pickup j ~now = if j.pickup = unset then j.pickup <- now
 let stamp_admitted j ~now = if j.admitted = unset then j.admitted <- now
@@ -165,12 +177,24 @@ let phases j =
 let render j =
   let ph = phases j in
   let us t = Printf.sprintf "%.0f" (Time.to_us_f t) in
-  Printf.sprintf
-    "long-op %s client=%s xid=%d bytes=%d total=%sus sock_wait=%sus dupcache=%sus prep=%sus \
-     gather_wait=%sus disk=%sus reply=%sus"
-    (if j.proc = "" then "?" else j.proc)
-    j.client j.xid j.bytes (us ph.total) (us ph.sock_wait) (us ph.dupcache) (us ph.prep)
-    (us ph.gather_wait) (us ph.disk) (us ph.reply_path)
+  match j.cache with
+  | Cache_none ->
+      Printf.sprintf
+        "long-op %s client=%s xid=%d bytes=%d total=%sus sock_wait=%sus dupcache=%sus prep=%sus \
+         gather_wait=%sus disk=%sus reply=%sus"
+        (if j.proc = "" then "?" else j.proc)
+        j.client j.xid j.bytes (us ph.total) (us ph.sock_wait) (us ph.dupcache) (us ph.prep)
+        (us ph.gather_wait) (us ph.disk) (us ph.reply_path)
+  | Cache_hit | Cache_miss ->
+      (* READs never crossed the gather plane; the middle of the record
+         is the cache attribution instead of gather_wait/disk. *)
+      Printf.sprintf
+        "long-op %s client=%s xid=%d bytes=%d total=%sus sock_wait=%sus dupcache=%sus prep=%sus \
+         cache=%s cache_wait=%sus reply=%sus"
+        (if j.proc = "" then "?" else j.proc)
+        j.client j.xid j.bytes (us ph.total) (us ph.sock_wait) (us ph.dupcache) (us ph.prep)
+        (if j.cache = Cache_hit then "hit" else "miss")
+        (us ph.disk) (us ph.reply_path)
 
 let refresh_dropped p =
   let ev = match p.event_trace with Some tr -> Trace.dropped tr | None -> 0 in
@@ -192,15 +216,22 @@ let finish p j =
   Histogram.add p.h_total (Time.to_us_f ph.total);
   (* Phase decomposition only for ops that went through the write
      plane's disk flush — for a GETATTR the middle phases are all
-     zero-width and would only dilute the histograms. *)
-  if j.disk_submit > j.queued || j.disk_complete > j.disk_submit then begin
-    Histogram.add p.h_sock (Time.to_us_f ph.sock_wait);
-    Histogram.add p.h_dup (Time.to_us_f ph.dupcache);
-    Histogram.add p.h_prep (Time.to_us_f ph.prep);
-    Histogram.add p.h_gather (Time.to_us_f ph.gather_wait);
-    Histogram.add p.h_disk (Time.to_us_f ph.disk);
-    Histogram.add p.h_reply (Time.to_us_f ph.reply_path)
-  end;
+     zero-width and would only dilute the histograms. READs attribute
+     their middle phase to the cache histograms instead: the hit
+     histogram records the (near-zero) in-core copy, the miss histogram
+     the device / prefetch wait. *)
+  (match j.cache with
+  | Cache_hit -> Histogram.add p.h_cache_hit (Time.to_us_f ph.disk)
+  | Cache_miss -> Histogram.add p.h_cache_miss (Time.to_us_f ph.disk)
+  | Cache_none ->
+      if j.disk_submit > j.queued || j.disk_complete > j.disk_submit then begin
+        Histogram.add p.h_sock (Time.to_us_f ph.sock_wait);
+        Histogram.add p.h_dup (Time.to_us_f ph.dupcache);
+        Histogram.add p.h_prep (Time.to_us_f ph.prep);
+        Histogram.add p.h_gather (Time.to_us_f ph.gather_wait);
+        Histogram.add p.h_disk (Time.to_us_f ph.disk);
+        Histogram.add p.h_reply (Time.to_us_f ph.reply_path)
+      end);
   (* Per-client station attribution. Find-or-create registration means
      a station's counters survive server crash/restart exactly like
      every other metric in the shared registry. *)

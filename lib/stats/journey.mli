@@ -46,6 +46,14 @@ val set_op : t -> proc:string -> bytes:int -> unit
 val proc : t -> string
 val client : t -> string
 
+val set_cache_phase : t -> hit:bool -> unit
+(** Attribute this journey's middle phase to the buffer cache (READ
+    path) instead of the write plane: [hit] means every block was
+    resident, [not hit] that the op waited on the device or an
+    in-flight prefetch. Finishing then feeds the cache-phase histograms
+    and the long-op record renders [cache=hit|miss cache_wait=..us]
+    in place of the write-oriented [gather_wait]/[disk] fields. *)
+
 (** Stamps are idempotent where re-stamping would distort the phase
     (pickup/admitted/queued take the first call), and last-write-wins
     for the disk pair (a failed flush retries; the completed submission

@@ -29,6 +29,11 @@ module Ns = struct
   let server_vol fsid = Printf.sprintf "server.vol%d" fsid
   let write_layer_vol fsid = Printf.sprintf "write_layer.vol%d" fsid
 
+  (* The read-side twin of the write_layer plane: buffer-cache and
+     read-ahead accounting, one plane per export. *)
+  let read_plane = "read_plane"
+  let read_plane_vol fsid = Printf.sprintf "read_plane.vol%d" fsid
+
   (* The live operability plane. *)
   let journey = "journey"
   let trace = "trace"
@@ -134,6 +139,21 @@ let metadata_flushes_saved = "metadata_flushes_saved"
 let batch_size = "batch_size"
 let reply_latency_us = "reply_latency_us"
 
+(* {1 read_plane[.vol<k>]} *)
+
+let cache_hits = "cache_hits"
+let cache_misses = "cache_misses"
+let cache_evictions = "cache_evictions"
+let readahead_batches = "readahead_batches"
+let readahead_blocks = "readahead_blocks"
+let readahead_hits = "readahead_hits"
+let readahead_wasted = "readahead_wasted"
+
+(* {1 server[.vol<k>]} *)
+
+(* Mutating procs bounced off a read-only export with NFSERR_ROFS. *)
+let rofs_rejections = "rofs_rejections"
+
 (* {1 journey} *)
 
 let records = "records"
@@ -155,6 +175,12 @@ let phase_reply = "reply"
 
 let journey_phases =
   [ phase_sock_wait; phase_dupcache; phase_prep; phase_gather_wait; phase_disk; phase_reply ]
+
+(* A READ's journey replaces the write-oriented gather/disk phases
+   with a cache attribution: either the block was resident (hit) or
+   the op waited for the device / an in-flight prefetch (miss). *)
+let phase_cache_hit = "cache_hit"
+let phase_cache_miss_wait = "cache_miss_wait"
 
 (* {1 trace} *)
 

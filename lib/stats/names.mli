@@ -30,6 +30,12 @@ module Ns : sig
   val write_layer_vol : int -> string
   (** [write_layer_vol k] is ["write_layer.vol<k>"]. *)
 
+  val read_plane : string
+  (** Buffer-cache and read-ahead accounting (legacy 1-volume server). *)
+
+  val read_plane_vol : int -> string
+  (** [read_plane_vol k] is ["read_plane.vol<k>"]. *)
+
   val journey : string
   (** Per-op journey phase decomposition (the live operability plane). *)
 
@@ -146,6 +152,37 @@ val metadata_flushes_saved : string
 val batch_size : string
 val reply_latency_us : string
 
+(** {1 read_plane[.vol<k>]} *)
+
+val cache_hits : string
+(** Counter: demand reads served from a resident block. *)
+
+val cache_misses : string
+(** Counter: demand reads that waited — on the device or on an
+    in-flight prefetch. *)
+
+val cache_evictions : string
+(** Counter: clean blocks evicted under the capacity budget. *)
+
+val readahead_batches : string
+(** Counter: prefetch batches submitted by the read-ahead engine. *)
+
+val readahead_blocks : string
+(** Counter: blocks requested across all prefetch batches. *)
+
+val readahead_hits : string
+(** Counter: prefetched blocks later consumed by a demand read. *)
+
+val readahead_wasted : string
+(** Counter: prefetched blocks evicted (or dropped) before any demand
+    read touched them — the cost of guessing wrong. *)
+
+(** {1 server[.vol<k>]} *)
+
+val rofs_rejections : string
+(** Counter: mutating procs bounced off a read-only export with
+    NFSERR_ROFS before reaching the write layer. *)
+
 (** {1 journey} *)
 
 val records : string
@@ -171,6 +208,14 @@ val phase_reply : string
 
 val journey_phases : string list
 (** The six phases, in journey order. *)
+
+val phase_cache_hit : string
+(** READ journeys whose blocks were all resident: the cache phase is
+    the (near-zero) in-core copy time. *)
+
+val phase_cache_miss_wait : string
+(** READ journeys that waited on the device or an in-flight prefetch;
+    the histogram records the wait. *)
 
 (** {1 trace} *)
 

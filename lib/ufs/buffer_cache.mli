@@ -14,17 +14,61 @@ type kind = Data | Metadata
 
 type t
 
-val create : Nfsg_disk.Device.t -> bsize:int -> ?max_blocks:int -> unit -> t
+type readahead = {
+  window : int;  (** blocks to keep prefetched ahead of a stream *)
+  min_run : int;  (** sequential blocks before prefetch arms *)
+  max_streams : int;  (** tracked streams; LRU slot recycling beyond *)
+}
+(** Sequential read-ahead policy, sized after the LNFS batch constants
+    scaled to this simulator's block size. *)
+
+val default_readahead : readahead
+(** 16-block (128KB) window, armed after 2 sequential blocks, 64
+    stream slots. *)
+
+val create :
+  Nfsg_disk.Device.t ->
+  bsize:int ->
+  ?max_blocks:int ->
+  ?metrics:Nfsg_stats.Metrics.t ->
+  ?ns:string ->
+  unit ->
+  t
 (** [max_blocks] bounds the cache (default: unbounded); on overflow the
     least-recently-used clean block is evicted. Dirty blocks are
-    pinned, exactly like real buffer-cache buffers awaiting write. *)
+    pinned, exactly like real buffer-cache buffers awaiting write.
+    When [metrics] and [ns] are both given, the cache registers and
+    mirrors its counters into that namespace (the per-export read
+    plane, e.g. ["read_plane.vol2"]). *)
+
+val enable_readahead : t -> Nfsg_sim.Engine.t -> ?config:readahead -> unit -> unit
+(** Arm the sequential-detecting read-ahead engine. Prefetch batches
+    are submitted asynchronously through the device's scheduler as
+    [`Read]-class requests; a spawned fiber installs the filled
+    buffers. Off by default: a cache without read-ahead behaves (and
+    costs) exactly as before. *)
+
+val readahead_active : t -> bool
+
+val note_read : t -> stream:int -> fbn:int -> nblocks:int -> map:(int -> int) -> limit:int -> unit
+(** Feed the read-ahead engine one demand access: [stream] identifies
+    the reader (e.g. client × file), [fbn]/[nblocks] the file blocks
+    being read, [map] translates a file block to its device block (0
+    for a hole or a mapping that is not resident — never performs
+    I/O), and [limit] is the exclusive file-block bound (EOF). When the
+    access extends a sequential run past the arming threshold, the
+    engine submits an async prefetch batch for the next [window] file
+    blocks that are mapped, not resident and not already in flight.
+    No-op unless {!enable_readahead} was called. Never blocks. *)
 
 val bsize : t -> int
 val device : t -> Nfsg_disk.Device.t
 
 val get : t -> int -> Bytes.t
 (** [get c b] is block [b]'s buffer, reading it from the device
-    (blocking, timed) on a miss. *)
+    (blocking, timed) on a miss. A miss on a block with a prefetch in
+    flight parks on the prefetch's completion instead of duplicating
+    the device read. *)
 
 val get_fresh : t -> int -> Bytes.t
 (** Like {!get} but on a miss installs a zero buffer without device
@@ -91,3 +135,22 @@ val hits : t -> int
 val misses : t -> int
 val resident : t -> int
 val evictions : t -> int
+
+(** {1 Read-ahead accounting} *)
+
+val readahead_batches : t -> int
+(** Prefetch batches submitted. *)
+
+val readahead_blocks : t -> int
+(** Blocks requested across all prefetch batches. *)
+
+val readahead_hits : t -> int
+(** Prefetched blocks later consumed by a demand read (resident or
+    awaited in flight). *)
+
+val readahead_wasted : t -> int
+(** Prefetched blocks evicted/dropped unconsumed, or whose demand read
+    raced ahead of the prefetch completion. *)
+
+val is_prefetched : t -> int -> bool
+(** Resident, installed by read-ahead, and not yet consumed. *)

@@ -316,14 +316,19 @@ let root t = iget t ~inum:t.sb.Layout.root_inum ~gen:t.gens.(t.sb.Layout.root_in
 
 (* {1 Mount} *)
 
-let mount eng ?cache_blocks dev =
+let mount eng ?cache_blocks ?metrics ?ns ?readahead dev =
   let sb = Layout.decode_superblock (dev.Device.stable_read ~off:0 ~len:512) in
   (* The cache must at least hold the metadata area (bitmap + inode
      table) or mount-time fsck would evict what it is reading. *)
   let cache_blocks =
     Option.map (fun n -> Stdlib.max n (sb.Layout.data_start + 16)) cache_blocks
   in
-  let bcache = Buffer_cache.create dev ~bsize:sb.Layout.bsize ?max_blocks:cache_blocks () in
+  let bcache =
+    Buffer_cache.create dev ~bsize:sb.Layout.bsize ?max_blocks:cache_blocks ?metrics ?ns ()
+  in
+  (match readahead with
+  | Some config -> Buffer_cache.enable_readahead bcache eng ~config ()
+  | None -> ());
   let bs = sb.Layout.bsize in
   (* Prewarm bitmap and inode table from stable storage ("boot"). *)
   for b = sb.Layout.bitmap_start to sb.Layout.data_start - 1 do
@@ -410,6 +415,56 @@ let read t (ino : inode) ~off ~len =
   done;
   ino.atime <- Engine.now t.eng;
   out
+
+(* Like [bmap ~alloc_missing:false] but consults only resident indirect
+   blocks ([Buffer_cache.peek]) — never performs I/O, never parks.
+   Returns 0 for a hole or a mapping whose indirect block is not in
+   core: read-ahead simply has nothing to prefetch there this round. *)
+let bmap_cached t (ino : inode) fbn =
+  if fbn < 0 || fbn >= Layout.max_file_blocks t.sb then 0
+  else begin
+    let peek_slot ib idx =
+      match Buffer_cache.peek t.bcache ib with
+      | Some buf -> Layout.get_pointer buf idx
+      | None -> 0
+    in
+    let nd = Layout.nd_direct in
+    if fbn < nd then ino.direct.(fbn)
+    else begin
+      let p = ppb t in
+      if fbn < nd + p then
+        if ino.single_ind = 0 then 0 else peek_slot ino.single_ind (fbn - nd)
+      else begin
+        let idx = fbn - nd - p in
+        let d1 = idx / p and d2 = idx mod p in
+        if ino.double_ind = 0 then 0
+        else
+          match peek_slot ino.double_ind d1 with
+          | 0 -> 0
+          | l2 -> peek_slot l2 d2
+      end
+    end
+  end
+
+(* The read-path read-ahead hook. The stream bookkeeping and the
+   prefetch submission run under the inode lock (a [Locked.run]-scoped
+   section via [Mutex.with_lock]): [note_read] never parks — the block
+   mapping goes through [bmap_cached] and the device submission is
+   asynchronous — so the lock is never held across a device wait. The
+   demand read itself, with its open-ended cache-miss waits, runs after
+   release. With read-ahead disabled this is exactly [read]. *)
+let read_ahead t (ino : inode) ~stream ~off ~len =
+  if Buffer_cache.readahead_active t.bcache then
+    Mutex.with_lock ino.lock (fun () ->
+        if off >= 0 && len > 0 && off < ino.size then begin
+          let bs = bsize t in
+          let len' = Stdlib.min len (ino.size - off) in
+          Buffer_cache.note_read t.bcache ~stream ~fbn:(off / bs)
+            ~nblocks:(((off + len' - 1) / bs) - (off / bs) + 1)
+            ~map:(fun fbn -> bmap_cached t ino fbn)
+            ~limit:((ino.size + bs - 1) / bs)
+        end);
+  read t ino ~off ~len
 
 type write_mode = Sync | Sync_data_only | Delay_data
 

@@ -53,13 +53,23 @@ val mkfs : Nfsg_disk.Device.t -> ?bsize:int -> ?ninodes:int -> unit -> unit
     before the experiment starts). Defaults: 8 KiB blocks, 4096
     inodes. The root directory is inode 1. *)
 
-val mount : Nfsg_sim.Engine.t -> ?cache_blocks:int -> Nfsg_disk.Device.t -> t
+val mount :
+  Nfsg_sim.Engine.t ->
+  ?cache_blocks:int ->
+  ?metrics:Nfsg_stats.Metrics.t ->
+  ?ns:string ->
+  ?readahead:Buffer_cache.readahead ->
+  Nfsg_disk.Device.t ->
+  t
 (** Read the superblock and inode table from stable storage
     (instantaneous, "boot time"), rebuilding the block bitmap from
     reachable blocks — the fsck pass that makes the
     bitmap-is-never-synced policy safe. [cache_blocks] bounds the
     buffer cache (default unbounded: plenty of RAM); it is clamped up
-    so the metadata area always fits. *)
+    so the metadata area always fits. [metrics]/[ns] give the buffer
+    cache a read-plane namespace to mirror its counters into;
+    [readahead] arms the sequential prefetch engine (off by
+    default). *)
 
 val engine : t -> Nfsg_sim.Engine.t
 val device : t -> Nfsg_disk.Device.t
@@ -90,6 +100,20 @@ val meta_dirty : inode -> [ `Clean | `Time_only | `Dirty ]
 
 val read : t -> inode -> off:int -> len:int -> Bytes.t
 (** Short reads at EOF; holes read as zeros. *)
+
+val read_ahead : t -> inode -> stream:int -> off:int -> len:int -> Bytes.t
+(** {!read}, feeding the access to the buffer cache's read-ahead
+    engine first. [stream] identifies the reader (client × file) for
+    sequential-run detection. The stream bookkeeping and async
+    prefetch submission run under the inode lock but never park — the
+    block mapping consults only resident indirect blocks — so the lock
+    is not held across any device wait; the demand read runs after
+    release. With read-ahead disabled this is exactly {!read}. *)
+
+val bmap_cached : t -> inode -> int -> int
+(** Device block of file block [fbn], consulting only resident
+    indirect blocks; 0 for holes, out-of-range blocks or non-resident
+    mappings. Never performs I/O. *)
 
 type write_mode =
   | Sync  (** data and metadata to stable storage before returning *)

@@ -42,6 +42,11 @@ val accelerated : vnode -> bool
 
 val vop_getattr : vnode -> Fs.attr
 val vop_read : vnode -> off:int -> len:int -> Bytes.t
+
+(** [vop_read_ahead] is {!vop_read} via {!Fs.read_ahead}: feeds the
+    sequential prefetch engine (no-op when read-ahead is off).
+    [stream] identifies the reader for run detection. *)
+val vop_read_ahead : vnode -> stream:int -> off:int -> len:int -> Bytes.t
 val vop_write : vnode -> off:int -> Nfsg_rpc.Xdr.view -> flags:io_flag list -> unit
 val vop_fsync : vnode -> flags:fsync_flag list -> unit
 val vop_syncdata : vnode -> off:int -> len:int -> unit

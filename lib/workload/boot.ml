@@ -1,0 +1,83 @@
+open Nfsg_sim
+module Client = Nfsg_nfs.Client
+module Proto = Nfsg_nfs.Proto
+
+(* A diskless workstation booting over NFS: MOUNT the (read-only)
+   root export, then walk a fixed file set the way /sbin/init and rc
+   would — name lookups, attribute checks, and whole-file sequential
+   reads. Every file is read front to back in 8 KB wire chunks, which
+   is exactly the access pattern a server-side read-ahead engine is
+   built to recognise. *)
+
+let bsize = 8192
+
+type file_spec = { dir : string; name : string; size : int }
+
+(* ~672 KB over 84 data blocks: big enough that a constrained server
+   cache cannot hold every client's concurrently-hot blocks, small
+   enough that a bench rung stays cheap. Sizes are loosely scaled from
+   a mid-90s BSD root filesystem. *)
+let boot_set =
+  [
+    { dir = "sbin"; name = "init"; size = 96 * 1024 };
+    { dir = "sbin"; name = "mount_nfs"; size = 64 * 1024 };
+    { dir = "etc"; name = "rc"; size = 16 * 1024 };
+    { dir = "etc"; name = "fstab"; size = 8 * 1024 };
+    { dir = "etc"; name = "passwd"; size = 8 * 1024 };
+    { dir = "lib"; name = "libc.so"; size = 256 * 1024 };
+    { dir = "lib"; name = "libutil.so"; size = 96 * 1024 };
+    { dir = "bin"; name = "sh"; size = 128 * 1024 };
+  ]
+
+let total_bytes = List.fold_left (fun a f -> a + f.size) 0 boot_set
+let dirs = List.sort_uniq compare (List.map (fun f -> f.dir) boot_set)
+
+let populate client root =
+  let dir_fh = Hashtbl.create 8 in
+  List.iter (fun d -> Hashtbl.replace dir_fh d (fst (Client.mkdir client root d))) dirs;
+  List.iter
+    (fun f ->
+      let parent = Hashtbl.find dir_fh f.dir in
+      let fh, _ = Client.create_file client parent f.name in
+      let file = Client.open_file client fh in
+      for b = 0 to (f.size / bsize) - 1 do
+        Client.write file ~off:(b * bsize) (Bytes.make bsize 'b')
+      done;
+      Client.close file)
+    boot_set
+
+type stats = { ops : int; bytes_read : int; latency_sum_ms : float; elapsed : Time.t }
+
+(* One pass over the boot set: LOOKUP the directory and the file,
+   GETATTR (the kernel stats what it is about to exec), then read the
+   whole file sequentially. Each RPC — lookup, getattr, and every 8 KB
+   READ — counts as one op toward the rung's achieved rate. *)
+let walk eng client root ~ops ~bytes ~lat =
+  let timed f =
+    let t0 = Engine.now eng in
+    let r = f () in
+    incr ops;
+    lat := !lat +. Time.to_ms_f (Engine.now eng - t0);
+    r
+  in
+  List.iter
+    (fun f ->
+      let dir, _ = timed (fun () -> Client.lookup client root f.dir) in
+      let fh, _ = timed (fun () -> Client.lookup client dir f.name) in
+      ignore (timed (fun () -> Client.getattr client fh));
+      for b = 0 to (f.size / bsize) - 1 do
+        let chunk = timed (fun () -> Client.read client fh ~off:(b * bsize) ~len:bsize) in
+        bytes := !bytes + Bytes.length chunk
+      done)
+    boot_set
+
+let boot eng client ~export =
+  let t0 = Engine.now eng in
+  let root, _read_only = Client.mount_flags client export in
+  let ops = ref 0 and bytes = ref 0 and lat = ref 0.0 in
+  (* Cold pass (the boot proper), then a warm pass — the login burst
+     that re-reads rc scripts and shared libraries the server may still
+     have cached. *)
+  walk eng client root ~ops ~bytes ~lat;
+  walk eng client root ~ops ~bytes ~lat;
+  { ops = !ops; bytes_read = !bytes; latency_sum_ms = !lat; elapsed = Engine.now eng - t0 }

@@ -1,0 +1,36 @@
+(** Diskless-client boot sequence: MOUNT a (read-only) root export,
+    then LOOKUP / GETATTR / sequentially READ a fixed ~672 KB file set
+    — cold pass (the boot proper) followed by a warm pass (the login
+    burst). Whole files are read front to back in 8 KB wire chunks,
+    the access pattern server-side read-ahead exists to recognise.
+
+    The boot-storm bench launches one of these per simulated
+    workstation against a shared export; {!populate} builds the file
+    set beforehand through a read-write client, after which the
+    experiment flips the export read-only. *)
+
+type file_spec = { dir : string; name : string; size : int }
+
+val boot_set : file_spec list
+(** The fixed file tree every client walks, boot order: init, mount
+    helper, rc scripts, shared libraries, the shell. *)
+
+val total_bytes : int
+(** Bytes in {!boot_set} (what one cold pass reads). *)
+
+val populate : Nfsg_nfs.Client.t -> Nfsg_nfs.Proto.fh -> unit
+(** Create the boot file set under [root] via a read-write client
+    (directories, files, contents). Must run inside a simulation
+    process, before the export is flipped read-only. *)
+
+type stats = {
+  ops : int;  (** RPCs issued: lookups, getattrs, 8 KB READs *)
+  bytes_read : int;
+  latency_sum_ms : float;  (** summed per-RPC response time *)
+  elapsed : Nfsg_sim.Time.t;  (** MOUNT through end of warm pass *)
+}
+
+val boot : Nfsg_sim.Engine.t -> Nfsg_nfs.Client.t -> export:string -> stats
+(** Run one full boot (mount, cold walk, warm walk) and return its
+    op count, byte count, and summed latency. Must run inside a
+    simulation process. *)

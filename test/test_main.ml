@@ -27,6 +27,9 @@ let () =
       ("fault", Test_fault.suite);
       ("multivolume", Test_multivolume.suite);
       ("laddis-curve", Test_laddis_curve.suite);
+      ("readahead", Test_readahead.suite);
+      ("rofs", Test_rofs.suite);
+      ("bootstorm", Test_bootstorm.suite);
       ("raid", Test_raid.suite);
       ("lint", Test_lint.suite);
       ("race", Test_race.suite);

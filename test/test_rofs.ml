@@ -1,0 +1,133 @@
+(* Read-only exports: every mutating procedure of both dialects earns
+   NFSERR_ROFS before touching the write layer, reads and name lookups
+   keep working, MOUNT advertises the flag, and the protection is a
+   runtime toggle that flips both ways. *)
+
+module Server = Nfsg_core.Server
+module Volume = Nfsg_core.Volume
+module Client = Nfsg_nfs.Client
+module Proto = Nfsg_nfs.Proto
+module Socket = Nfsg_net.Socket
+module Rpc_client = Nfsg_rpc.Rpc_client
+module Metrics = Nfsg_stats.Metrics
+module Names = Nfsg_stats.Names
+
+let first_volume rig = List.hd (Server.volumes rig.Testbed.server)
+
+let v3_client rig addr =
+  let sock = Socket.create rig.Testbed.segment ~addr () in
+  let rpc = Rpc_client.create rig.Testbed.eng ~sock ~server:"server" () in
+  Client.create rig.Testbed.eng ~rpc ~biods:4 ~protocol:Client.V3 ()
+
+let expect_rofs name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected NFSERR_ROFS, got success" name
+  | exception Client.Error Proto.NFSERR_ROFS -> ()
+  | exception Client.Error st ->
+      Alcotest.failf "%s: expected NFSERR_ROFS, got %s" name (Proto.string_of_status st)
+
+let rofs_rejections rig =
+  Option.value ~default:0
+    (Metrics.find_counter (Server.metrics rig.Testbed.server) ~ns:"server" Names.rofs_rejections)
+
+(* Build a small tree read-write, then protect the export. *)
+let populated_ro_rig () =
+  let rig = Testbed.make () in
+  Testbed.run rig (fun () ->
+      let root = Testbed.root rig in
+      let c = rig.Testbed.client in
+      let fh, _ = Client.create_file c root "victim" in
+      ignore (Testbed.write_file rig fh ~total:16384 ());
+      ignore (Client.mkdir c root "subdir");
+      ignore (Client.symlink c root "link" ~target:"victim");
+      Volume.set_read_only (first_volume rig) true);
+  rig
+
+let test_mount_advertises () =
+  let rig = populated_ro_rig () in
+  Testbed.run rig (fun () ->
+      let _, ro = Client.mount_flags rig.Testbed.client "/export" in
+      Alcotest.(check bool) "export advertised read-only" true ro;
+      Volume.set_read_only (first_volume rig) false;
+      let _, rw = Client.mount_flags rig.Testbed.client "/export" in
+      Alcotest.(check bool) "flips back to read-write" false rw)
+
+let test_v2_mutations_bounce () =
+  let rig = populated_ro_rig () in
+  Testbed.run rig (fun () ->
+      let root = Testbed.root rig in
+      let c = rig.Testbed.client in
+      let victim, _ = Client.lookup c root "victim" in
+      let before = rofs_rejections rig in
+      expect_rofs "WRITE" (fun () ->
+          let f = Client.open_file c victim in
+          Client.write f ~off:0 (Bytes.make 8192 'x');
+          Client.close f);
+      expect_rofs "SETATTR" (fun () ->
+          Client.setattr c victim { Proto.sattr_none with Proto.s_size = 0 });
+      expect_rofs "CREATE" (fun () -> Client.create_file c root "fresh");
+      expect_rofs "REMOVE" (fun () -> Client.remove c root "victim");
+      expect_rofs "RENAME" (fun () ->
+          Client.rename c ~from_dir:root ~from_name:"victim" ~to_dir:root ~to_name:"renamed");
+      expect_rofs "MKDIR" (fun () -> Client.mkdir c root "newdir");
+      expect_rofs "RMDIR" (fun () -> Client.rmdir c root "subdir");
+      expect_rofs "SYMLINK" (fun () -> Client.symlink c root "newlink" ~target:"victim");
+      Alcotest.(check int) "every bounce counted" (before + 8) (rofs_rejections rig))
+
+let test_v3_write_and_commit_bounce () =
+  let rig = populated_ro_rig () in
+  Testbed.run rig (fun () ->
+      let root = Testbed.root rig in
+      let c3 = v3_client rig "client-v3" in
+      let victim, _ = Client.lookup c3 root "victim" in
+      expect_rofs "WRITE3" (fun () ->
+          let f = Client.open_file c3 victim in
+          Client.write f ~off:0 (Bytes.make 8192 'y');
+          Client.close f));
+  (* COMMIT alone: write the range while the export is still rw, flip,
+     then ask the server to commit it. *)
+  let rig = Testbed.make () in
+  Testbed.run rig (fun () ->
+      let root = Testbed.root rig in
+      let c3 = v3_client rig "client-v3" in
+      let fh, _ = Client.create_file c3 root "staged" in
+      let f = Client.open_file c3 fh in
+      Client.write f ~off:0 (Bytes.make 8192 'z');
+      Client.close f;
+      Volume.set_read_only (first_volume rig) true;
+      expect_rofs "COMMIT" (fun () ->
+          let f = Client.open_file c3 fh in
+          Client.write f ~off:0 (Bytes.make 8192 'z');
+          (try Client.close f with Client.Error Proto.NFSERR_ROFS -> ());
+          Client.commit f))
+
+let test_reads_still_served () =
+  let rig = populated_ro_rig () in
+  Testbed.run rig (fun () ->
+      let root = Testbed.root rig in
+      let c = rig.Testbed.client in
+      let victim, attr = Client.lookup c root "victim" in
+      Alcotest.(check int) "GETATTR size" 16384 attr.Proto.size;
+      let data = Client.read c victim ~off:0 ~len:16384 in
+      Alcotest.(check bytes) "READ bytes intact" (Testbed.expect_pattern ~total:16384 ~seed:7)
+        data;
+      let link, _ = Client.lookup c root "link" in
+      Alcotest.(check string) "READLINK works" "victim" (Client.readlink c link);
+      Alcotest.(check bool) "READDIR works" true
+        (List.mem_assoc "victim" (Client.readdir c root));
+      ignore (Client.statfs c root);
+      (* The toggle is live: flip back and the same world accepts
+         writes again. *)
+      Volume.set_read_only (first_volume rig) false;
+      let fh, _ = Client.create_file c root "after" in
+      let f = Client.open_file c fh in
+      Client.write f ~off:0 (Bytes.make 8192 'w');
+      Client.close f)
+
+let suite =
+  [
+    Alcotest.test_case "MOUNT advertises the flag" `Quick test_mount_advertises;
+    Alcotest.test_case "v2 mutations bounce with ROFS" `Quick test_v2_mutations_bounce;
+    Alcotest.test_case "v3 WRITE3 and COMMIT bounce" `Quick test_v3_write_and_commit_bounce;
+    Alcotest.test_case "reads served, toggle flips back" `Quick test_reads_still_served;
+  ]
